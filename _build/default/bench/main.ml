@@ -1,0 +1,150 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's experiment index) plus bechamel
+   micro-benchmarks of the engine's hot paths.
+
+   Usage:
+     bench/main.exe                 -- everything at the default scale
+     bench/main.exe table2-row1     -- one experiment
+     bench/main.exe micro           -- microbenchmarks only
+     bench/main.exe all 0.25        -- everything at quarter scale *)
+
+open Quill_common
+open Quill_workloads
+module H = Quill_harness
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: real-time cost of the hot paths.         *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  let zipf = Zipf.create ~theta:0.99 1_000_000 in
+  let rng = Rng.create 11 in
+  let bench_zipf =
+    Test.make ~name:"zipf-sample-0.99"
+      (Staged.stage (fun () -> ignore (Zipf.sample_scrambled zipf rng)))
+  in
+  let heap = Heap.create ~cmp:compare in
+  let bench_heap =
+    Test.make ~name:"heap-push-pop"
+      (Staged.stage (fun () ->
+           Heap.push heap (Rng.int rng 1000);
+           ignore (Heap.pop heap)))
+  in
+  let ycsb =
+    Ycsb.make { Ycsb.default with Ycsb.table_size = 10_000; nparts = 4 }
+  in
+  let stream = ycsb.Quill_txn.Workload.new_stream 0 in
+  let bench_gen_ycsb =
+    Test.make ~name:"ycsb-gen-txn" (Staged.stage (fun () -> ignore (stream ())))
+  in
+  let tpcc =
+    Tpcc.make
+      { Tpcc.default with Tpcc_defs.warehouses = 1; nparts = 4; items = 10_000 }
+  in
+  let tstream = tpcc.Quill_txn.Workload.new_stream 0 in
+  let bench_gen_tpcc =
+    Test.make ~name:"tpcc-gen-txn" (Staged.stage (fun () -> ignore (tstream ())))
+  in
+  let bench_sim_tick =
+    Test.make ~name:"sim-1k-thread-barrier"
+      (Staged.stage (fun () ->
+           let sim = Quill_sim.Sim.create () in
+           let b = Quill_sim.Sim.Barrier.create 8 in
+           for _ = 1 to 8 do
+             Quill_sim.Sim.spawn sim (fun () ->
+                 for _ = 1 to 16 do
+                   Quill_sim.Sim.tick sim 10;
+                   Quill_sim.Sim.Barrier.await sim b
+                 done)
+           done;
+           ignore (Quill_sim.Sim.run sim)))
+  in
+  let bench_quecc_batch =
+    let wl = Ycsb.make { Ycsb.default with Ycsb.table_size = 20_000; nparts = 4 } in
+    Test.make ~name:"quecc-256txn-batch"
+      (Staged.stage (fun () ->
+           ignore
+             (Quill_quecc.Engine.run
+                {
+                  Quill_quecc.Engine.default_cfg with
+                  Quill_quecc.Engine.planners = 4;
+                  executors = 4;
+                  batch_size = 256;
+                }
+                wl ~batches:1)))
+  in
+  Test.make_grouped ~name:"quill"
+    [
+      bench_zipf;
+      bench_heap;
+      bench_gen_ycsb;
+      bench_gen_tpcc;
+      bench_sim_tick;
+      bench_quecc_batch;
+    ]
+
+let run_micro () =
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  print_endline "\n== Microbenchmarks (real time per run) ==";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let results =
+    List.map (fun i -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+                                      ~predictors:[| Measure.run |]) i raw)
+      instances
+  in
+  let results = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:false
+                                 ~predictors:[| Measure.run |]) instances results in
+  Hashtbl.iter
+    (fun measure tbl ->
+      ignore measure;
+      let rows =
+        Hashtbl.fold
+          (fun name ols acc ->
+            let est =
+              match Analyze.OLS.estimates ols with
+              | Some [ e ] -> Printf.sprintf "%.1f ns" e
+              | _ -> "-"
+            in
+            [ name; est ] :: acc)
+          tbl []
+      in
+      Tablefmt.print ~header:[ "benchmark"; "time/run" ]
+        (List.sort compare rows))
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [table2-row1|table2-row2|table2-row3|fig-contention|\n\
+    \                 fig-scalability|fig-modes|fig-latency|fig-batch|micro|all]\n\
+    \                [scale]";
+  exit 1
+
+let () =
+  let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let scale =
+    if Array.length Sys.argv > 2 then float_of_string Sys.argv.(2) else 0.5
+  in
+  Printf.printf "quill benchmark harness (scale=%.2f)\n%!" scale;
+  (match arg with
+  | "table2-row1" -> H.Experiments.table2_row1 ~scale ()
+  | "table2-row2" -> H.Experiments.table2_row2 ~scale ()
+  | "table2-row3" -> H.Experiments.table2_row3 ~scale ()
+  | "fig-contention" -> H.Experiments.fig_contention ~scale ()
+  | "fig-scalability" -> H.Experiments.fig_scalability ~scale ()
+  | "fig-modes" -> H.Experiments.fig_modes ~scale ()
+  | "fig-latency" -> H.Experiments.fig_latency ~scale ()
+  | "fig-batch" -> H.Experiments.fig_batch ~scale ()
+  | "micro" -> run_micro ()
+  | "all" ->
+      H.Experiments.all ~scale ();
+      run_micro ()
+  | _ -> usage ());
+  print_endline "\ndone."

@@ -1,0 +1,154 @@
+(* Command-line front end: run any engine x workload x parameters and
+   print metrics, or replay the paper's experiment suite.
+
+     quill_cli run --engine quecc --workload ycsb --theta 0.9 --threads 8
+     quill_cli run --engine tictoc --workload tpcc --warehouses 1
+     quill_cli experiments --only table2-row3 --scale 0.5
+     quill_cli list-engines *)
+
+open Cmdliner
+open Quill_workloads
+module E = Quill_harness.Experiment
+
+let engines =
+  [
+    "serial"; "quecc"; "quecc-cons"; "quecc-rc"; "quecc-cons-rc";
+    "2pl-nowait"; "2pl-waitdie"; "silo"; "tictoc"; "mvto"; "hstore";
+    "calvin"; "dist-quecc"; "dist-calvin";
+  ]
+
+let run_cmd engine workload threads txns batch theta mp abort_ratio warehouses
+    table_size seed =
+  match E.engine_of_string engine with
+  | None ->
+      Printf.eprintf "unknown engine %s; see list-engines\n" engine;
+      exit 2
+  | Some e ->
+      let spec =
+        match workload with
+        | "ycsb" ->
+            E.Ycsb
+              {
+                Ycsb.default with
+                Ycsb.table_size;
+                nparts = threads;
+                theta;
+                mp_ratio = mp;
+                abort_ratio;
+                abort_threshold = 128;
+                seed;
+              }
+        | "tpcc" ->
+            E.Tpcc
+              (Tpcc.payment_mix
+                 {
+                   Tpcc.default with
+                   Tpcc_defs.warehouses;
+                   nparts = threads;
+                   seed;
+                 })
+        | "tpcc-full" ->
+            E.Tpcc
+              { Tpcc.default with Tpcc_defs.warehouses; nparts = threads; seed }
+        | w ->
+            Printf.eprintf "unknown workload %s (ycsb|tpcc|tpcc-full)\n" w;
+            exit 2
+      in
+      let exp = E.make ~threads ~txns ~batch_size:batch e spec in
+      let m = E.run exp in
+      Format.printf "%s on %s:@.  %a@." engine workload
+        Quill_txn.Metrics.pp m;
+      Quill_harness.Report.print_table ~title:"result"
+        [ { Quill_harness.Report.label = engine; metrics = m } ]
+
+let experiments_cmd only scale =
+  let module X = Quill_harness.Experiments in
+  match only with
+  | None -> X.all ~scale ()
+  | Some "table2-row1" -> X.table2_row1 ~scale ()
+  | Some "table2-row2" -> X.table2_row2 ~scale ()
+  | Some "table2-row3" -> X.table2_row3 ~scale ()
+  | Some "fig-contention" -> X.fig_contention ~scale ()
+  | Some "fig-scalability" -> X.fig_scalability ~scale ()
+  | Some "fig-modes" -> X.fig_modes ~scale ()
+  | Some "fig-latency" -> X.fig_latency ~scale ()
+  | Some "fig-batch" -> X.fig_batch ~scale ()
+  | Some other ->
+      Printf.eprintf "unknown experiment %s\n" other;
+      exit 2
+
+let list_engines_cmd () = List.iter print_endline engines
+
+(* -- cmdliner wiring -- *)
+
+let engine_t =
+  Arg.(value & opt string "quecc" & info [ "engine"; "e" ] ~doc:"Engine name.")
+
+let workload_t =
+  Arg.(
+    value & opt string "ycsb"
+    & info [ "workload"; "w" ] ~doc:"ycsb | tpcc | tpcc-full.")
+
+let threads_t =
+  Arg.(value & opt int 8 & info [ "threads"; "t" ] ~doc:"Virtual cores.")
+
+let txns_t =
+  Arg.(value & opt int 20_000 & info [ "txns"; "n" ] ~doc:"Transactions.")
+
+let batch_t =
+  Arg.(value & opt int 1024 & info [ "batch" ] ~doc:"Batch size.")
+
+let theta_t =
+  Arg.(value & opt float 0.0 & info [ "theta" ] ~doc:"YCSB zipfian skew.")
+
+let mp_t =
+  Arg.(
+    value & opt float 0.0
+    & info [ "mp" ] ~doc:"YCSB multi-partition transaction fraction.")
+
+let abort_t =
+  Arg.(
+    value & opt float 0.0
+    & info [ "abort-ratio" ] ~doc:"YCSB abortable-fragment fraction.")
+
+let warehouses_t =
+  Arg.(value & opt int 1 & info [ "warehouses" ] ~doc:"TPC-C warehouses.")
+
+let table_size_t =
+  Arg.(value & opt int 100_000 & info [ "table-size" ] ~doc:"YCSB rows.")
+
+let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let run_term =
+  Term.(
+    const run_cmd $ engine_t $ workload_t $ threads_t $ txns_t $ batch_t
+    $ theta_t $ mp_t $ abort_t $ warehouses_t $ table_size_t $ seed_t)
+
+let only_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "only" ] ~doc:"Run a single experiment by id.")
+
+let scale_t =
+  Arg.(value & opt float 0.5 & info [ "scale" ] ~doc:"Scale factor.")
+
+let experiments_term = Term.(const experiments_cmd $ only_t $ scale_t)
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "run" ~doc:"Run one engine on one workload.") run_term;
+    Cmd.v
+      (Cmd.info "experiments" ~doc:"Replay the paper's experiment suite.")
+      experiments_term;
+    Cmd.v
+      (Cmd.info "list-engines" ~doc:"List available engines.")
+      Term.(const list_engines_cmd $ const ());
+  ]
+
+let () =
+  let info =
+    Cmd.info "quill_cli" ~version:"1.0"
+      ~doc:"Queue-oriented deterministic transaction processing testbed"
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

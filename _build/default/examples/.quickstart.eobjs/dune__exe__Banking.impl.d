@@ -1,0 +1,1 @@
+examples/banking.ml: Array Db Exec Format Fragment List Metrics Printf Quill_common Quill_quecc Quill_storage Quill_txn Rng Row Table Txn Workload

@@ -1,0 +1,1 @@
+examples/distributed_demo.ml: List Metrics Printf Quill_dist Quill_sim Quill_txn Quill_workloads Ycsb

@@ -1,0 +1,1 @@
+examples/isolation_modes.ml: List Metrics Printf Quill_common Quill_quecc Quill_sim Quill_txn Quill_workloads Ycsb

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Db Format List Metrics Printf Quill_protocols Quill_quecc Quill_storage Quill_txn Quill_workloads Workload Ycsb

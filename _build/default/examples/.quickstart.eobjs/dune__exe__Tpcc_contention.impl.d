@@ -1,0 +1,1 @@
+examples/tpcc_contention.ml: List Printf Quill_harness Quill_quecc Quill_workloads Tpcc Tpcc_defs

@@ -1,0 +1,1 @@
+lib/common/bitset.ml: Array Sys

@@ -1,0 +1,1 @@
+lib/common/heap.ml: Vec

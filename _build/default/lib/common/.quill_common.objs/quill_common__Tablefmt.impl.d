@@ -1,0 +1,1 @@
+lib/common/tablefmt.ml: Array Buffer Float List Printf String

@@ -1,0 +1,1 @@
+lib/common/zipf.ml: Float Int64 Rng

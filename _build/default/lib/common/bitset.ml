@@ -1,0 +1,52 @@
+type t = {
+  words : int array;
+  n : int;
+  mutable card : int;
+}
+
+let word_bits = Sys.int_size - 1
+
+let create n =
+  assert (n >= 0);
+  { words = Array.make ((n / word_bits) + 1) 0; n; card = 0 }
+
+let capacity t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of range"
+
+let mem t i =
+  check t i;
+  t.words.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0
+
+let add t i =
+  check t i;
+  if not (mem t i) then begin
+    t.words.(i / word_bits) <- t.words.(i / word_bits) lor (1 lsl (i mod word_bits));
+    t.card <- t.card + 1
+  end
+
+let remove t i =
+  check t i;
+  if mem t i then begin
+    t.words.(i / word_bits) <- t.words.(i / word_bits) land lnot (1 lsl (i mod word_bits));
+    t.card <- t.card - 1
+  end
+
+let clear t =
+  Array.fill t.words 0 (Array.length t.words) 0;
+  t.card <- 0
+
+let cardinal t = t.card
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if t.words.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0 then f i
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if mem t i then acc := i :: !acc
+  done;
+  !acc

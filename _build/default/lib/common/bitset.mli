@@ -1,0 +1,15 @@
+(** Fixed-capacity bitset (dense int sets for txn / partition ids). *)
+
+type t
+
+val create : int -> t
+(** [create n] holds members of [\[0, n)], initially empty. *)
+
+val capacity : t -> int
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val clear : t -> unit
+val cardinal : t -> int
+val iter : (int -> unit) -> t -> unit
+val to_list : t -> int list

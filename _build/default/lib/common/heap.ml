@@ -1,0 +1,54 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  v : 'a Vec.t;
+}
+
+let create ~cmp = { cmp; v = Vec.create () }
+let length t = Vec.length t.v
+let is_empty t = Vec.is_empty t.v
+
+let swap t i j =
+  let x = Vec.get t.v i in
+  Vec.set t.v i (Vec.get t.v j);
+  Vec.set t.v j x
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp (Vec.get t.v i) (Vec.get t.v parent) < 0 then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let n = length t in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < n && t.cmp (Vec.get t.v l) (Vec.get t.v !smallest) < 0 then
+    smallest := l;
+  if r < n && t.cmp (Vec.get t.v r) (Vec.get t.v !smallest) < 0 then
+    smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t x =
+  Vec.push t.v x;
+  sift_up t (length t - 1)
+
+let peek t = if is_empty t then None else Some (Vec.get t.v 0)
+
+let pop t =
+  let n = length t in
+  if n = 0 then None
+  else begin
+    let top = Vec.get t.v 0 in
+    swap t 0 (n - 1);
+    ignore (Vec.pop t.v);
+    if not (is_empty t) then sift_down t 0;
+    Some top
+  end
+
+let clear t = Vec.clear t.v

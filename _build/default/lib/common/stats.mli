@@ -1,0 +1,34 @@
+(** Online statistics and latency histograms for the benchmark harness. *)
+
+(** Welford online mean / variance accumulator. *)
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+  val total : t -> float
+end
+
+(** Log-scale histogram for latency distributions (HdrHistogram-style, base
+    bucketing by powers of two with linear sub-buckets).  Values are
+    arbitrary non-negative integers (we use virtual nanoseconds). *)
+module Hist : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> int -> unit
+  val merge_into : dst:t -> t -> unit
+  val count : t -> int
+  val mean : t -> float
+  val percentile : t -> float -> int
+  (** [percentile h 99.0] is an upper bound for the p99 value (bucket
+      upper edge), 0 when empty. *)
+
+  val max_value : t -> int
+end

@@ -1,0 +1,1 @@
+lib/dist/dist_calvin.mli: Quill_sim Quill_txn

@@ -1,0 +1,1 @@
+lib/dist/dist_quecc.ml: Array Costs Db Exec Fragment Hashtbl List Metrics Net Printf Quill_common Quill_quecc Quill_sim Quill_storage Quill_txn Row Sim Stats Table Txn Vec Workload

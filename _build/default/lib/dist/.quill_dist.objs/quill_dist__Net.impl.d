@@ -1,0 +1,1 @@
+lib/dist/net.ml: Array Costs Quill_sim Sim

@@ -1,0 +1,1 @@
+lib/dist/net.mli: Quill_sim

@@ -1,0 +1,560 @@
+open Quill_common
+open Quill_sim
+open Quill_storage
+open Quill_txn
+
+type cfg = { nodes : int; workers : int; batch_size : int; costs : Costs.t }
+
+let default_cfg =
+  { nodes = 4; workers = 4; batch_size = 2048; costs = Costs.default }
+
+(* Shared (cross-node) transaction runtime, built by the sequencer. *)
+type xrt = {
+  txn : Txn.t;
+  inputs : int Sim.Ivar.iv array array;
+  producers : (int * int Sim.Ivar.iv) list array;
+  participants : int list;
+  resolved : unit Sim.Ivar.iv array;
+  aborted_local : bool array;
+  mutable pending_aborters : int;
+  mutable aborted : bool;
+}
+
+(* Node-local sub-transaction. *)
+type sub = {
+  rt : xrt;
+  locks : (int * int * bool) list;   (* (table, key, exclusive) local keys *)
+  mutable pending : int;
+  may_block : bool;
+      (* waits on remote value fills or remote abort resolution *)
+}
+
+type lock_mode = S | X
+
+type lockq = {
+  mutable holders : (sub * lock_mode) list;
+  waiting : (sub * lock_mode) Queue.t;
+}
+
+type msg =
+  | Slice of { epoch : int; src : int; rts : xrt array }
+  | Fill of { iv : int Sim.Ivar.iv; v : int }
+  | Reads                               (* read-broadcast cost carrier *)
+  | Resolve of { rt : xrt; aborted : bool }
+  | Node_done
+  | Epoch_commit of int
+  | Stop
+
+type nstate = {
+  locktab : (int * int, lockq) Hashtbl.t;
+  work : sub option Sim.Chan.ch;
+  mutable expected : int;   (* -1 until the scheduler finished the epoch *)
+  mutable completed : int;
+  touched : Row.t Vec.t;
+}
+
+type shared = {
+  cfg : cfg;
+  sim : Sim.t;
+  wl : Workload.t;
+  db : Db.t;
+  net : msg Net.t;
+  ns : nstate array;
+  slices : (int * int * int, xrt array Sim.Ivar.iv) Hashtbl.t;
+      (* (epoch, src, receiving node) *)
+  epoch_rts : (int * int, xrt array) Hashtbl.t;          (* accounting *)
+  commits : (int * int, unit Sim.Ivar.iv) Hashtbl.t;     (* epoch, node *)
+  metrics : Metrics.t;
+  mutable done_count : int;
+  mutable epochs_done : int;
+  total_epochs : int;
+}
+
+let node_of_part sh part = part * sh.cfg.nodes / Db.nparts sh.db
+
+let frag_node sh (f : Fragment.t) =
+  node_of_part sh (Db.home sh.db f.Fragment.table f.Fragment.key)
+
+let get_iv tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some iv -> iv
+  | None ->
+      let iv = Sim.Ivar.create () in
+      Hashtbl.replace tbl key iv;
+      iv
+
+let get_slice sh epoch src dst = get_iv sh.slices (epoch, src, dst)
+let get_commit sh epoch node = get_iv sh.commits (epoch, node)
+
+(* ------------------------------------------------------------------ *)
+(* Sequencer                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let make_xrt sh txn =
+  let n = Array.length txn.Txn.frags in
+  let inputs =
+    Array.map
+      (fun (f : Fragment.t) ->
+        Array.map (fun _ -> Sim.Ivar.create ()) f.Fragment.data_deps)
+      txn.Txn.frags
+  in
+  let producers = Array.make n [] in
+  Array.iteri
+    (fun fid (f : Fragment.t) ->
+      let consumer_node = frag_node sh f in
+      Array.iteri
+        (fun i d ->
+          producers.(d) <- (consumer_node, inputs.(fid).(i)) :: producers.(d))
+        f.Fragment.data_deps)
+    txn.Txn.frags;
+  let participants =
+    let seen = Array.make sh.cfg.nodes false in
+    Array.iter (fun f -> seen.(frag_node sh f) <- true) txn.Txn.frags;
+    let acc = ref [] in
+    for i = sh.cfg.nodes - 1 downto 0 do
+      if seen.(i) then acc := i :: !acc
+    done;
+    !acc
+  in
+  txn.Txn.status <- Txn.Active;
+  {
+    txn;
+    inputs;
+    producers;
+    participants;
+    resolved = Array.init sh.cfg.nodes (fun _ -> Sim.Ivar.create ());
+    aborted_local = Array.make sh.cfg.nodes false;
+    pending_aborters = txn.Txn.n_abortable;
+    aborted = false;
+  }
+
+let sequencer_thread sh node stream epochs =
+  let costs = sh.cfg.costs in
+  let base = sh.cfg.batch_size / sh.cfg.nodes in
+  let count = base + if node < sh.cfg.batch_size mod sh.cfg.nodes then 1 else 0 in
+  for e = 0 to epochs - 1 do
+    let rts =
+      Array.init count (fun _ ->
+          Sim.tick sh.sim costs.Costs.txn_overhead;
+          let txn = stream () in
+          txn.Txn.submit_time <- Sim.now sh.sim;
+          txn.Txn.attempts <- 1;
+          make_xrt sh txn)
+    in
+    let bytes =
+      40 * Array.fold_left
+             (fun acc rt -> acc + Array.length rt.txn.Txn.frags)
+             1 rts
+    in
+    Hashtbl.replace sh.epoch_rts (e, node) rts;
+    for dst = 0 to sh.cfg.nodes - 1 do
+      if dst = node then Sim.Ivar.fill sh.sim (get_slice sh e node node) rts
+      else Net.send sh.net ~src:node ~dst ~bytes (Slice { epoch = e; src = node; rts })
+    done;
+    Sim.Ivar.read sh.sim (get_commit sh e node)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic lock manager (per node)                               *)
+(* ------------------------------------------------------------------ *)
+
+let compatible holders m =
+  match m with
+  | X -> holders = []
+  | S -> List.for_all (fun (_, hm) -> hm = S) holders
+
+let dispatch sh node sub = Sim.Chan.send sh.sim sh.ns.(node).work (Some sub)
+
+let grant sh node sub =
+  sub.pending <- sub.pending - 1;
+  if sub.pending = 0 then dispatch sh node sub
+
+let get_q ns key =
+  match Hashtbl.find_opt ns.locktab key with
+  | Some q -> q
+  | None ->
+      let q = { holders = []; waiting = Queue.create () } in
+      Hashtbl.replace ns.locktab key q;
+      q
+
+let request sh node sub key m =
+  let q = get_q sh.ns.(node) key in
+  if compatible q.holders m && Queue.is_empty q.waiting then begin
+    q.holders <- (sub, m) :: q.holders;
+    grant sh node sub
+  end
+  else Queue.push (sub, m) q.waiting
+
+let release sh node sub key =
+  let q = get_q sh.ns.(node) key in
+  q.holders <- List.filter (fun (s, _) -> s != sub) q.holders;
+  let rec drain () =
+    match Queue.peek_opt q.waiting with
+    | Some (s, m) when compatible q.holders m ->
+        ignore (Queue.pop q.waiting);
+        q.holders <- (s, m) :: q.holders;
+        grant sh node s;
+        drain ()
+    | Some _ | None -> ()
+  in
+  drain ()
+
+(* Local lock set: keys homed here; X when any access updates. *)
+let local_lock_set sh node txn =
+  let acc = ref [] in
+  Array.iter
+    (fun (f : Fragment.t) ->
+      match f.Fragment.mode with
+      | Fragment.Insert -> ()
+      | Fragment.Read | Fragment.Write | Fragment.Rmw ->
+          if frag_node sh f = node then begin
+            let x = f.Fragment.mode <> Fragment.Read in
+            let key = (f.Fragment.table, f.Fragment.key) in
+            let rec merge = function
+              | [] -> [ (key, x) ]
+              | (k, x0) :: rest when k = key -> (k, x || x0) :: rest
+              | e :: rest -> e :: merge rest
+            in
+            acc := merge !acc
+          end)
+    txn.Txn.frags;
+  List.map (fun ((t, k), x) -> (t, k, x)) !acc
+
+let has_remote_inputs sh node txn =
+  Array.exists
+    (fun (f : Fragment.t) ->
+      frag_node sh f = node
+      && Array.exists
+           (fun d -> frag_node sh txn.Txn.frags.(d) <> node)
+           f.Fragment.data_deps)
+    txn.Txn.frags
+
+let check_node_done sh node =
+  let ns = sh.ns.(node) in
+  if ns.expected >= 0 && ns.completed = ns.expected then begin
+    ns.expected <- -1;
+    ns.completed <- 0;
+    Net.send sh.net ~src:node ~dst:0 ~bytes:8 Node_done
+  end
+
+let scheduler_thread sh node epochs =
+  let costs = sh.cfg.costs in
+  for e = 0 to epochs - 1 do
+    let count = ref 0 in
+    for src = 0 to sh.cfg.nodes - 1 do
+      let rts = Sim.Ivar.read sh.sim (get_slice sh e src node) in
+      Array.iter
+        (fun rt ->
+          if List.mem node rt.participants then begin
+            incr count;
+            let locks = local_lock_set sh node rt.txn in
+            let sub =
+              {
+                rt;
+                locks;
+                pending = List.length locks + 1;
+                may_block =
+                  has_remote_inputs sh node rt.txn
+                  || (rt.txn.Txn.n_abortable > 0
+                     && List.exists (fun n -> n <> node) rt.participants);
+              }
+            in
+            List.iter
+              (fun (t, k, x) ->
+                Sim.tick sh.sim costs.Costs.lock_mgr_op;
+                request sh node sub (t, k) (if x then X else S))
+              locks;
+            grant sh node sub
+          end)
+        rts;
+      Hashtbl.remove sh.slices (e, src, node)
+    done;
+    sh.ns.(node).expected <- !count;
+    check_node_done sh node;
+    Sim.Ivar.read sh.sim (get_commit sh e node);
+    (* All local sub-transactions are done: publish committed state. *)
+    Vec.iter
+      (fun row ->
+        Row.publish row;
+        row.Row.dirty <- false)
+      sh.ns.(node).touched;
+    Vec.clear sh.ns.(node).touched
+  done;
+  (* Poison the worker pool after the final epoch. *)
+  for _ = 1 to sh.cfg.workers do
+    Sim.Chan.send sh.sim sh.ns.(node).work None
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Workers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let dummy_row = Row.make ~key:(-1) ~nfields:1
+
+let broadcast_resolution sh ~self rt aborted =
+  List.iter
+    (fun n ->
+      if n = self then begin
+        if aborted then rt.aborted_local.(n) <- true;
+        if not (Sim.Ivar.is_full rt.resolved.(n)) then
+          Sim.Ivar.fill sh.sim rt.resolved.(n) ()
+      end
+      else Net.send sh.net ~src:self ~dst:n ~bytes:16 (Resolve { rt; aborted }))
+    rt.participants
+
+let exec_sub sh node sub =
+  let costs = sh.cfg.costs in
+  let rt = sub.rt in
+  let txn = rt.txn in
+  (* Calvin read broadcast: one message per other participant. *)
+  let nreads =
+    Array.fold_left
+      (fun acc (f : Fragment.t) ->
+        if frag_node sh f = node && not (Fragment.updates f) then acc + 1
+        else acc)
+      0 txn.Txn.frags
+  in
+  List.iter
+    (fun n ->
+      if n <> node then
+        Net.send sh.net ~src:node ~dst:n ~bytes:(8 + (16 * nreads)) Reads)
+    rt.participants;
+  let cur_row = ref dummy_row and cur_found = ref false in
+  let cur_frag = ref None in
+  let read (_ : Fragment.t) field =
+    Sim.tick sh.sim costs.Costs.row_read;
+    if !cur_found then (!cur_row).Row.data.(field) else 0
+  in
+  let write _frag field v =
+    Sim.tick sh.sim costs.Costs.row_write;
+    if !cur_found then begin
+      let row = !cur_row in
+      if not row.Row.dirty then begin
+        row.Row.dirty <- true;
+        Vec.push sh.ns.(node).touched row
+      end;
+      row.Row.data.(field) <- v
+    end
+  in
+  let add frag field d = write frag field (read frag field + d) in
+  let insert (frag : Fragment.t) ~key payload =
+    Sim.tick sh.sim costs.Costs.index_insert;
+    let tbl = Db.table sh.db frag.Fragment.table in
+    let home = Db.home sh.db frag.Fragment.table frag.Fragment.key in
+    ignore (Table.insert tbl ~home ~key payload)
+  in
+  let input producer_fid =
+    let frag = match !cur_frag with Some f -> f | None -> assert false in
+    let deps = frag.Fragment.data_deps in
+    let rec find i =
+      if deps.(i) = producer_fid then i else find (i + 1)
+    in
+    Sim.Ivar.read sh.sim rt.inputs.(frag.Fragment.fid).(find 0)
+  in
+  let output fid v =
+    List.iter
+      (fun (dst, iv) ->
+        if dst = node then begin
+          if not (Sim.Ivar.is_full iv) then Sim.Ivar.fill sh.sim iv v
+        end
+        else Net.send sh.net ~src:node ~dst ~bytes:16 (Fill { iv; v }))
+      rt.producers.(fid)
+  in
+  let found _ = !cur_found in
+  let ctx = { Exec.read; write; add; insert; input; output; found } in
+  (* Dependency-free abortable fragments first, so a commit-dependency
+     wait can never sit ahead of its own abort decision. *)
+  Array.iter
+    (fun (f : Fragment.t) ->
+      if frag_node sh f = node && not rt.aborted_local.(node) then begin
+        if
+          f.Fragment.commit_dep
+          && not (Sim.Ivar.is_full rt.resolved.(node))
+        then Sim.Ivar.read sh.sim rt.resolved.(node);
+        if not rt.aborted_local.(node) then begin
+          cur_frag := Some f;
+          (match f.Fragment.mode with
+          | Fragment.Insert ->
+              cur_row := dummy_row;
+              cur_found := true
+          | Fragment.Read | Fragment.Write | Fragment.Rmw -> (
+              Sim.tick sh.sim costs.Costs.index_probe;
+              match
+                Table.find (Db.table sh.db f.Fragment.table) f.Fragment.key
+              with
+              | Some row ->
+                  cur_row := row;
+                  cur_found := true
+              | None ->
+                  cur_row := dummy_row;
+                  cur_found := false));
+          Sim.tick sh.sim costs.Costs.logic;
+          match sh.wl.Workload.exec ctx txn f with
+          | Exec.Ok ->
+              if f.Fragment.abortable then begin
+                rt.pending_aborters <- rt.pending_aborters - 1;
+                if rt.pending_aborters = 0 && not rt.aborted then
+                  broadcast_resolution sh ~self:node rt false
+              end
+          | Exec.Abort ->
+              if not rt.aborted then begin
+                rt.aborted <- true;
+                txn.Txn.status <- Txn.Aborted;
+                broadcast_resolution sh ~self:node rt true;
+                Array.iter
+                  (Array.iter (fun iv ->
+                       if not (Sim.Ivar.is_full iv) then
+                         Sim.Ivar.fill sh.sim iv 0))
+                  rt.inputs
+              end
+          | Exec.Blocked -> assert false
+        end
+      end)
+    (Quill_quecc.Engine.plan_order_for_dist txn.Txn.frags);
+  (* Release local locks; grants may dispatch further sub-txns. *)
+  List.iter
+    (fun (t, k, _) ->
+      Sim.tick sh.sim costs.Costs.lock_release;
+      release sh node sub (t, k))
+    sub.locks;
+  sh.ns.(node).completed <- sh.ns.(node).completed + 1;
+  check_node_done sh node
+
+let worker_thread sh node =
+  let rec loop () =
+    match Sim.Chan.recv sh.sim sh.ns.(node).work with
+    | None -> ()
+    | Some sub ->
+        (* A sub-transaction that may block on remote inputs or remote
+           abort resolution runs on a helper so the worker (and lock
+           pipeline) keeps draining; see DESIGN.md on Calvin worker-pool
+           deadlock avoidance. *)
+        if sub.may_block then
+          Sim.spawn ~at:(Sim.now sh.sim) sh.sim (fun () -> exec_sub sh node sub)
+        else exec_sub sh node sub;
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Demux / commit coordination                                         *)
+(* ------------------------------------------------------------------ *)
+
+let demux_thread sh node =
+  let rec loop () =
+    match Net.recv sh.net ~node with
+    | Slice { epoch; src; rts } ->
+        Sim.Ivar.fill sh.sim (get_slice sh epoch src node) rts;
+        loop ()
+    | Fill { iv; v } ->
+        if not (Sim.Ivar.is_full iv) then Sim.Ivar.fill sh.sim iv v;
+        loop ()
+    | Reads -> loop ()
+    | Resolve { rt; aborted } ->
+        if aborted then rt.aborted_local.(node) <- true;
+        if not (Sim.Ivar.is_full rt.resolved.(node)) then
+          Sim.Ivar.fill sh.sim rt.resolved.(node) ();
+        loop ()
+    | Node_done ->
+        assert (node = 0);
+        sh.done_count <- sh.done_count + 1;
+        if sh.done_count = sh.cfg.nodes then begin
+          sh.done_count <- 0;
+          let e = sh.epochs_done in
+          sh.epochs_done <- e + 1;
+          (* Account every transaction of the epoch. *)
+          let now = Sim.now sh.sim in
+          for src = 0 to sh.cfg.nodes - 1 do
+            match Hashtbl.find_opt sh.epoch_rts (e, src) with
+            | None -> ()
+            | Some rts ->
+                Array.iter
+                  (fun rt ->
+                    rt.txn.Txn.finish_time <- now;
+                    (match rt.txn.Txn.status with
+                    | Txn.Aborted ->
+                        sh.metrics.Metrics.logic_aborted <-
+                          sh.metrics.Metrics.logic_aborted + 1
+                    | Txn.Active | Txn.Committed ->
+                        rt.txn.Txn.status <- Txn.Committed;
+                        sh.metrics.Metrics.committed <-
+                          sh.metrics.Metrics.committed + 1
+                    | Txn.Pending -> assert false);
+                    Stats.Hist.add sh.metrics.Metrics.lat
+                      (now - rt.txn.Txn.submit_time))
+                  rts;
+                Hashtbl.remove sh.epoch_rts (e, src)
+          done;
+          sh.metrics.Metrics.batches <- sh.metrics.Metrics.batches + 1;
+          for dst = 0 to sh.cfg.nodes - 1 do
+            if dst = 0 then Sim.Ivar.fill sh.sim (get_commit sh e 0) ()
+            else Net.send sh.net ~src:0 ~dst ~bytes:8 (Epoch_commit e)
+          done;
+          if sh.epochs_done = sh.total_epochs then
+            for dst = 1 to sh.cfg.nodes - 1 do
+              Net.send sh.net ~src:0 ~dst ~bytes:8 Stop
+            done
+          else loop ()
+        end
+        else loop ()
+    | Epoch_commit e ->
+        Sim.Ivar.fill sh.sim (get_commit sh e node) ();
+        loop ()
+    | Stop -> ()
+  in
+  loop ()
+
+let run ?sim cfg wl ~batches =
+  assert (cfg.nodes > 0 && cfg.workers > 0);
+  let db = wl.Workload.db in
+  if Db.nparts db mod cfg.nodes <> 0 then
+    invalid_arg "Dist_calvin.run: nparts must be a multiple of nodes";
+  let sim =
+    match sim with
+    | Some s -> s
+    | None -> Sim.create ~wake_cost:cfg.costs.Costs.wakeup ()
+  in
+  let sh =
+    {
+      cfg;
+      sim;
+      wl;
+      db;
+      net = Net.create sim cfg.costs ~nodes:cfg.nodes;
+      ns =
+        Array.init cfg.nodes (fun _ ->
+            {
+              locktab = Hashtbl.create 4096;
+              work = Sim.Chan.create ();
+              expected = -1;
+              completed = 0;
+              touched = Vec.create ();
+            });
+      slices = Hashtbl.create 64;
+      epoch_rts = Hashtbl.create 64;
+      commits = Hashtbl.create 64;
+      metrics = Metrics.create ();
+      done_count = 0;
+      epochs_done = 0;
+      total_epochs = batches;
+    }
+  in
+  for node = 0 to cfg.nodes - 1 do
+    let stream = wl.Workload.new_stream node in
+    Sim.spawn sim (fun () -> sequencer_thread sh node stream batches);
+    Sim.spawn sim (fun () -> scheduler_thread sh node batches);
+    for _ = 1 to cfg.workers do
+      Sim.spawn sim (fun () -> worker_thread sh node)
+    done;
+    Sim.spawn sim (fun () -> demux_thread sh node)
+  done;
+  let parked = Sim.run sim in
+  if parked <> 0 then
+    failwith (Printf.sprintf "Dist_calvin.run: %d threads deadlocked" parked);
+  let m = sh.metrics in
+  m.Metrics.elapsed <- Sim.horizon sim;
+  m.Metrics.busy <- Sim.busy_time sim;
+  m.Metrics.idle <- Sim.idle_time sim;
+  m.Metrics.threads <- cfg.nodes * (cfg.workers + 3);
+  m.Metrics.msgs <- Net.messages_sent sh.net;
+  m

@@ -1,0 +1,32 @@
+(** Distributed Calvin (Thomson et al., SIGMOD'12) — Table 2 row 2's
+    baseline.
+
+    Per epoch, each node's sequencer broadcasts its input slice to every
+    node, giving all nodes the same deterministically-ordered global
+    batch.  Each node's scheduler then requests locks for the keys it
+    {e homes}, in global order, through its local deterministic lock
+    manager, and dispatches a transaction's local sub-transaction to the
+    worker pool once its local locks are held.  Participants of a
+    multi-node transaction broadcast their read results to each other
+    (one message per participant pair per transaction — the per-txn
+    messaging QueCC's shipped queues amortize away); cross-node data
+    dependencies travel as value-fill messages.  Commitment needs no 2PC
+    (deterministic execution), matching the paper's description. *)
+
+type cfg = {
+  nodes : int;
+  workers : int;         (** execution threads per node *)
+  batch_size : int;      (** global transactions per epoch *)
+  costs : Quill_sim.Costs.t;
+}
+
+val default_cfg : cfg
+
+val run :
+  ?sim:Quill_sim.Sim.t ->
+  cfg ->
+  Quill_txn.Workload.t ->
+  batches:int ->
+  Quill_txn.Metrics.t
+(** Requires [Db.nparts db] to be a multiple of [nodes] (partition p is
+    homed at node [p * nodes / nparts]). *)

@@ -1,0 +1,464 @@
+open Quill_common
+open Quill_sim
+open Quill_storage
+open Quill_txn
+
+type cfg = {
+  nodes : int;
+  planners : int;
+  executors : int;
+  batch_size : int;
+  costs : Costs.t;
+}
+
+let default_cfg =
+  { nodes = 4; planners = 2; executors = 2; batch_size = 2048;
+    costs = Costs.default }
+
+(* Distributed per-batch transaction runtime. *)
+type drt = {
+  txn : Txn.t;
+  bidx : int;
+  inputs : int Sim.Ivar.iv array array;    (* [fid].[dep_idx] *)
+  producers : (int * int Sim.Ivar.iv) list array; (* [fid] -> (node, iv) *)
+  resolved : unit Sim.Ivar.iv array;       (* per node *)
+  aborted_local : bool array;              (* per node view *)
+  participants : int list;
+  mutable pending_aborters : int;
+  mutable aborted : bool;                  (* authoritative (coordinator) *)
+}
+
+type entry = { rt : drt; frag : Fragment.t }
+
+type msg =
+  | Ship of { batch : int; prio : int; qs : entry Vec.t array }
+  | Fill of { iv : int Sim.Ivar.iv; v : int }
+  | Resolve of { rt : drt; aborted : bool }
+  | Exec_done
+  | Commit_batch of int
+  | Stop
+
+type shared = {
+  cfg : cfg;
+  sim : Sim.t;
+  wl : Workload.t;
+  db : Db.t;
+  net : msg Net.t;
+  reg : (int * int * int, entry Vec.t Sim.Ivar.iv) Hashtbl.t;
+      (* (batch, prio, executor gid) -> queue *)
+  commits : (int * int, unit Sim.Ivar.iv) Hashtbl.t;
+      (* (batch, node) -> commit signal *)
+  rts : drt option array;                  (* global batch slots *)
+  touched : Row.t Vec.t array;             (* per executor gid *)
+  metrics : Metrics.t;
+  exec_done_b : Sim.Barrier.b array;       (* per node: executor rendezvous *)
+  mutable done_count : int;                (* node 0: Exec_done received *)
+  mutable batches_done : int;
+  total_batches : int;
+}
+
+let p_global sh = sh.cfg.nodes * sh.cfg.planners
+let e_global sh = sh.cfg.nodes * sh.cfg.executors
+let node_of_part sh part = part / sh.cfg.executors
+
+let frag_part sh (f : Fragment.t) =
+  Db.home sh.db f.Fragment.table f.Fragment.key mod e_global sh
+
+let get_iv tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some iv -> iv
+  | None ->
+      let iv = Sim.Ivar.create () in
+      Hashtbl.replace tbl key iv;
+      iv
+
+let get_reg sh batch prio egid = get_iv sh.reg (batch, prio, egid)
+let get_commit sh batch node = get_iv sh.commits (batch, node)
+
+(* ------------------------------------------------------------------ *)
+(* Abort / resolution coordination                                     *)
+(* ------------------------------------------------------------------ *)
+
+let broadcast_resolution sh ~self rt aborted =
+  List.iter
+    (fun n ->
+      if n = self then begin
+        if aborted then rt.aborted_local.(n) <- true;
+        if not (Sim.Ivar.is_full rt.resolved.(n)) then
+          Sim.Ivar.fill sh.sim rt.resolved.(n) ()
+      end
+      else Net.send sh.net ~src:self ~dst:n ~bytes:16 (Resolve { rt; aborted }))
+    rt.participants
+
+let resolve_arrive sh ~self rt =
+  rt.pending_aborters <- rt.pending_aborters - 1;
+  if rt.pending_aborters = 0 && not rt.aborted then
+    broadcast_resolution sh ~self rt false
+
+let do_abort sh ~self rt =
+  if not rt.aborted then begin
+    rt.aborted <- true;
+    rt.txn.Txn.status <- Txn.Aborted;
+    broadcast_resolution sh ~self rt true;
+    (* Unblock same-txn consumers; conservative gating keeps garbage out
+       of the database. *)
+    Array.iter
+      (fun ivs ->
+        Array.iter
+          (fun iv -> if not (Sim.Ivar.is_full iv) then Sim.Ivar.fill sh.sim iv 0)
+          ivs)
+      rt.inputs
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Planning                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let make_drt sh txn bidx =
+  let n = Array.length txn.Txn.frags in
+  let inputs =
+    Array.map
+      (fun (f : Fragment.t) ->
+        Array.map (fun _ -> Sim.Ivar.create ()) f.Fragment.data_deps)
+      txn.Txn.frags
+  in
+  let producers = Array.make n [] in
+  Array.iteri
+    (fun fid (f : Fragment.t) ->
+      let consumer_node = node_of_part sh (frag_part sh f) in
+      Array.iteri
+        (fun i d ->
+          producers.(d) <- (consumer_node, inputs.(fid).(i)) :: producers.(d))
+        f.Fragment.data_deps)
+    txn.Txn.frags;
+  let participants =
+    let seen = Array.make sh.cfg.nodes false in
+    Array.iter
+      (fun f -> seen.(node_of_part sh (frag_part sh f)) <- true)
+      txn.Txn.frags;
+    let acc = ref [] in
+    for i = sh.cfg.nodes - 1 downto 0 do
+      if seen.(i) then acc := i :: !acc
+    done;
+    !acc
+  in
+  txn.Txn.status <- Txn.Active;
+  {
+    txn;
+    bidx;
+    inputs;
+    producers;
+    resolved = Array.init sh.cfg.nodes (fun _ -> Sim.Ivar.create ());
+    aborted_local = Array.make sh.cfg.nodes false;
+    participants;
+    pending_aborters = txn.Txn.n_abortable;
+    aborted = false;
+  }
+
+let slice_bounds sh gid =
+  let planners = p_global sh in
+  let base = sh.cfg.batch_size / planners
+  and rem = sh.cfg.batch_size mod planners in
+  let start = (gid * base) + min gid rem in
+  (start, base + if gid < rem then 1 else 0)
+
+let plan_order = Quill_quecc.Engine.plan_order_for_dist
+
+let planner_thread sh node p stream batches =
+  let costs = sh.cfg.costs in
+  let gid = (node * sh.cfg.planners) + p in
+  let start, count = slice_bounds sh gid in
+  (* Staging area: queues destined for every executor gid. *)
+  let out = Array.init (e_global sh) (fun _ -> Vec.create ()) in
+  for b = 0 to batches - 1 do
+    Array.iter Vec.clear out;
+    for j = 0 to count - 1 do
+      Sim.tick sh.sim costs.Costs.txn_overhead;
+      let txn = stream () in
+      txn.Txn.submit_time <- Sim.now sh.sim;
+      txn.Txn.attempts <- 1;
+      let rt = make_drt sh txn (start + j) in
+      sh.rts.(start + j) <- Some rt;
+      Array.iter
+        (fun (f : Fragment.t) ->
+          Sim.tick sh.sim costs.Costs.plan_fragment;
+          Vec.push out.(frag_part sh f) { rt; frag = f })
+        (plan_order txn.Txn.frags)
+    done;
+    (* Deliver queues: local ones directly, remote ones as one shipped
+       message per destination node (the Q-Store batching). *)
+    for dst = 0 to sh.cfg.nodes - 1 do
+      if dst = node then
+        for e = 0 to sh.cfg.executors - 1 do
+          let egid = (dst * sh.cfg.executors) + e in
+          Sim.tick sh.sim costs.Costs.queue_op;
+          Sim.Ivar.fill sh.sim (get_reg sh b gid egid) out.(egid)
+        done
+      else begin
+        let qs =
+          Array.init sh.cfg.executors (fun e ->
+              let egid = (dst * sh.cfg.executors) + e in
+              let copy = Vec.of_array (Vec.to_array out.(egid)) in
+              copy)
+        in
+        let entries =
+          Array.fold_left (fun acc q -> acc + Vec.length q) 0 qs
+        in
+        Net.send sh.net ~src:node ~dst ~bytes:(32 * max 1 entries)
+          (Ship { batch = b; prio = gid; qs })
+      end
+    done;
+    (* Wait for the global batch commit before planning the next one. *)
+    Sim.Ivar.read sh.sim (get_commit sh b node)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type est = {
+  node : int;
+  egid : int;
+  mutable cur_rt : drt option;
+  mutable cur_frag : Fragment.t option;
+  mutable cur_row : Row.t;
+  mutable cur_found : bool;
+}
+
+let dummy_row = Row.make ~key:(-1) ~nfields:1
+
+let make_ctx sh st =
+  let costs = sh.cfg.costs in
+  let the_rt () =
+    match st.cur_rt with Some rt -> rt | None -> assert false
+  in
+  let read (_ : Fragment.t) field =
+    Sim.tick sh.sim costs.Costs.row_read;
+    if st.cur_found then st.cur_row.Row.data.(field) else 0
+  in
+  let write _frag field v =
+    Sim.tick sh.sim costs.Costs.row_write;
+    if st.cur_found then begin
+      let row = st.cur_row in
+      if not row.Row.dirty then begin
+        row.Row.dirty <- true;
+        Vec.push sh.touched.(st.egid) row
+      end;
+      row.Row.data.(field) <- v
+    end
+  in
+  let add frag field d = write frag field (read frag field + d) in
+  let insert (frag : Fragment.t) ~key payload =
+    Sim.tick sh.sim costs.Costs.index_insert;
+    let tbl = Db.table sh.db frag.Fragment.table in
+    let home = Db.home sh.db frag.Fragment.table frag.Fragment.key in
+    ignore (Table.insert tbl ~home ~key payload)
+  in
+  let input producer_fid =
+    let rt = the_rt () in
+    let frag =
+      match st.cur_frag with Some f -> f | None -> assert false
+    in
+    (* Find which of this fragment's dependencies points at the producer;
+       its input ivar carries the value (locally or via a Fill message). *)
+    let deps = frag.Fragment.data_deps in
+    let rec find i =
+      if i >= Array.length deps then assert false
+      else if deps.(i) = producer_fid then i
+      else find (i + 1)
+    in
+    Sim.Ivar.read sh.sim rt.inputs.(frag.Fragment.fid).(find 0)
+  in
+  let output fid v =
+    let rt = the_rt () in
+    List.iter
+      (fun (dst, iv) ->
+        if dst = st.node then begin
+          if not (Sim.Ivar.is_full iv) then Sim.Ivar.fill sh.sim iv v
+        end
+        else Net.send sh.net ~src:st.node ~dst ~bytes:16 (Fill { iv; v }))
+      rt.producers.(fid)
+  in
+  let found _ = st.cur_found in
+  { Exec.read; write; add; insert; input; output; found }
+
+let exec_entry sh st ctx { rt; frag } =
+  let costs = sh.cfg.costs in
+  Sim.tick sh.sim costs.Costs.queue_op;
+  if rt.aborted_local.(st.node) then Sim.tick sh.sim costs.Costs.abort_cleanup
+  else begin
+    if frag.Fragment.commit_dep && not (Sim.Ivar.is_full rt.resolved.(st.node))
+    then Sim.Ivar.read sh.sim rt.resolved.(st.node);
+    if rt.aborted_local.(st.node) then
+      Sim.tick sh.sim costs.Costs.abort_cleanup
+    else begin
+      st.cur_rt <- Some rt;
+      st.cur_frag <- Some frag;
+      (match frag.Fragment.mode with
+      | Fragment.Insert ->
+          st.cur_row <- dummy_row;
+          st.cur_found <- true
+      | Fragment.Read | Fragment.Write | Fragment.Rmw -> (
+          Sim.tick sh.sim costs.Costs.index_probe;
+          match
+            Table.find (Db.table sh.db frag.Fragment.table) frag.Fragment.key
+          with
+          | Some row ->
+              st.cur_row <- row;
+              st.cur_found <- true
+          | None ->
+              st.cur_row <- dummy_row;
+              st.cur_found <- false));
+      Sim.tick sh.sim costs.Costs.logic;
+      match sh.wl.Workload.exec ctx rt.txn frag with
+      | Exec.Ok -> if frag.Fragment.abortable then resolve_arrive sh ~self:st.node rt
+      | Exec.Abort -> do_abort sh ~self:st.node rt
+      | Exec.Blocked -> assert false
+    end
+  end
+
+let executor_thread sh node e batches =
+  let egid = (node * sh.cfg.executors) + e in
+  let st = { node; egid; cur_rt = None; cur_frag = None; cur_row = dummy_row;
+             cur_found = false } in
+  let ctx = make_ctx sh st in
+  for b = 0 to batches - 1 do
+    for prio = 0 to p_global sh - 1 do
+      let q = Sim.Ivar.read sh.sim (get_reg sh b prio egid) in
+      Vec.iter (exec_entry sh st ctx) q;
+      Hashtbl.remove sh.reg (b, prio, egid)
+    done;
+    (* Node-local rendezvous; the last executor reports to node 0. *)
+    Sim.Barrier.await sh.sim sh.exec_done_b.(node);
+    if e = 0 then Net.send sh.net ~src:node ~dst:0 ~bytes:8 Exec_done;
+    Sim.Ivar.read sh.sim (get_commit sh b node);
+    (* Publish committed state for this executor's rows. *)
+    Vec.iter
+      (fun row ->
+        Row.publish row;
+        row.Row.dirty <- false)
+      sh.touched.(egid);
+    Vec.clear sh.touched.(egid)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Demultiplexer (per node): network thread                            *)
+(* ------------------------------------------------------------------ *)
+
+let account sh =
+  let now = Sim.now sh.sim in
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | None -> ()
+      | Some rt ->
+          rt.txn.Txn.finish_time <- now;
+          (match rt.txn.Txn.status with
+          | Txn.Aborted ->
+              sh.metrics.Metrics.logic_aborted <-
+                sh.metrics.Metrics.logic_aborted + 1
+          | Txn.Active | Txn.Committed ->
+              rt.txn.Txn.status <- Txn.Committed;
+              sh.metrics.Metrics.committed <- sh.metrics.Metrics.committed + 1
+          | Txn.Pending -> assert false);
+          Stats.Hist.add sh.metrics.Metrics.lat
+            (now - rt.txn.Txn.submit_time);
+          sh.rts.(i) <- None)
+    sh.rts;
+  sh.metrics.Metrics.batches <- sh.metrics.Metrics.batches + 1
+
+let demux_thread sh node =
+  let rec loop () =
+    match Net.recv sh.net ~node with
+    | Ship { batch; prio; qs } ->
+        Array.iteri
+          (fun e q ->
+            let egid = (node * sh.cfg.executors) + e in
+            Sim.Ivar.fill sh.sim (get_reg sh batch prio egid) q)
+          qs;
+        loop ()
+    | Fill { iv; v } ->
+        if not (Sim.Ivar.is_full iv) then Sim.Ivar.fill sh.sim iv v;
+        loop ()
+    | Resolve { rt; aborted } ->
+        if aborted then rt.aborted_local.(node) <- true;
+        if not (Sim.Ivar.is_full rt.resolved.(node)) then
+          Sim.Ivar.fill sh.sim rt.resolved.(node) ();
+        loop ()
+    | Exec_done ->
+        assert (node = 0);
+        sh.done_count <- sh.done_count + 1;
+        if sh.done_count = sh.cfg.nodes then begin
+          sh.done_count <- 0;
+          account sh;
+          let b = sh.batches_done in
+          sh.batches_done <- b + 1;
+          for dst = 0 to sh.cfg.nodes - 1 do
+            if dst = 0 then Sim.Ivar.fill sh.sim (get_commit sh b 0) ()
+            else Net.send sh.net ~src:0 ~dst ~bytes:8 (Commit_batch b)
+          done;
+          if sh.batches_done = sh.total_batches then
+            for dst = 0 to sh.cfg.nodes - 1 do
+              if dst = 0 then () else Net.send sh.net ~src:0 ~dst ~bytes:8 Stop
+            done
+          else loop ()
+        end
+        else loop ()
+    | Commit_batch b ->
+        Sim.Ivar.fill sh.sim (get_commit sh b node) ();
+        loop ()
+    | Stop -> ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+
+let run ?sim cfg wl ~batches =
+  assert (cfg.nodes > 0 && cfg.planners > 0 && cfg.executors > 0);
+  let db = wl.Workload.db in
+  if Db.nparts db <> cfg.nodes * cfg.executors then
+    invalid_arg "Dist_quecc.run: db nparts must equal nodes * executors";
+  let sim =
+    match sim with
+    | Some s -> s
+    | None -> Sim.create ~wake_cost:cfg.costs.Costs.wakeup ()
+  in
+  let sh =
+    {
+      cfg;
+      sim;
+      wl;
+      db;
+      net = Net.create sim cfg.costs ~nodes:cfg.nodes;
+      reg = Hashtbl.create 1024;
+      commits = Hashtbl.create 64;
+      rts = Array.make cfg.batch_size None;
+      touched =
+        Array.init (cfg.nodes * cfg.executors) (fun _ -> Vec.create ());
+      metrics = Metrics.create ();
+      exec_done_b = Array.init cfg.nodes (fun _ -> Sim.Barrier.create cfg.executors);
+      done_count = 0;
+      batches_done = 0;
+      total_batches = batches;
+    }
+  in
+  for node = 0 to cfg.nodes - 1 do
+    for p = 0 to cfg.planners - 1 do
+      let stream = wl.Workload.new_stream ((node * cfg.planners) + p) in
+      Sim.spawn sim (fun () -> planner_thread sh node p stream batches)
+    done;
+    for e = 0 to cfg.executors - 1 do
+      Sim.spawn sim (fun () -> executor_thread sh node e batches)
+    done;
+    Sim.spawn sim (fun () -> demux_thread sh node)
+  done;
+  let parked = Sim.run sim in
+  if parked <> 0 then
+    failwith (Printf.sprintf "Dist_quecc.run: %d threads deadlocked" parked);
+  let m = sh.metrics in
+  m.Metrics.elapsed <- Sim.horizon sim;
+  m.Metrics.busy <- Sim.busy_time sim;
+  m.Metrics.idle <- Sim.idle_time sim;
+  m.Metrics.threads <- cfg.nodes * (cfg.planners + cfg.executors + 1);
+  m.Metrics.msgs <- Net.messages_sent sh.net;
+  m

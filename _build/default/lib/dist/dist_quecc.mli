@@ -1,0 +1,35 @@
+(** Distributed queue-oriented engine (Q-Store design, the distributed
+    instantiation of the paper's paradigm).
+
+    Each node's planners plan the transactions its clients submit into
+    priority-tagged execution queues — including queues destined for
+    {e remote} nodes, which are shipped as one message per
+    (planner, node) per batch.  That batching is the structural advantage
+    over Calvin's per-transaction messaging, and the reason the paper's
+    Table 2 row 2 reports an order-of-magnitude gap.  Commitment needs no
+    2PC: execution is deterministic, so a batch commits with a single
+    done/commit message exchange per node per batch.
+
+    Cross-node data dependencies travel as value-fill messages;
+    commit dependencies (abortable fragments) resolve via per-node
+    resolution messages, giving conservative execution semantics
+    (DESIGN.md discusses why the distributed engine is conservative). *)
+
+type cfg = {
+  nodes : int;
+  planners : int;        (** per node *)
+  executors : int;       (** per node *)
+  batch_size : int;      (** global, per batch *)
+  costs : Quill_sim.Costs.t;
+}
+
+val default_cfg : cfg
+
+val run :
+  ?sim:Quill_sim.Sim.t ->
+  cfg ->
+  Quill_txn.Workload.t ->
+  batches:int ->
+  Quill_txn.Metrics.t
+(** Requires the workload database to be partitioned with
+    [nparts = nodes * executors]. *)

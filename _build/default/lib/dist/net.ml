@@ -1,0 +1,41 @@
+open Quill_sim
+
+type 'a t = {
+  sim : Sim.t;
+  costs : Costs.t;
+  inboxes : 'a Sim.Chan.ch array;
+  mutable msgs : int;
+  mutable bytes : int;
+}
+
+let create sim costs ~nodes =
+  assert (nodes > 0);
+  {
+    sim;
+    costs;
+    inboxes = Array.init nodes (fun _ -> Sim.Chan.create ());
+    msgs = 0;
+    bytes = 0;
+  }
+
+let nodes t = Array.length t.inboxes
+
+let send t ~src ~dst ~bytes m =
+  if src = dst then Sim.Chan.send t.sim t.inboxes.(dst) m
+  else begin
+    t.msgs <- t.msgs + 1;
+    t.bytes <- t.bytes + bytes;
+    Sim.tick t.sim t.costs.Costs.msg_fixed;
+    let delay =
+      t.costs.Costs.net_latency + (bytes * t.costs.Costs.msg_per_byte / 1000)
+    in
+    Sim.Chan.send ~delay t.sim t.inboxes.(dst) m
+  end
+
+let recv t ~node =
+  let m = Sim.Chan.recv t.sim t.inboxes.(node) in
+  Sim.tick t.sim t.costs.Costs.msg_fixed;
+  m
+
+let messages_sent t = t.msgs
+let bytes_sent t = t.bytes

@@ -1,0 +1,22 @@
+(** Simulated cluster interconnect: one FIFO inbox per node, messages
+    carry a payload size used for serialization and propagation costs.
+    Senders pay [Costs.msg_fixed] CPU; delivery is delayed by
+    [Costs.net_latency] plus a per-byte term; receivers pay
+    [Costs.msg_fixed] on receipt (charged by the node's demux thread
+    calling [recv]).  Loopback sends are free and instantaneous. *)
+
+type 'a t
+
+val create : Quill_sim.Sim.t -> Quill_sim.Costs.t -> nodes:int -> 'a t
+val nodes : 'a t -> int
+
+val send : 'a t -> src:int -> dst:int -> bytes:int -> 'a -> unit
+(** Must be called from a simulated thread on node [src]. *)
+
+val recv : 'a t -> node:int -> 'a
+(** Blocking receive from the node's inbox. *)
+
+val messages_sent : 'a t -> int
+(** Total non-loopback messages. *)
+
+val bytes_sent : 'a t -> int

@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Costs Printf Quill_dist Quill_protocols Quill_quecc Quill_sim Quill_workloads Tpcc Ycsb

@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Quill_quecc Quill_sim Quill_txn Quill_workloads

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Experiment List Printf Quill_quecc Quill_workloads Report Tpcc Tpcc_defs Ycsb

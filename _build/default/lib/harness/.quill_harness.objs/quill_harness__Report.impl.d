@@ -1,0 +1,1 @@
+lib/harness/report.ml: Float List Metrics Printf Quill_common Quill_txn Stats Tablefmt

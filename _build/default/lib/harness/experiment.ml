@@ -1,0 +1,164 @@
+open Quill_sim
+open Quill_workloads
+module Qe = Quill_quecc.Engine
+
+type engine =
+  | Serial
+  | Quecc of Qe.exec_mode * Qe.isolation
+  | Twopl_nowait
+  | Twopl_waitdie
+  | Silo
+  | Tictoc
+  | Mvto
+  | Hstore
+  | Calvin
+  | Dist_quecc of int
+  | Dist_calvin of int
+
+let engine_name = function
+  | Serial -> "serial"
+  | Quecc (Qe.Speculative, Qe.Serializable) -> "quecc"
+  | Quecc (Qe.Conservative, Qe.Serializable) -> "quecc-cons"
+  | Quecc (Qe.Speculative, Qe.Read_committed) -> "quecc-rc"
+  | Quecc (Qe.Conservative, Qe.Read_committed) -> "quecc-cons-rc"
+  | Twopl_nowait -> "2pl-nowait"
+  | Twopl_waitdie -> "2pl-waitdie"
+  | Silo -> "silo"
+  | Tictoc -> "tictoc"
+  | Mvto -> "mvto"
+  | Hstore -> "hstore"
+  | Calvin -> "calvin"
+  | Dist_quecc n -> Printf.sprintf "dist-quecc-%dn" n
+  | Dist_calvin n -> Printf.sprintf "dist-calvin-%dn" n
+
+let engine_of_string = function
+  | "serial" -> Some Serial
+  | "quecc" -> Some (Quecc (Qe.Speculative, Qe.Serializable))
+  | "quecc-cons" -> Some (Quecc (Qe.Conservative, Qe.Serializable))
+  | "quecc-rc" -> Some (Quecc (Qe.Speculative, Qe.Read_committed))
+  | "quecc-cons-rc" -> Some (Quecc (Qe.Conservative, Qe.Read_committed))
+  | "2pl-nowait" -> Some Twopl_nowait
+  | "2pl-waitdie" -> Some Twopl_waitdie
+  | "silo" -> Some Silo
+  | "tictoc" -> Some Tictoc
+  | "mvto" -> Some Mvto
+  | "hstore" -> Some Hstore
+  | "calvin" -> Some Calvin
+  | "dist-quecc" -> Some (Dist_quecc 4)
+  | "dist-calvin" -> Some (Dist_calvin 4)
+  | _ -> None
+
+let all_centralized =
+  [
+    Quecc (Qe.Speculative, Qe.Serializable);
+    Twopl_nowait;
+    Twopl_waitdie;
+    Silo;
+    Tictoc;
+    Mvto;
+    Hstore;
+    Calvin;
+  ]
+
+type workload_spec = Ycsb of Ycsb.cfg | Tpcc of Tpcc.cfg
+
+type t = {
+  name : string;
+  engine : engine;
+  workload : workload_spec;
+  threads : int;
+  txns : int;
+  batch_size : int;
+  costs : Costs.t;
+}
+
+let make ?name ?(threads = 8) ?(txns = 20_000) ?(batch_size = 1024)
+    ?(costs = Costs.default) engine workload =
+  let name =
+    match name with Some n -> n | None -> engine_name engine
+  in
+  { name; engine; workload; threads; txns; batch_size; costs }
+
+let build_workload = function
+  | Ycsb cfg -> Quill_workloads.Ycsb.make cfg
+  | Tpcc cfg -> Quill_workloads.Tpcc.make cfg
+
+(* Distributed engines need nparts = nodes * executors; rebuild the
+   workload spec with the right partitioning. *)
+let respec_parts spec nparts =
+  match spec with
+  | Ycsb cfg -> Ycsb { cfg with Quill_workloads.Ycsb.nparts }
+  | Tpcc cfg -> Tpcc { cfg with Quill_workloads.Tpcc_defs.nparts }
+
+let run t =
+  match t.engine with
+  | Serial ->
+      let wl = build_workload t.workload in
+      Quill_protocols.Serial.run ~costs:t.costs wl ~txns:t.txns
+  | Quecc (mode, isolation) ->
+      let wl = build_workload t.workload in
+      let cfg =
+        {
+          Qe.planners = t.threads;
+          executors = t.threads;
+          batch_size = t.batch_size;
+          mode;
+          isolation;
+          costs = t.costs;
+        }
+      in
+      Qe.run cfg wl ~batches:(max 1 (t.txns / t.batch_size))
+  | Twopl_nowait | Twopl_waitdie | Silo | Tictoc | Mvto ->
+      let wl = build_workload t.workload in
+      let cfg =
+        { Quill_protocols.Nd_driver.default_cfg with
+          Quill_protocols.Nd_driver.workers = t.threads; costs = t.costs }
+      in
+      let m : (module Quill_protocols.Nd_driver.CC) =
+        match t.engine with
+        | Twopl_nowait -> (module Quill_protocols.Twopl.No_wait_cc)
+        | Twopl_waitdie -> (module Quill_protocols.Twopl.Wait_die_cc)
+        | Silo -> (module Quill_protocols.Silo)
+        | Tictoc -> (module Quill_protocols.Tictoc)
+        | Mvto -> (module Quill_protocols.Mvto)
+        | _ -> assert false
+      in
+      Quill_protocols.Nd_driver.run m cfg wl ~txns:t.txns
+  | Hstore ->
+      let wl = build_workload t.workload in
+      Quill_protocols.Hstore.run
+        { Quill_protocols.Hstore.workers = t.threads; costs = t.costs }
+        wl ~txns:t.txns
+  | Calvin ->
+      let wl = build_workload t.workload in
+      Quill_protocols.Calvin.run
+        {
+          Quill_protocols.Calvin.workers = max 1 (t.threads - 1);
+          batch_size = t.batch_size;
+          costs = t.costs;
+        }
+        wl ~txns:t.txns
+  | Dist_quecc nodes ->
+      let per_role = max 1 (t.threads / 2) in
+      let wl = build_workload (respec_parts t.workload (nodes * per_role)) in
+      Quill_dist.Dist_quecc.run
+        {
+          Quill_dist.Dist_quecc.nodes;
+          planners = per_role;
+          executors = per_role;
+          batch_size = t.batch_size;
+          costs = t.costs;
+        }
+        wl
+        ~batches:(max 1 (t.txns / t.batch_size))
+  | Dist_calvin nodes ->
+      let wl = build_workload (respec_parts t.workload (nodes * 4)) in
+      Quill_dist.Dist_calvin.run
+        {
+          Quill_dist.Dist_calvin.nodes;
+          workers = t.threads;
+          batch_size = t.batch_size;
+          costs = t.costs;
+        }
+        wl
+        ~batches:(max 1 (t.txns / t.batch_size))

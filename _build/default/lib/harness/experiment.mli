@@ -1,0 +1,49 @@
+(** One-stop experiment runner: pick an engine, a workload and a scale,
+    get metrics.  Used by the CLI, the examples and the benchmark
+    harness so that every consumer measures the same way. *)
+
+type engine =
+  | Serial
+  | Quecc of Quill_quecc.Engine.exec_mode * Quill_quecc.Engine.isolation
+  | Twopl_nowait
+  | Twopl_waitdie
+  | Silo
+  | Tictoc
+  | Mvto
+  | Hstore
+  | Calvin
+  | Dist_quecc of int   (** nodes *)
+  | Dist_calvin of int  (** nodes *)
+
+val engine_name : engine -> string
+val engine_of_string : string -> engine option
+val all_centralized : engine list
+(** Every single-node engine, QueCC first. *)
+
+type workload_spec =
+  | Ycsb of Quill_workloads.Ycsb.cfg
+  | Tpcc of Quill_workloads.Tpcc.cfg
+
+type t = {
+  name : string;
+  engine : engine;
+  workload : workload_spec;
+  threads : int;       (** virtual cores (per node for distributed) *)
+  txns : int;          (** total transactions to process *)
+  batch_size : int;
+  costs : Quill_sim.Costs.t;
+}
+
+val make :
+  ?name:string ->
+  ?threads:int ->
+  ?txns:int ->
+  ?batch_size:int ->
+  ?costs:Quill_sim.Costs.t ->
+  engine ->
+  workload_spec ->
+  t
+
+val run : t -> Quill_txn.Metrics.t
+(** Builds a fresh database, runs, returns metrics.  Deterministic:
+    the same [t] always yields the same metrics. *)

@@ -1,0 +1,267 @@
+open Quill_workloads
+module E = Experiment
+module Qe = Quill_quecc.Engine
+
+let scaled scale n ~min_v = max min_v (int_of_float (float_of_int n *. scale))
+
+let run_row engine spec ~threads ~txns ~batch_size =
+  let e = E.make ~threads ~txns ~batch_size engine spec in
+  { Report.label = E.engine_name e.E.engine; metrics = E.run e }
+
+(* ------------------------------------------------------------------ *)
+
+let table2_row1 ?(scale = 1.0) () =
+  let txns = scaled scale 12_288 ~min_v:2048 in
+  let size = scaled scale 200_000 ~min_v:20_000 in
+  let series =
+    List.map
+      (fun mp ->
+        let spec =
+          E.Ycsb
+            {
+              Ycsb.default with
+              Ycsb.table_size = size;
+              nparts = 8;
+              theta = 0.0;
+              mp_ratio = mp;
+              parts_per_txn = 4;
+            }
+        in
+        let rows =
+          [
+            run_row (E.Quecc (Qe.Speculative, Qe.Serializable)) spec
+              ~threads:8 ~txns ~batch_size:2048;
+            run_row E.Hstore spec ~threads:8 ~txns ~batch_size:2048;
+          ]
+        in
+        (Printf.sprintf "%.0f%%" (mp *. 100.0), rows))
+      [ 0.0; 0.01; 0.05; 0.1; 0.2; 0.5; 1.0 ]
+  in
+  Report.print_sweep
+    ~title:
+      "Table 2 row 1: QueCC vs H-Store, YCSB multi-partition (4 parts/txn, \
+       8 cores)"
+    ~param:"multi-partition txns" series
+
+let table2_row2 ?(scale = 1.0) () =
+  let txns = scaled scale 20_480 ~min_v:4096 in
+  let size = scaled scale 320_000 ~min_v:32_000 in
+  let spec mp nparts =
+    E.Ycsb
+      {
+        Ycsb.default with
+        Ycsb.table_size = size;
+        nparts;
+        theta = 0.0;
+        mp_ratio = mp;
+        parts_per_txn = 2;
+      }
+  in
+  let series =
+    List.map
+      (fun mp ->
+        let rows =
+          [
+            (* 16 virtual cores per node: 8 planners + 8 executors. *)
+            run_row (E.Dist_quecc 4) (spec mp 32) ~threads:16 ~txns
+              ~batch_size:4096;
+            run_row (E.Dist_calvin 4) (spec mp 16) ~threads:16 ~txns
+              ~batch_size:4096;
+          ]
+        in
+        (Printf.sprintf "%.0f%%" (mp *. 100.0), rows))
+      [ 0.0; 0.2 ]
+  in
+  Report.print_sweep
+    ~title:
+      "Table 2 row 2: distributed QueCC vs Calvin, YCSB uniform (4 nodes x \
+       16 cores)"
+    ~param:"multi-node txns" series
+
+let table2_row3 ?(scale = 1.0) () =
+  let txns = scaled scale 16_384 ~min_v:2048 in
+  let series =
+    List.map
+      (fun w ->
+        let spec =
+          E.Tpcc
+            (Tpcc.payment_mix
+               { Tpcc.default with Tpcc_defs.warehouses = w; nparts = 8 })
+        in
+        let engines =
+          [
+            E.Quecc (Qe.Conservative, Qe.Serializable);
+            E.Quecc (Qe.Speculative, Qe.Serializable);
+            E.Twopl_nowait;
+            E.Twopl_waitdie;
+            E.Silo;
+            E.Tictoc;
+            E.Mvto;
+          ]
+        in
+        let rows =
+          List.map
+            (fun e -> run_row e spec ~threads:8 ~txns ~batch_size:1024)
+            engines
+        in
+        (string_of_int w, rows))
+      [ 1; 4 ]
+  in
+  Report.print_sweep
+    ~title:
+      "Table 2 row 3: QueCC vs non-deterministic protocols, TPC-C \
+       NewOrder/Payment (8 cores)"
+    ~param:"warehouses" series
+
+(* ------------------------------------------------------------------ *)
+
+let fig_contention ?(scale = 1.0) () =
+  let txns = scaled scale 16_384 ~min_v:2048 in
+  let size = scaled scale 100_000 ~min_v:10_000 in
+  let series =
+    List.map
+      (fun theta ->
+        let spec =
+          E.Ycsb
+            { Ycsb.default with Ycsb.table_size = size; nparts = 8; theta }
+        in
+        let rows =
+          List.map
+            (fun e -> run_row e spec ~threads:8 ~txns ~batch_size:2048)
+            E.all_centralized
+        in
+        (Printf.sprintf "%.2f" theta, rows))
+      [ 0.0; 0.6; 0.9; 0.99 ]
+  in
+  Report.print_sweep
+    ~title:"Contention sweep: YCSB zipfian theta (8 cores)" ~param:"theta"
+    series
+
+let fig_scalability ?(scale = 1.0) () =
+  let txns = scaled scale 16_384 ~min_v:2048 in
+  let size = scaled scale 100_000 ~min_v:10_000 in
+  let series =
+    List.map
+      (fun threads ->
+        let spec =
+          E.Ycsb
+            {
+              Ycsb.default with
+              Ycsb.table_size = size;
+              nparts = threads;
+              theta = 0.9;
+            }
+        in
+        let rows =
+          List.map
+            (fun e -> run_row e spec ~threads ~txns ~batch_size:2048)
+            [
+              E.Quecc (Qe.Speculative, Qe.Serializable);
+              E.Silo;
+              E.Twopl_nowait;
+              E.Calvin;
+            ]
+        in
+        (string_of_int threads, rows))
+      [ 1; 2; 4; 8; 16; 32 ]
+  in
+  Report.print_sweep ~title:"Scalability: YCSB theta=0.9" ~param:"cores"
+    series
+
+let fig_modes ?(scale = 1.0) () =
+  let txns = scaled scale 16_384 ~min_v:2048 in
+  let size = scaled scale 100_000 ~min_v:10_000 in
+  let series =
+    List.map
+      (fun abort_ratio ->
+        let spec =
+          E.Ycsb
+            {
+              Ycsb.default with
+              Ycsb.table_size = size;
+              nparts = 8;
+              theta = 0.6;
+              abort_ratio;
+              abort_threshold = 128;
+              chain_deps = true;
+            }
+        in
+        let rows =
+          List.map
+            (fun (label, mode, iso) ->
+              let e = E.make ~threads:8 ~txns ~batch_size:2048
+                        (E.Quecc (mode, iso)) spec
+              in
+              { Report.label; metrics = E.run e })
+            [
+              ("speculative/serializable", Qe.Speculative, Qe.Serializable);
+              ("conservative/serializable", Qe.Conservative, Qe.Serializable);
+              ("speculative/read-committed", Qe.Speculative, Qe.Read_committed);
+              ( "conservative/read-committed",
+                Qe.Conservative,
+                Qe.Read_committed );
+            ]
+        in
+        (Printf.sprintf "%.0f%%" (abort_ratio *. 100.0), rows))
+      [ 0.0; 0.02; 0.1 ]
+  in
+  Report.print_sweep
+    ~title:
+      "Execution modes & isolation ablation (paper section 3.2): YCSB with \
+       abortable fragments"
+    ~param:"abortable txns" series
+
+let fig_latency ?(scale = 1.0) () =
+  let txns = scaled scale 16_384 ~min_v:2048 in
+  let size = scaled scale 100_000 ~min_v:10_000 in
+  let spec =
+    E.Ycsb
+      { Ycsb.default with Ycsb.table_size = size; nparts = 8; theta = 0.9 }
+  in
+  let rows =
+    List.map
+      (fun e -> run_row e spec ~threads:8 ~txns ~batch_size:2048)
+      [
+        E.Quecc (Qe.Speculative, Qe.Serializable);
+        E.Calvin;
+        E.Silo;
+        E.Twopl_nowait;
+      ]
+  in
+  Report.print_table
+    ~title:"Latency distribution: YCSB theta=0.9 (batching vs per-txn)" rows
+
+let fig_batch ?(scale = 1.0) () =
+  let txns = scaled scale 32_768 ~min_v:8192 in
+  let size = scaled scale 100_000 ~min_v:10_000 in
+  let spec =
+    E.Ycsb
+      { Ycsb.default with Ycsb.table_size = size; nparts = 8; theta = 0.9 }
+  in
+  let rows =
+    List.map
+      (fun batch_size ->
+        let e =
+          E.make
+            ~name:(Printf.sprintf "quecc-batch-%d" batch_size)
+            ~threads:8 ~txns ~batch_size
+            (E.Quecc (Qe.Speculative, Qe.Serializable))
+            spec
+        in
+        { Report.label = e.E.name; metrics = E.run e })
+      [ 128; 512; 2048; 8192 ]
+  in
+  Report.print_table
+    ~title:
+      "Batch-size sensitivity: larger batches amortize planning but pay        latency (YCSB theta=0.9, 8 cores)"
+    rows
+
+let all ?(scale = 1.0) () =
+  table2_row1 ~scale ();
+  table2_row2 ~scale ();
+  table2_row3 ~scale ();
+  fig_contention ~scale ();
+  fig_scalability ~scale ();
+  fig_modes ~scale ();
+  fig_latency ~scale ();
+  fig_batch ~scale ()

@@ -1,0 +1,40 @@
+(** The paper's experiment suite (see DESIGN.md's experiment index).
+
+    Each function regenerates one table row or figure: it builds the
+    workloads, runs every engine involved, and prints the report table.
+    [scale] trades precision for wall-clock time: 1.0 is the full
+    configuration used in EXPERIMENTS.md, smaller values shrink
+    transaction counts and table sizes proportionally (minimum sizes are
+    enforced). *)
+
+val table2_row1 : ?scale:float -> unit -> unit
+(** Centralized QueCC vs deterministic H-Store, YCSB multi-partition
+    sweep (paper: two orders of magnitude at high MP%). *)
+
+val table2_row2 : ?scale:float -> unit -> unit
+(** Distributed QueCC vs Calvin, YCSB uniform low contention
+    (paper: 22x). *)
+
+val table2_row3 : ?scale:float -> unit -> unit
+(** Centralized QueCC vs non-deterministic protocols, TPC-C 1 warehouse
+    (paper: 3x over the best). *)
+
+val fig_contention : ?scale:float -> unit -> unit
+(** Supplementary: all centralized engines across zipfian theta. *)
+
+val fig_scalability : ?scale:float -> unit -> unit
+(** Supplementary: throughput vs virtual core count, YCSB theta=0.9. *)
+
+val fig_modes : ?scale:float -> unit -> unit
+(** Supplementary ablation: speculative vs conservative execution and
+    serializable vs read-committed isolation under injected aborts
+    (paper section 3.2). *)
+
+val fig_latency : ?scale:float -> unit -> unit
+(** Supplementary: latency distribution comparison. *)
+
+val fig_batch : ?scale:float -> unit -> unit
+(** Supplementary: QueCC batch-size sensitivity — larger batches amortize
+    planning/coordination but add commit latency. *)
+
+val all : ?scale:float -> unit -> unit

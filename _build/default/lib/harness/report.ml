@@ -1,0 +1,61 @@
+open Quill_common
+open Quill_txn
+
+type row = {
+  label : string;
+  metrics : Metrics.t;
+}
+
+let header =
+  [
+    "engine"; "tput (txn/s)"; "p50 lat"; "p99 lat"; "cc-aborts"; "commits";
+    "util"; "msgs"; "x vs first";
+  ]
+
+let fmt_lat ns =
+  if ns >= 1_000_000 then Printf.sprintf "%.2fms" (float_of_int ns /. 1e6)
+  else if ns >= 1000 then Printf.sprintf "%.1fus" (float_of_int ns /. 1e3)
+  else Printf.sprintf "%dns" ns
+
+let to_cells ?baseline r =
+  let m = r.metrics in
+  let tput = Metrics.throughput m in
+  let base = match baseline with Some b -> b | None -> tput in
+  [
+    r.label;
+    Tablefmt.fmt_si tput;
+    fmt_lat (Stats.Hist.percentile m.Metrics.lat 50.0);
+    fmt_lat (Stats.Hist.percentile m.Metrics.lat 99.0);
+    string_of_int m.Metrics.cc_aborts;
+    string_of_int m.Metrics.committed;
+    Printf.sprintf "%.2f" (Metrics.utilization m);
+    string_of_int m.Metrics.msgs;
+    (if base > 0.0 then Printf.sprintf "%.2fx" (tput /. base) else "-");
+  ]
+
+let print_table ~title rows =
+  Printf.printf "\n== %s ==\n" title;
+  match rows with
+  | [] -> print_endline "(no rows)"
+  | first :: _ ->
+      let base = Metrics.throughput first.metrics in
+      Tablefmt.print ~header
+        (List.map (fun r -> to_cells ~baseline:base r) rows)
+
+let print_sweep ~title ~param series =
+  Printf.printf "\n== %s ==\n" title;
+  List.iter
+    (fun (value, rows) ->
+      Printf.printf "-- %s = %s --\n" param value;
+      match rows with
+      | [] -> ()
+      | first :: _ ->
+          let base = Metrics.throughput first.metrics in
+          Tablefmt.print ~header
+            (List.map (fun r -> to_cells ~baseline:base r) rows))
+    series
+
+let best_throughput rows =
+  List.fold_left
+    (fun acc r -> Float.max acc (Metrics.throughput r.metrics))
+    0.0 rows

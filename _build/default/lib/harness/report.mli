@@ -1,0 +1,23 @@
+(** Benchmark report rendering: one row per engine/configuration with the
+    metrics the paper reports (throughput, latency, aborts). *)
+
+type row = {
+  label : string;
+  metrics : Quill_txn.Metrics.t;
+}
+
+val header : string list
+
+val to_cells : ?baseline:float -> row -> string list
+(** [baseline] is a throughput used for the speedup column (defaults to
+    the row's own throughput, i.e. 1.00x). *)
+
+val print_table : title:string -> row list -> unit
+(** Prints the table with the FIRST row as the speedup baseline (so
+    "x vs first" reads as QueCC-relative when QueCC is first). *)
+
+val print_sweep :
+  title:string -> param:string -> (string * row list) list -> unit
+(** Series output: one table per parameter value. *)
+
+val best_throughput : row list -> float

@@ -1,0 +1,1 @@
+lib/protocols/calvin.ml: Array Costs Db Exec Fragment Hashtbl List Metrics Pcommon Printf Queue Quill_common Quill_sim Quill_storage Quill_txn Sim Stats Txn Workload

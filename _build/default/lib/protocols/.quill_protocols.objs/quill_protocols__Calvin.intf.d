@@ -1,0 +1,1 @@
+lib/protocols/calvin.mli: Quill_sim Quill_txn

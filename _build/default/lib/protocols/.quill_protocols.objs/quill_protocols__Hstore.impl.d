@@ -1,0 +1,1 @@
+lib/protocols/hstore.ml: Array Costs Db Exec Fragment List Metrics Pcommon Plock Printf Quill_common Quill_sim Quill_storage Quill_txn Sim Stats Txn Workload

@@ -1,0 +1,1 @@
+lib/protocols/hstore.mli: Quill_sim Quill_txn

@@ -1,0 +1,1 @@
+lib/protocols/mvto.ml: Array Costs Db Exec Fragment List Pcommon Quill_sim Quill_storage Quill_txn Row Sim Table Txn Workload

@@ -1,0 +1,1 @@
+lib/protocols/mvto.mli: Nd_driver

@@ -1,0 +1,1 @@
+lib/protocols/nd_driver.ml: Costs Exec Metrics Printf Quill_common Quill_sim Quill_storage Quill_txn Rng Sim Stats Txn Workload

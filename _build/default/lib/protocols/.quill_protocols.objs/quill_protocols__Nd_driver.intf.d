@@ -1,0 +1,1 @@
+lib/protocols/nd_driver.mli: Quill_sim Quill_storage Quill_txn

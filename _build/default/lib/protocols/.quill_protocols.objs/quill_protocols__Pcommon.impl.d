@@ -1,0 +1,1 @@
+lib/protocols/pcommon.ml: Array Costs Db Exec Fragment List Quill_sim Quill_storage Quill_txn Row Sim Table Txn Workload

@@ -1,0 +1,1 @@
+lib/protocols/pcommon.mli: Quill_sim Quill_storage Quill_txn

@@ -1,0 +1,1 @@
+lib/protocols/plock.ml: Queue Quill_sim Sim

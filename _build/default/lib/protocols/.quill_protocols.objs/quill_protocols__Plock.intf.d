@@ -1,0 +1,1 @@
+lib/protocols/plock.mli: Quill_sim

@@ -1,0 +1,1 @@
+lib/protocols/serial.ml: Array Costs Db Exec Fragment List Metrics Quill_common Quill_sim Quill_storage Quill_txn Row Sim Stats Table Txn Workload

@@ -1,0 +1,1 @@
+lib/protocols/serial.mli: Quill_sim Quill_txn

@@ -1,0 +1,1 @@
+lib/protocols/silo.mli: Nd_driver

@@ -1,0 +1,1 @@
+lib/protocols/tictoc.mli: Nd_driver

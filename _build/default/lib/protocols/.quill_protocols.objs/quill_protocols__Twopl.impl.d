@@ -1,0 +1,1 @@
+lib/protocols/twopl.ml: Array Costs Db Exec Fragment List Pcommon Quill_sim Quill_storage Quill_txn Row Sim Table Txn Workload

@@ -1,0 +1,1 @@
+lib/protocols/twopl.mli: Nd_driver

@@ -1,0 +1,106 @@
+open Quill_common
+open Quill_sim
+open Quill_storage
+open Quill_txn
+
+type cfg = { workers : int; costs : Costs.t }
+
+let default_cfg = { workers = 4; costs = Costs.default }
+
+type state = {
+  sim : Sim.t;
+  costs : Costs.t;
+  db : Db.t;
+  plocks : Plock.t array;
+  metrics : Metrics.t;
+}
+
+(* Partition of a fragment, folded onto the worker count. *)
+let fpart st workers (f : Fragment.t) =
+  Db.home st.db f.Fragment.table f.Fragment.key mod workers
+
+let txn_parts st workers txn =
+  let seen = Array.make workers false in
+  Array.iter
+    (fun f -> seen.(fpart st workers f) <- true)
+    txn.Txn.frags;
+  let acc = ref [] in
+  for p = workers - 1 downto 0 do
+    if seen.(p) then acc := p :: !acc
+  done;
+  !acc
+
+let coordination_round st k =
+  (* Coordinator exchanges one message with each other participant. *)
+  if k > 1 then begin
+    Sim.tick st.sim (st.costs.Costs.msg_fixed * (k - 1));
+    Sim.sleep st.sim (2 * st.costs.Costs.ipc_latency);
+    st.metrics.Metrics.msgs <- st.metrics.Metrics.msgs + (2 * (k - 1))
+  end
+
+let run ?sim cfg wl ~txns =
+  assert (cfg.workers > 0);
+  let sim =
+    match sim with
+    | Some s -> s
+    | None -> Sim.create ~wake_cost:cfg.costs.Costs.wakeup ()
+  in
+  let st =
+    {
+      sim;
+      costs = cfg.costs;
+      db = wl.Workload.db;
+      plocks = Array.init cfg.workers (fun _ -> Plock.create ());
+      metrics = Metrics.create ();
+    }
+  in
+  for w = 0 to cfg.workers - 1 do
+    let quota =
+      (txns / cfg.workers) + if w < txns mod cfg.workers then 1 else 0
+    in
+    Sim.spawn sim (fun () ->
+        let stream = wl.Workload.new_stream w in
+        for _ = 1 to quota do
+          Sim.tick sim cfg.costs.Costs.txn_overhead;
+          let txn = stream () in
+          txn.Txn.submit_time <- Sim.now sim;
+          txn.Txn.status <- Txn.Active;
+          txn.Txn.attempts <- 1;
+          let parts = txn_parts st cfg.workers txn in
+          let k = List.length parts in
+          (* Deterministic deadlock-free acquisition: ascending order. *)
+          List.iter
+            (fun p ->
+              Sim.tick sim cfg.costs.Costs.lock_acquire;
+              Plock.acquire sim st.plocks.(p))
+            parts;
+          coordination_round st k;
+          let outcome = Pcommon.run_direct sim cfg.costs st.db wl txn in
+          coordination_round st k;
+          List.iter
+            (fun p ->
+              Sim.tick sim cfg.costs.Costs.lock_release;
+              Plock.release sim st.plocks.(p))
+            parts;
+          (match outcome with
+          | Exec.Ok ->
+              txn.Txn.status <- Txn.Committed;
+              st.metrics.Metrics.committed <- st.metrics.Metrics.committed + 1
+          | Exec.Abort ->
+              txn.Txn.status <- Txn.Aborted;
+              st.metrics.Metrics.logic_aborted <-
+                st.metrics.Metrics.logic_aborted + 1
+          | Exec.Blocked -> assert false);
+          txn.Txn.finish_time <- Sim.now sim;
+          Stats.Hist.add st.metrics.Metrics.lat
+            (txn.Txn.finish_time - txn.Txn.submit_time)
+        done)
+  done;
+  let parked = Sim.run sim in
+  if parked <> 0 then
+    failwith (Printf.sprintf "Hstore.run: %d workers deadlocked" parked);
+  st.metrics.Metrics.elapsed <- Sim.horizon sim;
+  st.metrics.Metrics.busy <- Sim.busy_time sim;
+  st.metrics.Metrics.idle <- Sim.idle_time sim;
+  st.metrics.Metrics.threads <- cfg.workers;
+  st.metrics

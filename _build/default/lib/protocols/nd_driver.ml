@@ -1,0 +1,77 @@
+open Quill_common
+open Quill_sim
+open Quill_txn
+
+(* Backoff needs per-worker jitter: in a deterministic simulation two
+   conflicting workers with identical backoff schedules would collide in
+   lockstep forever. *)
+
+module type CC = sig
+  val name : string
+
+  type t
+
+  val create : Sim.t -> Costs.t -> Quill_storage.Db.t -> t
+
+  val run_txn :
+    t -> wid:int -> Workload.t -> Txn.t -> Exec.outcome
+end
+
+type cfg = {
+  workers : int;
+  costs : Costs.t;
+  backoff : int;
+  max_backoff : int;
+}
+
+let default_cfg =
+  { workers = 4; costs = Costs.default; backoff = 500; max_backoff = 200_000 }
+
+let run ?sim (module P : CC) cfg wl ~txns =
+  assert (cfg.workers > 0 && txns >= 0);
+  let sim =
+    match sim with
+    | Some s -> s
+    | None -> Sim.create ~wake_cost:cfg.costs.Costs.wakeup ()
+  in
+  let state = P.create sim cfg.costs wl.Workload.db in
+  let metrics = Metrics.create () in
+  for w = 0 to cfg.workers - 1 do
+    let quota = (txns / cfg.workers) + if w < txns mod cfg.workers then 1 else 0 in
+    Sim.spawn sim (fun () ->
+        let stream = wl.Workload.new_stream w in
+        let jitter = Rng.create ((w * 2654435761) + 17) in
+        for _ = 1 to quota do
+          Sim.tick sim cfg.costs.Costs.txn_overhead;
+          let txn = stream () in
+          txn.Txn.submit_time <- Sim.now sim;
+          let rec attempt backoff =
+            txn.Txn.attempts <- txn.Txn.attempts + 1;
+            txn.Txn.status <- Txn.Active;
+            match P.run_txn state ~wid:w wl txn with
+            | Exec.Ok ->
+                txn.Txn.status <- Txn.Committed;
+                metrics.Metrics.committed <- metrics.Metrics.committed + 1
+            | Exec.Abort ->
+                txn.Txn.status <- Txn.Aborted;
+                metrics.Metrics.logic_aborted <-
+                  metrics.Metrics.logic_aborted + 1
+            | Exec.Blocked ->
+                metrics.Metrics.cc_aborts <- metrics.Metrics.cc_aborts + 1;
+                Sim.sleep sim (backoff + Rng.int jitter (backoff + 1));
+                attempt (min (backoff * 2) cfg.max_backoff)
+          in
+          attempt cfg.backoff;
+          txn.Txn.finish_time <- Sim.now sim;
+          Stats.Hist.add metrics.Metrics.lat
+            (txn.Txn.finish_time - txn.Txn.submit_time)
+        done)
+  done;
+  let parked = Sim.run sim in
+  if parked <> 0 then
+    failwith (Printf.sprintf "Nd_driver(%s): %d workers deadlocked" P.name parked);
+  metrics.Metrics.elapsed <- Sim.horizon sim;
+  metrics.Metrics.busy <- Sim.busy_time sim;
+  metrics.Metrics.idle <- Sim.idle_time sim;
+  metrics.Metrics.threads <- cfg.workers;
+  metrics

@@ -1,0 +1,26 @@
+(* FIFO mutex with ownership hand-off, used as H-Store's partition lock. *)
+
+open Quill_sim
+
+type t = {
+  mutable held : bool;
+  waiters : unit Sim.Ivar.iv Queue.t;
+}
+
+let create () = { held = false; waiters = Queue.create () }
+
+let acquire sim t =
+  if not t.held then t.held <- true
+  else begin
+    let iv = Sim.Ivar.create () in
+    Queue.push iv t.waiters;
+    (* Ownership is handed to us by the releaser. *)
+    Sim.Ivar.read sim iv
+  end
+
+let release sim t =
+  assert t.held;
+  if Queue.is_empty t.waiters then t.held <- false
+  else Sim.Ivar.fill sim (Queue.pop t.waiters) ()
+
+let held t = t.held

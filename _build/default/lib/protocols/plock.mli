@@ -1,0 +1,12 @@
+(** FIFO mutex with ownership hand-off on the simulation substrate; used
+    as H-Store's partition lock. *)
+
+type t
+
+val create : unit -> t
+
+val acquire : Quill_sim.Sim.t -> t -> unit
+(** Blocks (virtual time) until the lock is handed over, FIFO. *)
+
+val release : Quill_sim.Sim.t -> t -> unit
+val held : t -> bool

@@ -1,0 +1,172 @@
+open Quill_common
+open Quill_sim
+open Quill_storage
+open Quill_txn
+
+let dummy_row = Row.make ~key:(-1) ~nfields:1
+
+type state = {
+  sim : Sim.t;
+  costs : Costs.t;
+  db : Db.t;
+  wl : Workload.t;
+  metrics : Metrics.t;
+  mutable cur_row : Row.t;
+  mutable cur_found : bool;
+  mutable undo : (Row.t * int array) list;
+  mutable inserts : (int * int) list;
+  mutable written : Row.t list;
+  mutable slots : int array;
+}
+
+let make_ctx st =
+  let read (frag : Fragment.t) field =
+    ignore frag;
+    Sim.tick st.sim st.costs.Costs.row_read;
+    if st.cur_found then st.cur_row.Row.data.(field) else 0
+  in
+  let write _frag field v =
+    Sim.tick st.sim st.costs.Costs.row_write;
+    if st.cur_found then begin
+      let row = st.cur_row in
+      st.undo <- (row, Array.copy row.Row.data) :: st.undo;
+      st.written <- row :: st.written;
+      row.Row.data.(field) <- v
+    end
+  in
+  let add frag field d = write frag field (read frag field + d) in
+  let insert (frag : Fragment.t) ~key payload =
+    Sim.tick st.sim st.costs.Costs.index_insert;
+    let tbl = Db.table st.db frag.Fragment.table in
+    let home = Db.home st.db frag.Fragment.table frag.Fragment.key in
+    ignore (Table.insert tbl ~home ~key payload);
+    st.inserts <- (frag.Fragment.table, key) :: st.inserts
+  in
+  let input fid = st.slots.(fid) in
+  let output fid v = if fid < Array.length st.slots then st.slots.(fid) <- v in
+  let found _ = st.cur_found in
+  { Exec.read; write; add; insert; input; output; found }
+
+let exec_one st ctx txn =
+  let costs = st.costs in
+  Sim.tick st.sim costs.Costs.txn_overhead;
+  txn.Txn.submit_time <- Sim.now st.sim;
+  txn.Txn.status <- Txn.Active;
+  txn.Txn.attempts <- txn.Txn.attempts + 1;
+  st.undo <- [];
+  st.inserts <- [];
+  st.written <- [];
+  st.slots <- Array.make (Array.length txn.Txn.frags) 0;
+  let frags = txn.Txn.frags in
+  let rec go i =
+    if i >= Array.length frags then Exec.Ok
+    else begin
+      let frag = frags.(i) in
+      (match frag.Fragment.mode with
+      | Fragment.Insert ->
+          st.cur_row <- dummy_row;
+          st.cur_found <- true
+      | Fragment.Read | Fragment.Write | Fragment.Rmw -> (
+          Sim.tick st.sim costs.Costs.index_probe;
+          match Table.find (Db.table st.db frag.Fragment.table)
+                  frag.Fragment.key
+          with
+          | Some row ->
+              st.cur_row <- row;
+              st.cur_found <- true
+          | None ->
+              st.cur_row <- dummy_row;
+              st.cur_found <- false));
+      Sim.tick st.sim costs.Costs.logic;
+      match st.wl.Workload.exec ctx txn frag with
+      | Exec.Ok -> go (i + 1)
+      | (Exec.Abort | Exec.Blocked) as r -> r
+    end
+  in
+  (match go 0 with
+  | Exec.Ok ->
+      txn.Txn.status <- Txn.Committed;
+      List.iter Row.publish st.written;
+      st.metrics.Metrics.committed <- st.metrics.Metrics.committed + 1
+  | Exec.Abort | Exec.Blocked ->
+      List.iter
+        (fun (row, saved) ->
+          Sim.tick st.sim costs.Costs.abort_cleanup;
+          Row.restore row saved)
+        st.undo;
+      List.iter
+        (fun (tid, key) -> Table.remove (Db.table st.db tid) key)
+        st.inserts;
+      txn.Txn.status <- Txn.Aborted;
+      st.metrics.Metrics.logic_aborted <- st.metrics.Metrics.logic_aborted + 1);
+  txn.Txn.finish_time <- Sim.now st.sim;
+  Stats.Hist.add st.metrics.Metrics.lat
+    (txn.Txn.finish_time - txn.Txn.submit_time)
+
+let run_list sim costs wl next =
+  let st =
+    {
+      sim;
+      costs;
+      db = wl.Workload.db;
+      wl;
+      metrics = Metrics.create ();
+      cur_row = dummy_row;
+      cur_found = false;
+      undo = [];
+      inserts = [];
+      written = [];
+      slots = [||];
+    }
+  in
+  let ctx = make_ctx st in
+  Sim.spawn sim (fun () ->
+      let rec loop () =
+        match next () with
+        | None -> ()
+        | Some txn ->
+            exec_one st ctx txn;
+            loop ()
+      in
+      loop ());
+  let parked = Sim.run sim in
+  assert (parked = 0);
+  let m = st.metrics in
+  m.Metrics.elapsed <- Sim.horizon sim;
+  m.Metrics.busy <- Sim.busy_time sim;
+  m.Metrics.idle <- Sim.idle_time sim;
+  m.Metrics.threads <- 1;
+  m
+
+let run ?sim ?(costs = Costs.default) wl ~txns =
+  let sim =
+    match sim with
+    | Some s -> s
+    | None -> Sim.create ~wake_cost:costs.Costs.wakeup ()
+  in
+  let stream = wl.Workload.new_stream 0 in
+  let remaining = ref txns in
+  let next () =
+    if !remaining <= 0 then None
+    else begin
+      decr remaining;
+      Some (stream ())
+    end
+  in
+  run_list sim costs wl next
+
+let run_txns ?sim ?(costs = Costs.default) wl txns =
+  let sim =
+    match sim with
+    | Some s -> s
+    | None -> Sim.create ~wake_cost:costs.Costs.wakeup ()
+  in
+  let remaining = ref txns in
+  let next () =
+    match !remaining with
+    | [] -> None
+    | t :: rest ->
+        remaining := rest;
+        Some t
+  in
+  run_list sim costs wl next

@@ -1,0 +1,25 @@
+(** Single-threaded serial executor.
+
+    Runs transactions one at a time in tid order with no concurrency
+    control at all.  Serves two purposes: the correctness oracle for every
+    other engine (serializable engines must produce exactly the state this
+    engine produces for the same input batch — and deterministic engines
+    must do so for {e this} serial order), and the single-core baseline in
+    scalability plots. *)
+
+val run :
+  ?sim:Quill_sim.Sim.t ->
+  ?costs:Quill_sim.Costs.t ->
+  Quill_txn.Workload.t ->
+  txns:int ->
+  Quill_txn.Metrics.t
+(** Generate [txns] transactions from stream 0 and run them serially. *)
+
+val run_txns :
+  ?sim:Quill_sim.Sim.t ->
+  ?costs:Quill_sim.Costs.t ->
+  Quill_txn.Workload.t ->
+  Quill_txn.Txn.t list ->
+  Quill_txn.Metrics.t
+(** Run a pre-generated transaction list serially in list order (used by
+    the determinism tests to replay the exact batch another engine ran). *)

@@ -1,0 +1,1 @@
+lib/quecc/engine.ml: Array Costs Db Exec Fragment List Metrics Printf Quill_common Quill_sim Quill_storage Quill_txn Row Sim Stats Table Txn Vec Workload

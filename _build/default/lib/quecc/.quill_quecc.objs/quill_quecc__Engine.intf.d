@@ -1,0 +1,1 @@
+lib/quecc/engine.mli: Quill_sim Quill_txn

@@ -1,0 +1,661 @@
+open Quill_common
+open Quill_sim
+open Quill_storage
+open Quill_txn
+
+type exec_mode = Speculative | Conservative
+type isolation = Serializable | Read_committed
+
+type cfg = {
+  planners : int;
+  executors : int;
+  batch_size : int;
+  mode : exec_mode;
+  isolation : isolation;
+  costs : Costs.t;
+}
+
+let default_cfg =
+  {
+    planners = 4;
+    executors = 4;
+    batch_size = 1024;
+    mode = Speculative;
+    isolation = Serializable;
+    costs = Costs.default;
+  }
+
+(* Per-batch runtime state of one transaction. *)
+type rt = {
+  txn : Txn.t;
+  bidx : int;                        (* position in the batch = serial order *)
+  slots : int Sim.Ivar.iv array;     (* data-dependency value slots; [||]
+                                        when the txn has no data deps *)
+  resolved : unit Sim.Ivar.iv;       (* commit-dependency gate *)
+  mutable pending_aborters : int;
+  deps_on : int Vec.t;               (* speculation/WAW edges: bidxs read
+                                        or overwritten (speculative mode) *)
+  mutable inserts : (int * int) list; (* (table, key) for undo *)
+  mutable logic_abort : bool;
+}
+
+type qentry = { rt : rt; frag : Fragment.t }
+
+type shared = {
+  cfg : cfg;
+  sim : Sim.t;
+  wl : Workload.t;
+  db : Db.t;
+  queues : qentry Vec.t array array;   (* [planner].[executor] *)
+  rts : rt option array;               (* batch slot -> runtime *)
+  touched : Row.t Vec.t array;         (* per executor + one recovery slot *)
+  metrics : Metrics.t;
+  mutable batch_no : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Transaction runtime                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let make_rt txn bidx =
+  let has_deps =
+    Array.exists
+      (fun f -> Array.length f.Fragment.data_deps > 0)
+      txn.Txn.frags
+  in
+  let slots =
+    if has_deps then
+      Array.init (Array.length txn.Txn.frags) (fun _ -> Sim.Ivar.create ())
+    else [||]
+  in
+  txn.Txn.status <- Txn.Active;
+  {
+    txn;
+    bidx;
+    slots;
+    resolved = Sim.Ivar.create ();
+    pending_aborters = txn.Txn.n_abortable;
+    deps_on = Vec.create ();
+    inserts = [];
+    logic_abort = false;
+  }
+
+let fill_unfilled_slots sh rt =
+  Array.iter
+    (fun iv -> if not (Sim.Ivar.is_full iv) then Sim.Ivar.fill sh.sim iv 0)
+    rt.slots
+
+let resolve_arrive sh rt =
+  rt.pending_aborters <- rt.pending_aborters - 1;
+  if rt.pending_aborters = 0 && not (Sim.Ivar.is_full rt.resolved) then
+    Sim.Ivar.fill sh.sim rt.resolved ()
+
+let do_abort sh rt =
+  if rt.txn.Txn.status <> Txn.Aborted then begin
+    rt.txn.Txn.status <- Txn.Aborted;
+    rt.logic_abort <- true;
+    if not (Sim.Ivar.is_full rt.resolved) then
+      Sim.Ivar.fill sh.sim rt.resolved ();
+    (* Unblock any same-txn consumer already waiting on a value slot; the
+       garbage value is repaired by the recovery pass (speculative) or
+       never written back (conservative: all updates are gated). *)
+    fill_unfilled_slots sh rt
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Executor context                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type exec_state = {
+  eid : int;
+  mutable cur_rt : rt;
+  mutable cur_row : Row.t;
+  mutable cur_found : bool;
+}
+
+let dummy_row = Row.make ~key:(-1) ~nfields:1
+let dummy_txn = Txn.make ~tid:(-1) [||]
+
+let dummy_rt =
+  {
+    txn = dummy_txn;
+    bidx = -1;
+    slots = [||];
+    resolved = Sim.Ivar.create ();
+    pending_aborters = 0;
+    deps_on = Vec.create ();
+    inserts = [];
+    logic_abort = false;
+  }
+
+let mark_touched sh slot row =
+  if not row.Row.dirty then begin
+    row.Row.dirty <- true;
+    Vec.push sh.touched.(slot) row
+  end
+
+(* Field-level speculation state: edges are recorded per (row, field) so
+   that transactions touching disjoint fields of a hot row (Payment's
+   d_ytd vs NewOrder's d_next_o_id) never cascade into each other. *)
+let fstate row =
+  if Array.length row.Row.fstate = 0 then
+    row.Row.fstate <- Array.make (Array.length row.Row.data) (-1, [], []);
+  row.Row.fstate
+
+let add_edge rt b = if b >= 0 && b <> rt.bidx then Vec.push rt.deps_on b
+
+(* Reading field [f]: depend on its last in-batch writer and on every
+   pending commutative adder (their deltas are visible in the value), and
+   register as a reader (future anti-dependency). *)
+let record_read rt row f =
+  if row.Row.inserter >= 0 then add_edge rt row.Row.inserter;
+  let st = fstate row in
+  let w, rs, ads = st.(f) in
+  add_edge rt w;
+  List.iter (add_edge rt) ads;
+  st.(f) <- (w, rt.bidx :: rs, ads)
+
+(* Writing field [f]: depend on the previous writer and adders (so undo
+   chains revert in order) and on every reader since (anti-dep). *)
+let record_write rt row f =
+  if row.Row.inserter >= 0 then add_edge rt row.Row.inserter;
+  let st = fstate row in
+  let w, rs, ads = st.(f) in
+  add_edge rt w;
+  List.iter (add_edge rt) rs;
+  List.iter (add_edge rt) ads;
+  st.(f) <- (rt.bidx, [], [])
+
+(* Commutative add on field [f]: other adds commute (no edges between
+   them), but the previous set-writer's undo would clobber us, and prior
+   readers must drag us along if they re-execute. *)
+let record_add rt row f =
+  if row.Row.inserter >= 0 then add_edge rt row.Row.inserter;
+  let st = fstate row in
+  let w, rs, ads = st.(f) in
+  add_edge rt w;
+  List.iter (add_edge rt) rs;
+  st.(f) <- (w, rs, rt.bidx :: ads)
+
+let make_exec_ctx sh st =
+  let costs = sh.cfg.costs in
+  let speculative = sh.cfg.mode = Speculative in
+  let read (frag : Fragment.t) field =
+    Sim.tick sh.sim costs.Costs.row_read;
+    if not st.cur_found then 0
+    else begin
+      let row = st.cur_row in
+      match (sh.cfg.isolation, frag.Fragment.mode) with
+      | Read_committed, Fragment.Read -> row.Row.committed.(field)
+      | _ ->
+          if speculative then record_read st.cur_rt row field;
+          row.Row.data.(field)
+    end
+  in
+  let write (_frag : Fragment.t) field v =
+    Sim.tick sh.sim costs.Costs.row_write;
+    if st.cur_found then begin
+      let row = st.cur_row in
+      let rt = st.cur_rt in
+      if speculative then begin
+        record_write rt row field;
+        row.Row.undo <-
+          (rt.bidx, field, Row.Uset row.Row.data.(field)) :: row.Row.undo
+      end;
+      mark_touched sh st.eid row;
+      row.Row.data.(field) <- v
+    end
+  in
+  let add (_frag : Fragment.t) field d =
+    Sim.tick sh.sim costs.Costs.row_write;
+    if st.cur_found then begin
+      let row = st.cur_row in
+      let rt = st.cur_rt in
+      if speculative then begin
+        record_add rt row field;
+        row.Row.undo <- (rt.bidx, field, Row.Uadd d) :: row.Row.undo
+      end;
+      mark_touched sh st.eid row;
+      row.Row.data.(field) <- row.Row.data.(field) + d
+    end
+  in
+  let insert (frag : Fragment.t) ~key payload =
+    Sim.tick sh.sim costs.Costs.index_insert;
+    let rt = st.cur_rt in
+    let tbl = Db.table sh.db frag.Fragment.table in
+    let home = Db.home sh.db frag.Fragment.table frag.Fragment.key in
+    let row = Table.insert tbl ~home ~key payload in
+    if speculative then begin
+      row.Row.batch_tag <- sh.batch_no;
+      row.Row.inserter <- rt.bidx;
+      rt.inserts <- (frag.Fragment.table, key) :: rt.inserts
+    end;
+    if not row.Row.dirty then begin
+      row.Row.dirty <- true;
+      Vec.push sh.touched.(st.eid) row
+    end
+  in
+  let input fid =
+    Sim.tick sh.sim costs.Costs.cas;
+    let rt = st.cur_rt in
+    if Array.length rt.slots = 0 then 0 else Sim.Ivar.read sh.sim rt.slots.(fid)
+  in
+  let output fid v =
+    let rt = st.cur_rt in
+    if Array.length rt.slots > 0 && not (Sim.Ivar.is_full rt.slots.(fid)) then
+      Sim.Ivar.fill sh.sim rt.slots.(fid) v
+  in
+  let found _frag = st.cur_found in
+  { Exec.read; write; add; insert; input; output; found }
+
+(* Lazily reset per-batch row state the first time a row is seen.  Rows
+   touched in the previous batch were reset at publish time, so this only
+   matters for correctness of [last_writer] tags across batches. *)
+let locate sh (frag : Fragment.t) =
+  let tbl = Db.table sh.db frag.Fragment.table in
+  match Table.find tbl frag.Fragment.key with
+  | Some row ->
+      Row.reset_batch_state row sh.batch_no;
+      Some row
+  | None -> None
+
+let exec_entry sh st ctx { rt; frag } =
+  let costs = sh.cfg.costs in
+  Sim.tick sh.sim costs.Costs.queue_op;
+  if rt.txn.Txn.status = Txn.Aborted then
+    Sim.tick sh.sim costs.Costs.abort_cleanup
+  else begin
+    (* Conservative execution: a fragment that updates the database while
+       a sibling may still abort waits for the commit-dependency gate. *)
+    if
+      sh.cfg.mode = Conservative
+      && frag.Fragment.commit_dep
+      && not (Sim.Ivar.is_full rt.resolved)
+    then Sim.Ivar.read sh.sim rt.resolved;
+    if rt.txn.Txn.status = Txn.Aborted then
+      Sim.tick sh.sim costs.Costs.abort_cleanup
+    else begin
+      st.cur_rt <- rt;
+      (match frag.Fragment.mode with
+      | Fragment.Insert ->
+          st.cur_row <- dummy_row;
+          st.cur_found <- true
+      | Fragment.Read | Fragment.Write | Fragment.Rmw -> (
+          Sim.tick sh.sim costs.Costs.index_probe;
+          match locate sh frag with
+          | Some row ->
+              st.cur_row <- row;
+              st.cur_found <- true
+          | None ->
+              st.cur_row <- dummy_row;
+              st.cur_found <- false));
+      Sim.tick sh.sim costs.Costs.logic;
+      match sh.wl.Workload.exec ctx rt.txn frag with
+      | Exec.Ok -> if frag.Fragment.abortable then resolve_arrive sh rt
+      | Exec.Abort ->
+          assert frag.Fragment.abortable;
+          do_abort sh rt
+      | Exec.Blocked -> assert false
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Planning                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Order fragments for queue insertion: dependency-free abortable
+   fragments go first so that, in conservative mode, an executor blocked
+   on a commit-dependency gate can never be queued ahead of the abort
+   decision it waits for (the deadlock-freedom argument in DESIGN.md). *)
+let plan_order frags =
+  let n = Array.length frags in
+  if n = 0 then frags
+  else begin
+  let ordered = Array.make n frags.(0) in
+  let i = ref 0 in
+  Array.iter
+    (fun (f : Fragment.t) ->
+      if f.Fragment.abortable && Array.length f.Fragment.data_deps = 0 then begin
+        ordered.(!i) <- f;
+        incr i
+      end)
+    frags;
+  Array.iter
+    (fun (f : Fragment.t) ->
+      if not (f.Fragment.abortable && Array.length f.Fragment.data_deps = 0)
+      then begin
+        ordered.(!i) <- f;
+        incr i
+      end)
+    frags;
+  ordered
+  end
+
+let plan_order_for_dist = plan_order
+
+let slice_bounds ~batch_size ~planners p =
+  let base = batch_size / planners and rem = batch_size mod planners in
+  let start = (p * base) + min p rem in
+  let count = base + if p < rem then 1 else 0 in
+  (start, count)
+
+let plan_slice sh p stream rr =
+  let costs = sh.cfg.costs in
+  let start, count = slice_bounds ~batch_size:sh.cfg.batch_size
+                       ~planners:sh.cfg.planners p
+  in
+  Array.iter Vec.clear sh.queues.(p);
+  (* Early (read-only, never-written-table) abortable fragments go to the
+     head of their queues so abort decisions resolve before the gated
+     updates arrive. *)
+  let front = Array.init sh.cfg.executors (fun _ -> Vec.create ()) in
+  for j = 0 to count - 1 do
+    Sim.tick sh.sim costs.Costs.txn_overhead;
+    let txn = stream () in
+    txn.Txn.submit_time <- Sim.now sh.sim;
+    txn.Txn.attempts <- 1;
+    let rt = make_rt txn (start + j) in
+    sh.rts.(start + j) <- Some rt;
+    let frags = plan_order txn.Txn.frags in
+    Array.iter
+      (fun (f : Fragment.t) ->
+        Sim.tick sh.sim costs.Costs.plan_fragment;
+        let e =
+          if
+            sh.cfg.isolation = Read_committed
+            && f.Fragment.mode = Fragment.Read
+          then begin
+            (* Read-committed reads are safe on any core: spread them. *)
+            rr := (!rr + 1) mod sh.cfg.executors;
+            !rr
+          end
+          else Db.home sh.db f.Fragment.table f.Fragment.key
+               mod sh.cfg.executors
+        in
+        if f.Fragment.early && Array.length f.Fragment.data_deps = 0 then
+          Vec.push front.(e) { rt; frag = f }
+        else Vec.push sh.queues.(p).(e) { rt; frag = f })
+      frags
+  done;
+  Array.iteri
+    (fun e fv ->
+      if not (Vec.is_empty fv) then begin
+        let main = Vec.to_array sh.queues.(p).(e) in
+        Vec.clear sh.queues.(p).(e);
+        Vec.iter (fun x -> Vec.push sh.queues.(p).(e) x) fv;
+        Array.iter (fun x -> Vec.push sh.queues.(p).(e) x) main
+      end)
+    front
+
+(* ------------------------------------------------------------------ *)
+(* Speculative recovery: cascade closure, undo, serial re-execution     *)
+(* ------------------------------------------------------------------ *)
+
+let serial_ctx sh recovery_slot undo_log insert_log slots cur_row cur_found =
+  let costs = sh.cfg.costs in
+  let read (frag : Fragment.t) field =
+    Sim.tick sh.sim costs.Costs.row_read;
+    if not !cur_found then 0
+    else
+      match (sh.cfg.isolation, frag.Fragment.mode) with
+      | Read_committed, Fragment.Read -> (!cur_row).Row.committed.(field)
+      | _ -> (!cur_row).Row.data.(field)
+  in
+  let write _frag field v =
+    Sim.tick sh.sim costs.Costs.row_write;
+    if !cur_found then begin
+      let row = !cur_row in
+      undo_log := (row, Array.copy row.Row.data) :: !undo_log;
+      mark_touched sh recovery_slot row;
+      row.Row.data.(field) <- v
+    end
+  in
+  let add frag field d =
+    ignore frag;
+    Sim.tick sh.sim costs.Costs.row_write;
+    if !cur_found then begin
+      let row = !cur_row in
+      undo_log := (row, Array.copy row.Row.data) :: !undo_log;
+      mark_touched sh recovery_slot row;
+      row.Row.data.(field) <- row.Row.data.(field) + d
+    end
+  in
+  let insert (frag : Fragment.t) ~key payload =
+    Sim.tick sh.sim costs.Costs.index_insert;
+    let tbl = Db.table sh.db frag.Fragment.table in
+    let home = Db.home sh.db frag.Fragment.table frag.Fragment.key in
+    ignore (Table.insert tbl ~home ~key payload);
+    insert_log := (frag.Fragment.table, key) :: !insert_log
+  in
+  let input fid = slots.(fid) in
+  let output fid v = slots.(fid) <- v in
+  let found _ = !cur_found in
+  { Exec.read; write; add; insert; input; output; found }
+
+let reexec_txn sh recovery_slot rt =
+  let costs = sh.cfg.costs in
+  let undo_log = ref [] and insert_log = ref [] in
+  let slots = Array.make (Array.length rt.txn.Txn.frags) 0 in
+  let cur_row = ref dummy_row and cur_found = ref false in
+  let ctx = serial_ctx sh recovery_slot undo_log insert_log slots cur_row
+              cur_found
+  in
+  rt.txn.Txn.attempts <- rt.txn.Txn.attempts + 1;
+  let outcome =
+    let frags = rt.txn.Txn.frags in
+    let rec go i =
+      if i >= Array.length frags then Exec.Ok
+      else begin
+        let frag = frags.(i) in
+        (match frag.Fragment.mode with
+        | Fragment.Insert ->
+            cur_row := dummy_row;
+            cur_found := true
+        | Fragment.Read | Fragment.Write | Fragment.Rmw -> (
+            Sim.tick sh.sim costs.Costs.index_probe;
+            match locate sh frag with
+            | Some row ->
+                cur_row := row;
+                cur_found := true
+            | None ->
+                cur_row := dummy_row;
+                cur_found := false));
+        Sim.tick sh.sim costs.Costs.logic;
+        match sh.wl.Workload.exec ctx rt.txn frag with
+        | Exec.Ok -> go (i + 1)
+        | Exec.Abort -> Exec.Abort
+        | Exec.Blocked -> assert false
+      end
+    in
+    go 0
+  in
+  match outcome with
+  | Exec.Ok -> rt.txn.Txn.status <- Txn.Committed
+  | Exec.Abort | Exec.Blocked ->
+      (* Roll back this attempt's own effects. *)
+      List.iter
+        (fun (row, saved) ->
+          Sim.tick sh.sim costs.Costs.abort_cleanup;
+          Row.restore row saved)
+        !undo_log;
+      List.iter
+        (fun (tid, key) -> Table.remove (Db.table sh.db tid) key)
+        !insert_log;
+      rt.txn.Txn.status <- Txn.Aborted
+
+let recover sh =
+  let n = sh.cfg.batch_size in
+  let in_a = Array.make n false in
+  let any = ref false in
+  for b = 0 to n - 1 do
+    match sh.rts.(b) with
+    | None -> ()
+    | Some rt ->
+        if rt.logic_abort then begin
+          in_a.(b) <- true;
+          any := true
+        end
+        else if Vec.exists (fun d -> in_a.(d)) rt.deps_on then begin
+          in_a.(b) <- true;
+          any := true
+        end
+  done;
+  if !any then begin
+    let costs = sh.cfg.costs in
+    (* Undo: walk each affected row's log newest-first, reverting the
+       field writes of cascaded transactions.  Per-field WAW edges
+       guarantee that any later writer of the same field is cascaded
+       too, so reverting in reverse chronological order is exact. *)
+    Array.iter
+      (fun touched ->
+        Vec.iter
+          (fun row ->
+            if row.Row.undo <> [] then begin
+              let kept =
+                List.filter
+                  (fun (b, field, uop) ->
+                    if in_a.(b) then begin
+                      Sim.tick sh.sim costs.Costs.abort_cleanup;
+                      (match uop with
+                      | Row.Uset old -> row.Row.data.(field) <- old
+                      | Row.Uadd d ->
+                          row.Row.data.(field) <- row.Row.data.(field) - d);
+                      false
+                    end
+                    else true)
+                  row.Row.undo
+              in
+              row.Row.undo <- kept
+            end)
+          touched)
+      sh.touched;
+    (* Remove inserts made by cascaded transactions. *)
+    for b = 0 to n - 1 do
+      if in_a.(b) then
+        match sh.rts.(b) with
+        | None -> ()
+        | Some rt ->
+            List.iter
+              (fun (tid, key) ->
+                Sim.tick sh.sim costs.Costs.abort_cleanup;
+                Table.remove (Db.table sh.db tid) key)
+              rt.inserts;
+            rt.inserts <- []
+    done;
+    (* Serial deterministic re-execution in batch order. *)
+    let recovery_slot = sh.cfg.executors in
+    for b = 0 to n - 1 do
+      if in_a.(b) then
+        match sh.rts.(b) with
+        | None -> ()
+        | Some rt ->
+            sh.metrics.Metrics.cascades <- sh.metrics.Metrics.cascades + 1;
+            reexec_txn sh recovery_slot rt
+    done
+  end;
+  (* Finalize statuses. *)
+  for b = 0 to n - 1 do
+    match sh.rts.(b) with
+    | None -> ()
+    | Some rt ->
+        if rt.txn.Txn.status = Txn.Active then rt.txn.Txn.status <- Txn.Committed
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let publish_slot sh slot =
+  Vec.iter
+    (fun row ->
+      Row.publish row;
+      row.Row.undo <- [];
+      row.Row.fstate <- [||];
+      row.Row.inserter <- -1)
+    sh.touched.(slot);
+  Vec.clear sh.touched.(slot)
+
+let account sh =
+  let now = Sim.now sh.sim in
+  for b = 0 to sh.cfg.batch_size - 1 do
+    match sh.rts.(b) with
+    | None -> ()
+    | Some rt ->
+        rt.txn.Txn.finish_time <- now;
+        let m = sh.metrics in
+        (match rt.txn.Txn.status with
+        | Txn.Committed -> m.Metrics.committed <- m.Metrics.committed + 1
+        | Txn.Aborted -> m.Metrics.logic_aborted <- m.Metrics.logic_aborted + 1
+        | Txn.Active | Txn.Pending -> assert false);
+        Stats.Hist.add m.Metrics.lat (now - rt.txn.Txn.submit_time);
+        sh.rts.(b) <- None
+  done;
+  sh.metrics.Metrics.batches <- sh.metrics.Metrics.batches + 1
+
+let run ?sim cfg wl ~batches =
+  assert (cfg.planners > 0 && cfg.executors > 0 && cfg.batch_size > 0);
+  let sim =
+    match sim with
+    | Some s -> s
+    | None -> Sim.create ~wake_cost:cfg.costs.Costs.wakeup ()
+  in
+  let sh =
+    {
+      cfg;
+      sim;
+      wl;
+      db = wl.Workload.db;
+      queues =
+        Array.init cfg.planners (fun _ ->
+            Array.init cfg.executors (fun _ -> Vec.create ()));
+      rts = Array.make cfg.batch_size None;
+      touched = Array.init (cfg.executors + 1) (fun _ -> Vec.create ());
+      metrics = Metrics.create ();
+      batch_no = 0;
+    }
+  in
+  let nthreads = max cfg.planners cfg.executors in
+  let barrier = Sim.Barrier.create nthreads in
+  let streams = Array.init cfg.planners wl.Workload.new_stream in
+  for t = 0 to nthreads - 1 do
+    Sim.spawn sim (fun () ->
+        let st = { eid = t; cur_rt = dummy_rt; cur_row = dummy_row;
+                   cur_found = false }
+        in
+        let ctx = make_exec_ctx sh st in
+        let rr = ref t in
+        for b = 0 to batches - 1 do
+          if t = 0 then sh.batch_no <- b;
+          if t < cfg.planners then plan_slice sh t streams.(t) rr;
+          Sim.Barrier.await sim barrier;
+          if t < cfg.executors then
+            for p = 0 to cfg.planners - 1 do
+              Vec.iter (exec_entry sh st ctx) sh.queues.(p).(t)
+            done;
+          Sim.Barrier.await sim barrier;
+          if t = 0 then begin
+            if cfg.mode = Speculative then recover sh
+            else
+              for i = 0 to cfg.batch_size - 1 do
+                match sh.rts.(i) with
+                | Some rt when rt.txn.Txn.status = Txn.Active ->
+                    rt.txn.Txn.status <- Txn.Committed
+                | Some _ | None -> ()
+              done;
+            account sh
+          end;
+          Sim.Barrier.await sim barrier;
+          if t < cfg.executors then publish_slot sh t;
+          if t = 0 then publish_slot sh cfg.executors;
+          Sim.Barrier.await sim barrier
+        done)
+  done;
+  let parked = Sim.run sim in
+  if parked <> 0 then
+    failwith (Printf.sprintf "Quecc.Engine.run: %d threads deadlocked" parked);
+  let m = sh.metrics in
+  m.Metrics.elapsed <- Sim.horizon sim;
+  m.Metrics.busy <- Sim.busy_time sim;
+  m.Metrics.idle <- Sim.idle_time sim;
+  m.Metrics.threads <- nthreads;
+  m

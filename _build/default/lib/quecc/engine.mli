@@ -1,0 +1,57 @@
+(** The queue-oriented transaction processing engine (QueCC).
+
+    Batches of transactions are processed in two deterministic phases
+    (paper Figure 1):
+
+    {ol
+    {- {e Planning}: planner [p] takes the [p]-th slice of the batch in
+       order and, for each fragment, appends it to the execution queue
+       [(p, e)] where [e] is the home executor of the fragment's record.
+       The planner index is the queue's {e priority}.}
+    {- {e Execution}: executor [e] drains queues [(0, e)], [(1, e)], ...
+       in priority order, processing fragments FIFO.  Because every
+       record has a unique home executor, per-record access order equals
+       global batch order — conflict dependencies need no locks at all.}}
+
+    Cross-thread coordination is limited to (paper section 3):
+    data-dependency value slots (ivars), and commit-dependency resolution
+    for abortable fragments — exactly the "necessary communication to
+    resolve dependencies" the paper allows.
+
+    Two execution mechanisms are provided (section 3.2): {e speculative}
+    (writes applied immediately with undo tracking; logic aborts trigger a
+    deterministic cascade-recovery pass) and {e conservative} (fragments
+    with commit dependencies wait until the transaction's abortable
+    fragments resolve).  Two isolation levels: {e serializable} and
+    {e read-committed} (reads served from the committed version, routed
+    round-robin for extra parallelism). *)
+
+type exec_mode = Speculative | Conservative
+type isolation = Serializable | Read_committed
+
+type cfg = {
+  planners : int;
+  executors : int;
+  batch_size : int;       (** transactions per batch *)
+  mode : exec_mode;
+  isolation : isolation;
+  costs : Quill_sim.Costs.t;
+}
+
+val default_cfg : cfg
+(** 4 planners, 4 executors, 1024-txn batches, speculative,
+    serializable, default costs. *)
+
+val run :
+  ?sim:Quill_sim.Sim.t ->
+  cfg ->
+  Quill_txn.Workload.t ->
+  batches:int ->
+  Quill_txn.Metrics.t
+
+val plan_order_for_dist :
+  Quill_txn.Fragment.t array -> Quill_txn.Fragment.t array
+(** Queue-insertion order for one transaction's fragments (dependency-free
+    abortable fragments first); shared with the distributed engine, which
+    needs the same ordering for its conservative-execution deadlock-freedom
+    argument. *)

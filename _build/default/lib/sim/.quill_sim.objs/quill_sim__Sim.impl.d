@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Effect Heap List Queue Quill_common Vec

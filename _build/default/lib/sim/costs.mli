@@ -1,0 +1,35 @@
+(** Virtual-time cost model.
+
+    Every value is in virtual nanoseconds.  The defaults are calibrated to
+    published main-memory OLTP measurements (DBx1000 / Staring-into-the-
+    abyss era hardware): data accesses cost tens of nanoseconds, lock
+    manager operations ~a microsecond, LAN messages ~10 microseconds.
+    Absolute simulator throughput is only meaningful relative to these
+    constants; the benchmark harness reports ratios. *)
+
+type t = {
+  row_read : int;        (** read one row's payload *)
+  row_write : int;       (** write one row's payload *)
+  index_probe : int;     (** primary index lookup *)
+  index_insert : int;    (** insert into an index / append arena *)
+  cas : int;             (** one atomic RMW on a metadata word *)
+  lock_acquire : int;    (** uncontended latch/lock acquire *)
+  lock_release : int;
+  lock_mgr_op : int;     (** centralized lock-manager queue operation (Calvin) *)
+  queue_op : int;        (** push/pop on an execution queue *)
+  plan_fragment : int;   (** planner work per fragment (routing + tagging) *)
+  txn_overhead : int;    (** per-transaction bookkeeping (begin/commit path) *)
+  validate_access : int; (** OCC validation work per access-set entry *)
+  logic : int;           (** per-fragment business logic *)
+  abort_cleanup : int;   (** per-access cleanup on abort *)
+  msg_fixed : int;       (** CPU cost to send or receive one message *)
+  msg_per_byte : int;    (** serialization cost per payload byte (x1000: milli-ns) *)
+  net_latency : int;     (** one-way network propagation delay *)
+  ipc_latency : int;     (** one-way cross-thread message-queue delay on a
+                             single node (H-Store-style thread coordination) *)
+  wakeup : int;          (** scheduler wakeup after blocking *)
+}
+
+val default : t
+val zero : t
+(** All-zero cost model, useful in unit tests where only ordering matters. *)

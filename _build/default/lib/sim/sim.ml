@@ -1,0 +1,264 @@
+open Quill_common
+
+type time = int
+
+type t = {
+  runq : entry Heap.t;
+  mutable order : int;
+  mutable current : thread option;
+  mutable spawned : int;
+  mutable completed : int;
+  mutable busy : int;
+  mutable idle : int;
+  mutable horizon : time;
+  wake_cost : int;
+}
+
+and thread = { tid : int; mutable clock : time }
+and entry = { at : time; ord : int; resume : unit -> unit }
+
+type _ Effect.t +=
+  | Suspend : (thread -> (unit, unit) Effect.Deep.continuation -> unit)
+      -> unit Effect.t
+
+let compare_entry a b =
+  let c = compare a.at b.at in
+  if c <> 0 then c else compare a.ord b.ord
+
+let create ?(wake_cost = 0) () =
+  {
+    runq = Heap.create ~cmp:compare_entry;
+    order = 0;
+    current = None;
+    spawned = 0;
+    completed = 0;
+    busy = 0;
+    idle = 0;
+    horizon = 0;
+    wake_cost;
+  }
+
+let schedule t ~at resume =
+  if at > t.horizon then t.horizon <- at;
+  Heap.push t.runq { at; ord = t.order; resume };
+  t.order <- t.order + 1
+
+let cur t =
+  match t.current with
+  | Some th -> th
+  | None -> failwith "Sim: primitive used outside a simulated thread"
+
+(* Build the closure that re-enters a parked thread. *)
+let make_resume t th k () =
+  t.current <- Some th;
+  Effect.Deep.continue k ()
+
+(* Park the calling thread; [f] receives the thread and its continuation
+   and is responsible for scheduling it again (directly or via a waiter
+   list). *)
+let suspend (_ : t) f = Effect.perform (Suspend f)
+
+let reschedule t th k = schedule t ~at:th.clock (make_resume t th k)
+
+let spawn ?(at = 0) t body =
+  let th = { tid = t.spawned; clock = at } in
+  t.spawned <- t.spawned + 1;
+  let start () =
+    t.current <- Some th;
+    Effect.Deep.match_with body ()
+      {
+        retc = (fun () -> t.completed <- t.completed + 1);
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Suspend f ->
+                Some
+                  (fun (k : (a, unit) Effect.Deep.continuation) -> f th k)
+            | _ -> None);
+      }
+  in
+  schedule t ~at start
+
+let run t =
+  let rec loop () =
+    match Heap.pop t.runq with
+    | None -> ()
+    | Some e ->
+        if e.at > t.horizon then t.horizon <- e.at;
+        e.resume ();
+        loop ()
+  in
+  loop ();
+  t.current <- None;
+  t.spawned - t.completed
+
+let now t = (cur t).clock
+
+let advance t th n =
+  th.clock <- th.clock + n;
+  if th.clock > t.horizon then t.horizon <- th.clock
+
+(* Yield only when another thread is due at or before our new clock; this
+   keeps the virtual-time ordering invariant while avoiding a heap
+   operation per tick on quiet cores. *)
+let maybe_yield t th =
+  match Heap.peek t.runq with
+  | Some e when e.at <= th.clock -> suspend t (fun th k -> reschedule t th k)
+  | Some _ | None -> ()
+
+let tick t n =
+  let th = cur t in
+  t.busy <- t.busy + n;
+  advance t th n;
+  maybe_yield t th
+
+let sleep t n =
+  let th = cur t in
+  t.idle <- t.idle + n;
+  advance t th n;
+  maybe_yield t th
+
+let yield t = suspend t (fun th k -> reschedule t th k)
+
+let busy_time t = t.busy
+let idle_time t = t.idle
+let horizon t = t.horizon
+let threads_spawned t = t.spawned
+let threads_completed t = t.completed
+
+let wake t th at resume =
+  let at = if at > th.clock then at else th.clock in
+  let at = at + t.wake_cost in
+  schedule t ~at (fun () ->
+      if at > th.clock then begin
+        t.idle <- t.idle + (at - th.clock);
+        th.clock <- at
+      end;
+      resume ())
+
+module Ivar = struct
+  type 'a state =
+    | Empty of (thread * (unit -> unit)) Vec.t
+    | Full of time * 'a
+
+  type 'a iv = { mutable st : 'a state }
+
+  let create () = { st = Empty (Vec.create ()) }
+  let is_full iv = match iv.st with Full _ -> true | Empty _ -> false
+
+  let fill t iv v =
+    match iv.st with
+    | Full _ -> invalid_arg "Sim.Ivar.fill: already full"
+    | Empty waiters ->
+        let at = now t in
+        iv.st <- Full (at, v);
+        Vec.iter (fun (th, r) -> wake t th at r) waiters
+
+  let rec read t iv =
+    match iv.st with
+    | Full (tf, v) ->
+        let th = cur t in
+        if tf > th.clock then begin
+          t.idle <- t.idle + (tf - th.clock);
+          th.clock <- tf
+        end;
+        v
+    | Empty waiters ->
+        suspend t (fun th k -> Vec.push waiters (th, make_resume t th k));
+        read t iv
+
+  let peek iv = match iv.st with Full (_, v) -> Some v | Empty _ -> None
+end
+
+module Chan = struct
+  type 'a ch = {
+    q : (time * 'a) Queue.t;
+    waiters : (thread * (unit -> unit)) Queue.t;
+  }
+
+  let create () = { q = Queue.create (); waiters = Queue.create () }
+
+  let send ?(delay = 0) t ch v =
+    let arrival = now t + delay in
+    Queue.push (arrival, v) ch.q;
+    if not (Queue.is_empty ch.waiters) then begin
+      let th, r = Queue.pop ch.waiters in
+      wake t th arrival r
+    end
+
+  let rec recv t ch =
+    if Queue.is_empty ch.q then begin
+      suspend t (fun th k -> Queue.push (th, make_resume t th k) ch.waiters);
+      recv t ch
+    end
+    else begin
+      let arrival, v = Queue.pop ch.q in
+      let th = cur t in
+      if arrival > th.clock then begin
+        t.idle <- t.idle + (arrival - th.clock);
+        th.clock <- arrival
+      end;
+      v
+    end
+
+  let try_recv t ch =
+    match Queue.peek_opt ch.q with
+    | Some (arrival, _) when arrival <= now t ->
+        let _, v = Queue.pop ch.q in
+        Some v
+    | Some _ | None -> None
+
+  let pending ch = Queue.length ch.q
+end
+
+module Barrier = struct
+  type b = {
+    parties : int;
+    mutable arrived : int;
+    mutable t_max : time;
+    mutable waiters : (thread * (unit -> unit)) list;
+  }
+
+  let create parties =
+    assert (parties > 0);
+    { parties; arrived = 0; t_max = 0; waiters = [] }
+
+  let await t b =
+    let th = cur t in
+    b.arrived <- b.arrived + 1;
+    if th.clock > b.t_max then b.t_max <- th.clock;
+    if b.arrived = b.parties then begin
+      let release = b.t_max in
+      let waiters = b.waiters in
+      b.arrived <- 0;
+      b.t_max <- 0;
+      b.waiters <- [];
+      List.iter (fun (wth, r) -> wake t wth release r) waiters;
+      if release > th.clock then begin
+        t.idle <- t.idle + (release - th.clock);
+        th.clock <- release
+      end
+    end
+    else
+      suspend t (fun th k ->
+          b.waiters <- (th, make_resume t th k) :: b.waiters)
+end
+
+module Gate = struct
+  type g = { mutable remaining : int; iv : unit Ivar.iv }
+
+  let create n =
+    assert (n >= 0);
+    let g = { remaining = n; iv = Ivar.create () } in
+    if n = 0 then g.iv.Ivar.st <- Ivar.Full (0, ());
+    g
+
+  let arrive t g =
+    if g.remaining <= 0 then invalid_arg "Sim.Gate.arrive: already open";
+    g.remaining <- g.remaining - 1;
+    if g.remaining = 0 then Ivar.fill t g.iv ()
+
+  let await t g = Ivar.read t g.iv
+  let pending g = g.remaining
+end

@@ -1,0 +1,113 @@
+(** Deterministic simulated-multicore execution substrate.
+
+    Engine code is written as ordinary blocking OCaml against this module:
+    [spawn] a thread per (virtual) core, charge CPU work with [tick], and
+    synchronize through {!Ivar}, {!Chan}, {!Barrier} and {!Gate}.  Under the
+    hood a single real thread runs a discrete-event scheduler built on
+    OCaml 5 effect handlers: every thread carries a virtual clock, the
+    runnable thread with the smallest clock runs next, and blocking
+    primitives hand wake-up times to their wakers.  Runs are bit-for-bit
+    deterministic, which the test suite exploits to check the paper's
+    central property (deterministic final database state).
+
+    Invariant relied on throughout Quill: shared-state accesses performed
+    by the running thread happen "at" its current clock, and the scheduler
+    only runs the globally minimal runnable clock, so shared-state events
+    are totally ordered by virtual time (ties broken by scheduling order,
+    deterministically). *)
+
+type t
+type time = int
+
+val create : ?wake_cost:int -> unit -> t
+(** [wake_cost] is added to a thread's clock whenever it is woken from a
+    blocking primitive (models scheduler/futex wake latency). *)
+
+val spawn : ?at:time -> t -> (unit -> unit) -> unit
+(** Register a thread whose body starts executing at virtual time [at]
+    (default 0).  Must be called before or during [run]. *)
+
+val run : t -> int
+(** Execute until no thread is runnable.  Returns the number of threads
+    still parked on a blocking primitive (0 for a quiescent shutdown). *)
+
+val now : t -> time
+(** Clock of the calling thread (must be called from inside a thread). *)
+
+val tick : t -> int -> unit
+(** Charge [n] ns of CPU work to the calling thread, yielding to any
+    thread whose wake-up time has been reached. *)
+
+val sleep : t -> int -> unit
+(** Advance the clock by [n] ns of idle (not busy) time. *)
+
+val yield : t -> unit
+(** Reschedule at the current clock, letting equal-time threads run. *)
+
+val busy_time : t -> int
+(** Total CPU ns charged via [tick] across all threads. *)
+
+val idle_time : t -> int
+val horizon : t -> time
+(** Largest virtual time reached by any thread. *)
+
+val threads_spawned : t -> int
+val threads_completed : t -> int
+
+(** Write-once cell: the cross-thread data-dependency primitive. *)
+module Ivar : sig
+  type 'a iv
+
+  val create : unit -> 'a iv
+  val is_full : 'a iv -> bool
+  val fill : t -> 'a iv -> 'a -> unit
+  (** Fill at the caller's clock; wakes all readers.  Raises
+      [Invalid_argument] when already full. *)
+
+  val read : t -> 'a iv -> 'a
+  (** Block until full; the caller's clock advances to at least the fill
+      time. *)
+
+  val peek : 'a iv -> 'a option
+end
+
+(** FIFO channel with per-message delivery delay: the messaging
+    primitive.  Multi-producer, multi-consumer. *)
+module Chan : sig
+  type 'a ch
+
+  val create : unit -> 'a ch
+  val send : ?delay:int -> t -> 'a ch -> 'a -> unit
+  (** Deliver the message at [caller clock + delay] (default 0). *)
+
+  val recv : t -> 'a ch -> 'a
+  (** Block until a message is available; clock advances to at least the
+      message's arrival time. *)
+
+  val try_recv : t -> 'a ch -> 'a option
+  (** Non-blocking: only returns a message already arrived by the caller's
+      clock. *)
+
+  val pending : 'a ch -> int
+end
+
+(** Reusable rendezvous barrier for a fixed party count: the phase
+    separator between planning and execution. *)
+module Barrier : sig
+  type b
+
+  val create : int -> b
+  val await : t -> b -> unit
+  (** All parties leave at the max of their arrival clocks. *)
+end
+
+(** Countdown latch: commit-dependency resolution.  [await] blocks until
+    [arrive] has been called [n] times. *)
+module Gate : sig
+  type g
+
+  val create : int -> g
+  val arrive : t -> g -> unit
+  val await : t -> g -> unit
+  val pending : g -> int
+end

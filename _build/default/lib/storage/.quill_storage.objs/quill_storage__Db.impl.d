@@ -1,0 +1,1 @@
+lib/storage/db.ml: Array Hashtbl Index Quill_common Row Table Vec

@@ -1,0 +1,1 @@
+lib/storage/index.ml: Hashtbl Quill_common Vec

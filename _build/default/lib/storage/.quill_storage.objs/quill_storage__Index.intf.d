@@ -1,0 +1,1 @@
+lib/storage/index.mli: Quill_common

@@ -1,0 +1,1 @@
+lib/storage/row.ml: Array

@@ -1,0 +1,47 @@
+open Quill_common
+
+type entry = { keys : int Vec.t; mutable head : int }
+
+type t = {
+  name : string;
+  tbl : (int, entry) Hashtbl.t;
+}
+
+let create ~name = { name; tbl = Hashtbl.create 1024 }
+let name t = t.name
+
+let add t skey pkey =
+  match Hashtbl.find_opt t.tbl skey with
+  | Some e -> Vec.push e.keys pkey
+  | None ->
+      let e = { keys = Vec.create (); head = 0 } in
+      Vec.push e.keys pkey;
+      Hashtbl.replace t.tbl skey e
+
+let find t skey =
+  match Hashtbl.find_opt t.tbl skey with
+  | None -> []
+  | Some e ->
+      let acc = ref [] in
+      for i = Vec.length e.keys - 1 downto e.head do
+        acc := Vec.get e.keys i :: !acc
+      done;
+      !acc
+
+let find_vec t skey =
+  match Hashtbl.find_opt t.tbl skey with
+  | None -> None
+  | Some e -> Some e.keys
+
+let pop_min t skey =
+  match Hashtbl.find_opt t.tbl skey with
+  | None -> None
+  | Some e ->
+      if e.head >= Vec.length e.keys then None
+      else begin
+        let k = Vec.get e.keys e.head in
+        e.head <- e.head + 1;
+        Some k
+      end
+
+let size t = Hashtbl.length t.tbl

@@ -1,0 +1,79 @@
+type t = {
+  name : string;
+  nfields : int;
+  nparts : int;
+  rows : Row.t array;
+  part_size : int;
+  home_fn : (int -> int) option;
+  dyn : (int, Row.t) Hashtbl.t;
+  dyn_home : (int, int) Hashtbl.t;
+}
+
+let create ?home_fn ~name ~nfields ~capacity ~nparts () =
+  assert (capacity >= 0 && nparts > 0 && nfields > 0);
+  let rows = Array.init capacity (fun key -> Row.make ~key ~nfields) in
+  let part_size =
+    if capacity = 0 then 1 else (capacity + nparts - 1) / nparts
+  in
+  {
+    name;
+    nfields;
+    nparts;
+    rows;
+    part_size;
+    home_fn;
+    dyn = Hashtbl.create 64;
+    dyn_home = Hashtbl.create 64;
+  }
+
+let name t = t.name
+let nfields t = t.nfields
+let capacity t = Array.length t.rows
+let nparts t = t.nparts
+
+let dense t key =
+  if key < 0 || key >= Array.length t.rows then
+    invalid_arg (Printf.sprintf "Table.dense %s: key %d" t.name key);
+  t.rows.(key)
+
+let find t key =
+  if key >= 0 && key < Array.length t.rows then Some t.rows.(key)
+  else Hashtbl.find_opt t.dyn key
+
+let find_exn t key =
+  match find t key with
+  | Some r -> r
+  | None -> raise Not_found
+
+let insert t ~home ~key payload =
+  if (key >= 0 && key < Array.length t.rows) || Hashtbl.mem t.dyn key then
+    invalid_arg (Printf.sprintf "Table.insert %s: duplicate key %d" t.name key);
+  if Array.length payload <> t.nfields then
+    invalid_arg "Table.insert: payload arity mismatch";
+  let row = Row.make ~key ~nfields:t.nfields in
+  Array.blit payload 0 row.Row.data 0 t.nfields;
+  Row.publish row;
+  Hashtbl.replace t.dyn key row;
+  Hashtbl.replace t.dyn_home key home;
+  row
+
+let home_of_key t key =
+  match t.home_fn with
+  | Some f -> f key
+  | None ->
+      if key >= 0 && key < Array.length t.rows then
+        min (key / t.part_size) (t.nparts - 1)
+      else (
+        match Hashtbl.find_opt t.dyn_home key with
+        | Some h -> h
+        | None -> abs key mod t.nparts)
+
+let remove t key =
+  if key >= 0 && key < Array.length t.rows then
+    invalid_arg "Table.remove: dense keys cannot be removed";
+  Hashtbl.remove t.dyn key;
+  Hashtbl.remove t.dyn_home key
+
+let inserted_count t = Hashtbl.length t.dyn
+let iter_dense f t = Array.iter f t.rows
+let row_bytes t = t.nfields * 8

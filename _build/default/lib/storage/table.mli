@@ -1,0 +1,47 @@
+(** A table: a dense preloaded region (keys [0 .. capacity-1]) plus a
+    dynamic region for rows inserted at run time under arbitrary integer
+    keys (composite keys are encoded into a single int by the workload's
+    schema module).  Rows are partitioned among [nparts] homes by key
+    range for the dense region and by an explicit home for inserts. *)
+
+type t
+
+val create :
+  ?home_fn:(int -> int) ->
+  name:string -> nfields:int -> capacity:int -> nparts:int -> unit -> t
+(** [home_fn] overrides partition placement (e.g. TPC-C order-family
+    tables derive their home from the district embedded in the key so
+    that an order lives with its district). *)
+
+val name : t -> string
+val nfields : t -> int
+val capacity : t -> int
+(** Size of the dense region. *)
+
+val nparts : t -> int
+
+val dense : t -> int -> Row.t
+(** [dense t key] for [0 <= key < capacity]; O(1). *)
+
+val find : t -> int -> Row.t option
+(** Dense or dynamic lookup. *)
+
+val find_exn : t -> int -> Row.t
+
+val insert : t -> home:int -> key:int -> int array -> Row.t
+(** Insert a fresh row with the given payload into the dynamic region.
+    Raises [Invalid_argument] on duplicate key. *)
+
+val home_of_key : t -> int -> int
+(** Partition of a key: [home_fn] when given; otherwise range
+    partitioning for dense keys and the home recorded at insert time for
+    dynamic keys. *)
+
+val remove : t -> int -> unit
+(** Remove a dynamic-region row (insert rollback).  No-op when absent;
+    raises [Invalid_argument] for dense keys. *)
+
+val inserted_count : t -> int
+val iter_dense : (Row.t -> unit) -> t -> unit
+val row_bytes : t -> int
+(** Approximate payload size of one row in bytes (fields x 8). *)

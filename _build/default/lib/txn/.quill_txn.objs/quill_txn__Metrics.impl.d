@@ -1,0 +1,1 @@
+lib/txn/metrics.ml: Format Quill_common Stats

@@ -1,0 +1,1 @@
+lib/txn/metrics.mli: Format Quill_common

@@ -1,0 +1,1 @@
+lib/txn/txn.ml: Array Db Format Fragment List Quill_storage

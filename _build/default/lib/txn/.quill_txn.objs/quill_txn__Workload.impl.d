@@ -1,0 +1,1 @@
+lib/txn/workload.ml: Array Exec Fragment Quill_storage Txn

@@ -1,0 +1,1 @@
+lib/txn/workload.mli: Exec Fragment Quill_storage Txn

@@ -1,0 +1,44 @@
+type mode = Read | Write | Rmw | Insert
+
+type t = {
+  fid : int;
+  table : int;
+  key : int;
+  mode : mode;
+  abortable : bool;
+  early : bool;
+  mutable commit_dep : bool;
+  data_deps : int array;
+  op : int;
+  args : int array;
+}
+
+let make ?(abortable = false) ?(early = false) ?(data_deps = [||])
+    ?(args = [||]) ~fid ~table ~key ~mode ~op () =
+  {
+    fid;
+    table;
+    key;
+    mode;
+    abortable;
+    early;
+    commit_dep = false;
+    data_deps;
+    op;
+    args;
+  }
+
+let updates t =
+  match t.mode with Write | Rmw | Insert -> true | Read -> false
+
+let mode_str = function
+  | Read -> "R"
+  | Write -> "W"
+  | Rmw -> "RMW"
+  | Insert -> "INS"
+
+let pp fmt t =
+  Format.fprintf fmt "f%d[%s t%d k%d%s%s]" t.fid (mode_str t.mode) t.table
+    t.key
+    (if t.abortable then " abortable" else "")
+    (if t.commit_dep then " cdep" else "")

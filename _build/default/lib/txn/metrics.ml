@@ -1,0 +1,50 @@
+open Quill_common
+
+type t = {
+  mutable committed : int;
+  mutable logic_aborted : int;
+  mutable cc_aborts : int;
+  mutable cascades : int;
+  lat : Stats.Hist.t;
+  mutable elapsed : int;
+  mutable busy : int;
+  mutable idle : int;
+  mutable threads : int;
+  mutable batches : int;
+  mutable msgs : int;
+}
+
+let create () =
+  {
+    committed = 0;
+    logic_aborted = 0;
+    cc_aborts = 0;
+    cascades = 0;
+    lat = Stats.Hist.create ();
+    elapsed = 0;
+    busy = 0;
+    idle = 0;
+    threads = 0;
+    batches = 0;
+    msgs = 0;
+  }
+
+let throughput t =
+  if t.elapsed <= 0 then 0.0
+  else float_of_int t.committed /. (float_of_int t.elapsed /. 1e9)
+
+let abort_rate t =
+  let attempts = t.committed + t.cc_aborts in
+  if attempts = 0 then 0.0 else float_of_int t.cc_aborts /. float_of_int attempts
+
+let utilization t =
+  let span = t.elapsed * t.threads in
+  if span <= 0 then 0.0 else float_of_int t.busy /. float_of_int span
+
+let pp fmt t =
+  Format.fprintf fmt
+    "commits=%d aborts(logic)=%d aborts(cc)=%d tput=%.0f txn/s p50=%dns p99=%dns util=%.2f"
+    t.committed t.logic_aborted t.cc_aborts (throughput t)
+    (Stats.Hist.percentile t.lat 50.0)
+    (Stats.Hist.percentile t.lat 99.0)
+    (utilization t)

@@ -1,0 +1,26 @@
+(** Run metrics shared by every engine. *)
+
+type t = {
+  mutable committed : int;
+  mutable logic_aborted : int;  (** transactions whose final outcome is abort *)
+  mutable cc_aborts : int;      (** concurrency-control aborts / retries (ND) *)
+  mutable cascades : int;       (** speculative cascade re-executions *)
+  lat : Quill_common.Stats.Hist.t;  (** commit latency, virtual ns *)
+  mutable elapsed : int;        (** virtual ns covered by the run *)
+  mutable busy : int;           (** CPU ns charged *)
+  mutable idle : int;
+  mutable threads : int;        (** virtual cores used *)
+  mutable batches : int;
+  mutable msgs : int;           (** messages sent (distributed engines) *)
+}
+
+val create : unit -> t
+
+val throughput : t -> float
+(** Committed transactions per virtual second. *)
+
+val abort_rate : t -> float
+(** cc aborts / (commits + cc aborts): wasted-execution fraction. *)
+
+val utilization : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,18 @@
+type t = {
+  name : string;
+  db : Quill_storage.Db.t;
+  new_stream : int -> unit -> Txn.t;
+  exec : Exec.ctx -> Txn.t -> Fragment.t -> Exec.outcome;
+  describe : string;
+}
+
+let exec_txn t ctx txn =
+  let n = Array.length txn.Txn.frags in
+  let rec go i =
+    if i >= n then Exec.Ok
+    else
+      match t.exec ctx txn txn.Txn.frags.(i) with
+      | Exec.Ok -> go (i + 1)
+      | (Exec.Abort | Exec.Blocked) as r -> r
+  in
+  go 0

@@ -1,0 +1,22 @@
+(** Engine-facing workload handle.
+
+    A workload bundles the populated database, per-stream transaction
+    generators (one independent deterministic stream per planner or
+    worker thread), and the fragment-logic interpreter. *)
+
+type t = {
+  name : string;
+  db : Quill_storage.Db.t;
+  new_stream : int -> unit -> Txn.t;
+      (** [new_stream i] returns a generator for stream [i]; streams are
+          deterministic and independent.  Transactions carry globally
+          unique, monotone-per-stream tids. *)
+  exec : Exec.ctx -> Txn.t -> Fragment.t -> Exec.outcome;
+      (** Run one fragment's logic through the engine's accessors. *)
+  describe : string;
+}
+
+val exec_txn : t -> Exec.ctx -> Txn.t -> Exec.outcome
+(** Run all fragments in program order against [ctx], stopping at the
+    first [Abort] or [Blocked].  The serial reference executor; engines
+    with their own scheduling call [exec] per fragment instead. *)

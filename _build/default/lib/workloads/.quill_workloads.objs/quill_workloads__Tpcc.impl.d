@@ -1,0 +1,1 @@
+lib/workloads/tpcc.ml: Array Hashtbl Printf Quill_common Quill_txn Rng Tpcc_defs Tpcc_exec Tpcc_gen Tpcc_load Workload

@@ -1,0 +1,1 @@
+lib/workloads/tpcc.mli: Quill_txn Tpcc_defs Tpcc_load

@@ -1,0 +1,1 @@
+lib/workloads/tpcc_defs.ml: Quill_common Rng

@@ -1,0 +1,1 @@
+lib/workloads/tpcc_defs.mli: Quill_common

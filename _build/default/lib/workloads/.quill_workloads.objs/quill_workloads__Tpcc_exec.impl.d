@@ -1,0 +1,1 @@
+lib/workloads/tpcc_exec.ml: Array C D Exec Fragment H I NO O OL Printf Quill_txn S Tpcc_defs Txn W

@@ -1,0 +1,1 @@
+lib/workloads/tpcc_exec.mli: Quill_txn

@@ -1,0 +1,1 @@
+lib/workloads/tpcc_gen.ml: Array Fragment Hashtbl Queue Quill_common Quill_storage Quill_txn Rng Tpcc_defs Tpcc_load Txn Vec

@@ -1,0 +1,1 @@
+lib/workloads/tpcc_gen.mli: Quill_common Quill_txn Tpcc_defs Tpcc_load

@@ -1,0 +1,1 @@
+lib/workloads/tpcc_load.ml: Array C D Db H I Index NO O OL Quill_common Quill_storage Rng Row S Table Tpcc_defs W

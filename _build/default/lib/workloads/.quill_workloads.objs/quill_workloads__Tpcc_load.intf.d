@@ -1,0 +1,1 @@
+lib/workloads/tpcc_load.mli: Quill_storage Tpcc_defs

@@ -1,0 +1,1 @@
+lib/workloads/ycsb.ml: Array Db Exec Fragment Printf Quill_common Quill_storage Quill_txn Rng Row Table Txn Workload Zipf

@@ -1,0 +1,159 @@
+(* Fragment-logic interpreter: the stored-procedure bodies of the five
+   TPC-C transactions, written once against the engine-neutral
+   execution context. *)
+
+open Quill_txn
+open Tpcc_defs
+
+let exec (ctx : Exec.ctx) (_txn : Txn.t) (frag : Fragment.t) : Exec.outcome =
+  let op = frag.Fragment.op in
+  let args = frag.Fragment.args in
+  let deps = frag.Fragment.data_deps in
+  (* --- NewOrder --- *)
+  if op = op_no_wh then begin
+    ctx.Exec.output frag.Fragment.fid (ctx.Exec.read frag W.tax);
+    Exec.Ok
+  end
+  else if op = op_no_dist then begin
+    let tax = ctx.Exec.read frag D.tax in
+    (* Order ids are pre-assigned (DESIGN.md), so the next_o_id bump is a
+       pure commutative increment: no one consumes the stored value. *)
+    ctx.Exec.add frag D.next_o_id 1;
+    ctx.Exec.output frag.Fragment.fid tax;
+    Exec.Ok
+  end
+  else if op = op_no_cust then begin
+    ctx.Exec.output frag.Fragment.fid (ctx.Exec.read frag C.discount);
+    Exec.Ok
+  end
+  else if op = op_no_item then begin
+    if not (ctx.Exec.found frag) then Exec.Abort
+    else begin
+      ctx.Exec.output frag.Fragment.fid (ctx.Exec.read frag I.price);
+      Exec.Ok
+    end
+  end
+  else if op = op_no_stock then begin
+    let qty = args.(0) and remote = args.(1) in
+    let q = ctx.Exec.read frag S.quantity in
+    let q' = if q >= qty + 10 then q - qty else q - qty + 91 in
+    ctx.Exec.write frag S.quantity q';
+    ctx.Exec.add frag S.ytd qty;
+    ctx.Exec.add frag S.order_cnt 1;
+    if remote = 1 then ctx.Exec.add frag S.remote_cnt 1;
+    Exec.Ok
+  end
+  else if op = op_no_ins_order then begin
+    let payload = Array.make O.nfields 0 in
+    payload.(O.c) <- args.(0);
+    payload.(O.ol_cnt) <- args.(1);
+    ctx.Exec.insert frag ~key:frag.Fragment.key payload;
+    Exec.Ok
+  end
+  else if op = op_no_ins_neworder then begin
+    ctx.Exec.insert frag ~key:frag.Fragment.key (Array.make NO.nfields 0);
+    Exec.Ok
+  end
+  else if op = op_no_ins_ol then begin
+    let price = ctx.Exec.input deps.(0) in
+    let qty = args.(0) and supply = args.(1) and item = args.(2) in
+    let payload = Array.make OL.nfields 0 in
+    payload.(OL.i) <- item;
+    payload.(OL.qty) <- qty;
+    payload.(OL.amount) <- qty * price;
+    payload.(OL.supply_w) <- supply;
+    ctx.Exec.insert frag ~key:frag.Fragment.key payload;
+    Exec.Ok
+  end
+  (* --- Payment --- *)
+  else if op = op_pay_wh then begin
+    ctx.Exec.add frag W.ytd args.(0);
+    Exec.Ok
+  end
+  else if op = op_pay_dist then begin
+    ctx.Exec.add frag D.ytd args.(0);
+    Exec.Ok
+  end
+  else if op = op_pay_cust then begin
+    let h = args.(0) in
+    ctx.Exec.add frag C.balance (-h);
+    ctx.Exec.add frag C.ytd_payment h;
+    ctx.Exec.add frag C.payment_cnt 1;
+    Exec.Ok
+  end
+  else if op = op_pay_ins_hist then begin
+    let payload = Array.make H.nfields 0 in
+    payload.(H.amount) <- args.(0);
+    payload.(H.wd) <- args.(1);
+    payload.(H.c) <- args.(2);
+    ctx.Exec.insert frag ~key:frag.Fragment.key payload;
+    Exec.Ok
+  end
+  (* --- OrderStatus --- *)
+  else if op = op_os_cust then begin
+    ctx.Exec.output frag.Fragment.fid (ctx.Exec.read frag C.balance);
+    Exec.Ok
+  end
+  else if op = op_os_order then begin
+    ctx.Exec.output frag.Fragment.fid
+      (if ctx.Exec.found frag then ctx.Exec.read frag O.carrier else 0);
+    Exec.Ok
+  end
+  else if op = op_os_ol then begin
+    ctx.Exec.output frag.Fragment.fid
+      (if ctx.Exec.found frag then ctx.Exec.read frag OL.amount else 0);
+    Exec.Ok
+  end
+  (* --- Delivery --- *)
+  else if op = op_del_neworder then begin
+    if ctx.Exec.found frag && ctx.Exec.read frag NO.delivered = 0 then begin
+      ctx.Exec.write frag NO.delivered 1;
+      ctx.Exec.output frag.Fragment.fid 1
+    end
+    else ctx.Exec.output frag.Fragment.fid 0;
+    Exec.Ok
+  end
+  else if op = op_del_order then begin
+    let gate = ctx.Exec.input deps.(0) in
+    if gate = 1 && ctx.Exec.found frag then
+      ctx.Exec.write frag O.carrier args.(0);
+    Exec.Ok
+  end
+  else if op = op_del_ol then begin
+    let gate = ctx.Exec.input deps.(0) in
+    if gate = 1 && ctx.Exec.found frag then begin
+      ctx.Exec.write frag OL.delivery_d 1;
+      ctx.Exec.output frag.Fragment.fid (ctx.Exec.read frag OL.amount)
+    end
+    else ctx.Exec.output frag.Fragment.fid 0;
+    Exec.Ok
+  end
+  else if op = op_del_cust then begin
+    let gate = ctx.Exec.input deps.(0) in
+    if gate = 1 && ctx.Exec.found frag then begin
+      let sum = ref 0 in
+      for i = 1 to Array.length deps - 1 do
+        sum := !sum + ctx.Exec.input deps.(i)
+      done;
+      ctx.Exec.add frag C.balance !sum;
+      ctx.Exec.add frag C.delivery_cnt 1
+    end;
+    Exec.Ok
+  end
+  (* --- StockLevel --- *)
+  else if op = op_sl_dist then begin
+    ctx.Exec.output frag.Fragment.fid (ctx.Exec.read frag D.next_o_id);
+    Exec.Ok
+  end
+  else if op = op_sl_ol then begin
+    ctx.Exec.output frag.Fragment.fid
+      (if ctx.Exec.found frag then ctx.Exec.read frag OL.i else -1);
+    Exec.Ok
+  end
+  else if op = op_sl_stock then begin
+    (* The < threshold comparison is the query's predicate; the count is
+       a client-side aggregate, so reading suffices. *)
+    let _q = ctx.Exec.read frag S.quantity in
+    Exec.Ok
+  end
+  else invalid_arg (Printf.sprintf "Tpcc_exec: unknown opcode %d" op)

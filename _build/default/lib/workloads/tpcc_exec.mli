@@ -1,0 +1,9 @@
+(** The stored-procedure bodies of the five TPC-C transactions,
+    interpreted per fragment opcode (see {!Tpcc_defs}) against the
+    engine-neutral execution context. *)
+
+val exec :
+  Quill_txn.Exec.ctx ->
+  Quill_txn.Txn.t ->
+  Quill_txn.Fragment.t ->
+  Quill_txn.Exec.outcome

@@ -1,0 +1,231 @@
+(* Transaction generation (TPC-C clause 2) with the pre-assigned order-id
+   scheme deterministic engines need (DESIGN.md): order ids are drawn from
+   shared per-district counters at generation time; the district's
+   next_o_id row is still read-modify-written at execution time, so the
+   hot-spot contention is preserved exactly. *)
+
+open Quill_common
+open Quill_txn
+open Tpcc_defs
+
+(* Shared bookkeeping across generator streams. *)
+type book = {
+  next_o : int array;                                   (* per dkey *)
+  undelivered : (int * int * int) Queue.t array;        (* (o, cnt, c) *)
+  last_order : (int, int * int) Hashtbl.t;              (* ckey -> (okey, cnt) *)
+  recent : (int * int array) option array array;        (* ring of 20 *)
+  recent_pos : int array;
+  mutable hseq : int;
+}
+
+let make_book (cfg : cfg) =
+  let dk_count = cfg.warehouses * 10 in
+  {
+    next_o = Array.make dk_count 0;
+    undelivered = Array.init dk_count (fun _ -> Queue.create ());
+    last_order = Hashtbl.create 4096;
+    recent = Array.make_matrix dk_count 20 None;
+    recent_pos = Array.make dk_count 0;
+    hseq = 0;
+  }
+
+let pick_customer (cfg : cfg) h rng ~w ~d =
+  if Rng.int rng 100 < cfg.by_last_name_pct then begin
+    (* By last name: position the cursor at the middle match (2.5.2.2). *)
+    let dk = dkey ~w ~d in
+    let last = last_name_num rng in
+    let idx = Quill_storage.Db.index h.Tpcc_load.db h.Tpcc_load.ix_cust_by_name in
+    match Quill_storage.Index.find idx ((dk * 1000) + last) with
+    | [] -> ckey ~w ~d ~c:(nurand rng ~a:1023 ~x:0 ~y:(cfg.customers_per_district - 1))
+    | l ->
+        let arr = Array.of_list l in
+        arr.(Array.length arr / 2)
+  end
+  else
+    ckey ~w ~d ~c:(nurand rng ~a:1023 ~x:0 ~y:(cfg.customers_per_district - 1))
+
+let gen_new_order (cfg : cfg) h book rng tid ~w =
+  let d = Rng.int rng 10 in
+  let dk = dkey ~w ~d in
+  let ck = pick_customer cfg h rng ~w ~d in
+  let cnt = Rng.int_incl rng 5 15 in
+  let invalid = Rng.int rng 100 < cfg.invalid_item_pct in
+  let items =
+    Array.init cnt (fun k ->
+        if invalid && k = cnt - 1 then cfg.items (* out of range *)
+        else nurand rng ~a:8191 ~x:0 ~y:(cfg.items - 1))
+  in
+  let supply =
+    Array.init cnt (fun _ ->
+        if cfg.warehouses > 1 && Rng.int rng 100 < cfg.remote_stock_pct then
+          Rng.int rng cfg.warehouses
+        else w)
+  in
+  let qtys = Array.init cnt (fun _ -> Rng.int_incl rng 1 10) in
+  let o = book.next_o.(dk) in
+  book.next_o.(dk) <- o + 1;
+  let ok = okey ~dk ~o in
+  if not invalid then begin
+    Queue.push (o, cnt, ck) book.undelivered.(dk);
+    Hashtbl.replace book.last_order ck (ok, cnt);
+    let pos = book.recent_pos.(dk) in
+    book.recent.(dk).(pos mod 20) <- Some (o, Array.copy items);
+    book.recent_pos.(dk) <- pos + 1
+  end;
+  let frags = Vec.create () in
+  let fid () = Vec.length frags in
+  let push f = Vec.push frags f in
+  push (Fragment.make ~fid:(fid ()) ~table:h.Tpcc_load.t_warehouse ~key:w
+          ~mode:Fragment.Read ~op:op_no_wh ());
+  push (Fragment.make ~fid:(fid ()) ~table:h.Tpcc_load.t_district ~key:dk
+          ~mode:Fragment.Rmw ~op:op_no_dist ());
+  push (Fragment.make ~fid:(fid ()) ~table:h.Tpcc_load.t_customer ~key:ck
+          ~mode:Fragment.Read ~op:op_no_cust ());
+  let item_fids = Array.make cnt 0 in
+  for k = 0 to cnt - 1 do
+    item_fids.(k) <- fid ();
+    push (Fragment.make ~fid:(fid ()) ~table:h.Tpcc_load.t_item ~key:items.(k)
+            ~mode:Fragment.Read ~op:op_no_item ~abortable:true ~early:true ());
+    push (Fragment.make ~fid:(fid ()) ~table:h.Tpcc_load.t_stock
+            ~key:(skey ~w:supply.(k) ~i:(min items.(k) (cfg.items - 1)))
+            ~mode:Fragment.Rmw ~op:op_no_stock
+            ~args:[| qtys.(k); (if supply.(k) <> w then 1 else 0) |] ())
+  done;
+  push (Fragment.make ~fid:(fid ()) ~table:h.Tpcc_load.t_orders ~key:ok
+          ~mode:Fragment.Insert ~op:op_no_ins_order ~args:[| ck; cnt |] ());
+  push (Fragment.make ~fid:(fid ()) ~table:h.Tpcc_load.t_new_order ~key:ok
+          ~mode:Fragment.Insert ~op:op_no_ins_neworder ());
+  for k = 0 to cnt - 1 do
+    push (Fragment.make ~fid:(fid ()) ~table:h.Tpcc_load.t_order_line
+            ~key:(olkey ~ok ~ol:k) ~mode:Fragment.Insert ~op:op_no_ins_ol
+            ~data_deps:[| item_fids.(k) |]
+            ~args:[| qtys.(k); supply.(k); min items.(k) (cfg.items - 1) |] ())
+  done;
+  Txn.make ~tid (Vec.to_array frags)
+
+let gen_payment (cfg : cfg) h book rng tid ~w =
+  let d = Rng.int rng 10 in
+  let c_w, c_d =
+    if cfg.warehouses > 1 && Rng.int rng 100 < cfg.remote_payment_pct then
+      (Rng.int rng cfg.warehouses, Rng.int rng 10)
+    else (w, d)
+  in
+  let ck = pick_customer cfg h rng ~w:c_w ~d:c_d in
+  let amount = Rng.int_incl rng 100 500_000 in
+  book.hseq <- book.hseq + 1;
+  let hkey = book.hseq in
+  [|
+    Fragment.make ~fid:0 ~table:h.Tpcc_load.t_warehouse ~key:w
+      ~mode:Fragment.Rmw ~op:op_pay_wh ~args:[| amount |] ();
+    Fragment.make ~fid:1 ~table:h.Tpcc_load.t_district ~key:(dkey ~w ~d)
+      ~mode:Fragment.Rmw ~op:op_pay_dist ~args:[| amount |] ();
+    Fragment.make ~fid:2 ~table:h.Tpcc_load.t_customer ~key:ck
+      ~mode:Fragment.Rmw ~op:op_pay_cust ~args:[| amount |] ();
+    Fragment.make ~fid:3 ~table:h.Tpcc_load.t_history ~key:hkey
+      ~mode:Fragment.Insert ~op:op_pay_ins_hist
+      ~args:[| amount; dkey ~w ~d; ck |] ();
+  |]
+  |> Txn.make ~tid
+
+let gen_order_status (cfg : cfg) h book rng tid ~w =
+  let d = Rng.int rng 10 in
+  let ck = pick_customer cfg h rng ~w ~d in
+  let frags = Vec.create () in
+  Vec.push frags
+    (Fragment.make ~fid:0 ~table:h.Tpcc_load.t_customer ~key:ck
+       ~mode:Fragment.Read ~op:op_os_cust ());
+  (match Hashtbl.find_opt book.last_order ck with
+  | None -> ()
+  | Some (ok, cnt) ->
+      Vec.push frags
+        (Fragment.make ~fid:1 ~table:h.Tpcc_load.t_orders ~key:ok
+           ~mode:Fragment.Read ~op:op_os_order ());
+      for l = 0 to cnt - 1 do
+        Vec.push frags
+          (Fragment.make ~fid:(2 + l) ~table:h.Tpcc_load.t_order_line
+             ~key:(olkey ~ok ~ol:l) ~mode:Fragment.Read ~op:op_os_ol ())
+      done);
+  Txn.make ~tid (Vec.to_array frags)
+
+let gen_delivery (cfg : cfg) h book rng tid ~w =
+  ignore cfg;
+  let carrier = Rng.int_incl rng 1 10 in
+  let frags = Vec.create () in
+  let fid () = Vec.length frags in
+  for d = 0 to 9 do
+    let dk = dkey ~w ~d in
+    match Queue.take_opt book.undelivered.(dk) with
+    | None -> ()
+    | Some (o, cnt, ck) ->
+        let ok = okey ~dk ~o in
+        let gate = fid () in
+        Vec.push frags
+          (Fragment.make ~fid:gate ~table:h.Tpcc_load.t_new_order ~key:ok
+             ~mode:Fragment.Rmw ~op:op_del_neworder ());
+        Vec.push frags
+          (Fragment.make ~fid:(fid ()) ~table:h.Tpcc_load.t_orders ~key:ok
+             ~mode:Fragment.Rmw ~op:op_del_order ~data_deps:[| gate |]
+             ~args:[| carrier |] ());
+        let ol_fids = Array.make cnt 0 in
+        for l = 0 to cnt - 1 do
+          ol_fids.(l) <- fid ();
+          Vec.push frags
+            (Fragment.make ~fid:(fid ()) ~table:h.Tpcc_load.t_order_line
+               ~key:(olkey ~ok ~ol:l) ~mode:Fragment.Rmw ~op:op_del_ol
+               ~data_deps:[| gate |] ())
+        done;
+        Vec.push frags
+          (Fragment.make ~fid:(fid ()) ~table:h.Tpcc_load.t_customer ~key:ck
+             ~mode:Fragment.Rmw ~op:op_del_cust
+             ~data_deps:(Array.append [| gate |] ol_fids) ())
+  done;
+  Txn.make ~tid (Vec.to_array frags)
+
+let gen_stock_level (cfg : cfg) h book rng tid ~w =
+  let d = Rng.int rng 10 in
+  let dk = dkey ~w ~d in
+  let threshold = Rng.int_incl rng 10 20 in
+  let frags = Vec.create () in
+  let fid () = Vec.length frags in
+  Vec.push frags
+    (Fragment.make ~fid:(fid ()) ~table:h.Tpcc_load.t_district ~key:dk
+       ~mode:Fragment.Read ~op:op_sl_dist ());
+  let seen = Hashtbl.create 64 in
+  let budget = ref 100 in
+  Array.iter
+    (fun slot ->
+      match slot with
+      | None -> ()
+      | Some (o, items) ->
+          let ok = okey ~dk ~o in
+          Array.iteri
+            (fun l item ->
+              if !budget > 0 && item < cfg.items then begin
+                decr budget;
+                Vec.push frags
+                  (Fragment.make ~fid:(fid ()) ~table:h.Tpcc_load.t_order_line
+                     ~key:(olkey ~ok ~ol:l) ~mode:Fragment.Read ~op:op_sl_ol ());
+                if not (Hashtbl.mem seen item) then begin
+                  Hashtbl.replace seen item ();
+                  Vec.push frags
+                    (Fragment.make ~fid:(fid ()) ~table:h.Tpcc_load.t_stock
+                       ~key:(skey ~w ~i:item) ~mode:Fragment.Read
+                       ~op:op_sl_stock ~args:[| threshold |] ())
+                end
+              end)
+            items)
+    book.recent.(dk);
+  Txn.make ~tid (Vec.to_array frags)
+
+let gen_txn (cfg : cfg) h book rng tid =
+  let w = Rng.int rng cfg.warehouses in
+  let roll = Rng.int rng 100 in
+  let m1 = cfg.mix_new_order in
+  let m2 = m1 + cfg.mix_payment in
+  let m3 = m2 + cfg.mix_order_status in
+  let m4 = m3 + cfg.mix_delivery in
+  if roll < m1 then gen_new_order cfg h book rng tid ~w
+  else if roll < m2 then gen_payment cfg h book rng tid ~w
+  else if roll < m3 then gen_order_status cfg h book rng tid ~w
+  else if roll < m4 then gen_delivery cfg h book rng tid ~w
+  else gen_stock_level cfg h book rng tid ~w

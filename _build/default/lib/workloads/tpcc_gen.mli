@@ -1,0 +1,22 @@
+(** TPC-C transaction generation (clause 2) with the pre-assigned
+    order-id scheme deterministic engines require (DESIGN.md section 6):
+    order ids come from bookkeeping shared by all generator streams, the
+    district's next_o_id row is still read-modify-written at execution
+    time, customer-by-last-name is resolved against the static index,
+    and Delivery / OrderStatus / StockLevel draw their targets from the
+    shared bookkeeping. *)
+
+type book
+(** Shared cross-stream generator state (order counters, undelivered
+    queues, last order per customer, recent orders per district). *)
+
+val make_book : Tpcc_defs.cfg -> book
+
+val gen_txn :
+  Tpcc_defs.cfg ->
+  Tpcc_load.handles ->
+  book ->
+  Quill_common.Rng.t ->
+  int ->
+  Quill_txn.Txn.t
+(** Draw one transaction from the configured mix; the [int] is its tid. *)

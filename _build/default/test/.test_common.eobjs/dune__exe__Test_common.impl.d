@@ -1,0 +1,1 @@
+test/test_common.ml: Alcotest Array Bitset Fun Gen Heap Int List Printf QCheck QCheck_alcotest Quill_common Rng Set Stats String Tablefmt Tutil Vec Zipf

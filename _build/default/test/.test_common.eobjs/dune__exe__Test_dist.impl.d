@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Db Metrics Printf QCheck QCheck_alcotest Quill_dist Quill_protocols Quill_sim Quill_storage Quill_txn Quill_workloads Tpcc Tpcc_defs Tutil Workload Ycsb

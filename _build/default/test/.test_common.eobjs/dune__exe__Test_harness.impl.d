@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest List Metrics Quill_common Quill_harness Quill_quecc Quill_txn Tutil

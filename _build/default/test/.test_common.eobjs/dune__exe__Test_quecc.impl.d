@@ -1,0 +1,1 @@
+test/test_quecc.ml: Alcotest Db List Metrics Printf QCheck QCheck_alcotest Quill_common Quill_protocols Quill_quecc Quill_sim Quill_storage Quill_txn Quill_workloads Tutil Workload Ycsb

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Buffer Gen List Printf QCheck QCheck_alcotest Quill_sim Sim Tutil

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Db Index QCheck QCheck_alcotest Quill_storage Row Table Tutil

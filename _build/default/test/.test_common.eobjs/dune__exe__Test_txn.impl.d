@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Array Exec Fragment List Metrics Quill_quecc Quill_storage Quill_txn Tutil Txn Workload

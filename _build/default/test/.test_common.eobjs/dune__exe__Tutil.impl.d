@@ -1,0 +1,1 @@
+test/tutil.ml: Alcotest Array Fragment Hashtbl List Quill_common Quill_storage Quill_txn Quill_workloads Txn Vec Workload

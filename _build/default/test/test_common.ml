@@ -1,0 +1,339 @@
+open Quill_common
+
+(* ------------------------- Rng ------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 1000 do
+    Tutil.check_int "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 1 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    Tutil.check_bool "in range" true (v >= 0 && v < 17);
+    let w = Rng.int_incl r (-5) 5 in
+    Tutil.check_bool "incl range" true (w >= -5 && w <= 5);
+    let f = Rng.float r 2.0 in
+    Tutil.check_bool "float range" true (f >= 0.0 && f < 2.0)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 3 in
+  let b = Rng.split a in
+  (* The split stream must not mirror the parent. *)
+  let equal = ref 0 in
+  for _ = 1 to 100 do
+    if Rng.next a = Rng.next b then incr equal
+  done;
+  Tutil.check_bool "split diverges" true (!equal < 5)
+
+let test_rng_uniformity () =
+  let r = Rng.create 99 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Rng.int r 10 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Tutil.check_bool "bucket within 10% of uniform" true
+        (abs (c - (n / 10)) < n / 100))
+    buckets
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 5 in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 100 Fun.id) sorted
+
+let test_rng_chance () =
+  let r = Rng.create 12 in
+  let hits = ref 0 in
+  for _ = 1 to 100_000 do
+    if Rng.chance r 0.25 then incr hits
+  done;
+  Tutil.check_bool "chance ~ 25%" true (abs (!hits - 25_000) < 1_000)
+
+(* ------------------------- Zipf ------------------------- *)
+
+let test_zipf_bounds () =
+  let z = Zipf.create ~theta:0.99 1000 in
+  let r = Rng.create 4 in
+  for _ = 1 to 10_000 do
+    let k = Zipf.sample z r in
+    Tutil.check_bool "in range" true (k >= 0 && k < 1000);
+    let s = Zipf.sample_scrambled z r in
+    Tutil.check_bool "scrambled in range" true (s >= 0 && s < 1000)
+  done
+
+let test_zipf_uniform_case () =
+  let z = Zipf.create ~theta:0.0 100 in
+  let r = Rng.create 8 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 100_000 do
+    let k = Zipf.sample z r in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iter
+    (fun c -> Tutil.check_bool "roughly uniform" true (abs (c - 1000) < 250))
+    counts
+
+let test_zipf_skew () =
+  let z = Zipf.create ~theta:0.99 10_000 in
+  let r = Rng.create 21 in
+  let hot = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Zipf.sample z r < 100 then incr hot
+  done;
+  (* Under theta=0.99 the hottest 1% of keys draw a large share. *)
+  Tutil.check_bool
+    (Printf.sprintf "hot keys dominate (%d/%d)" !hot n)
+    true
+    (float_of_int !hot /. float_of_int n > 0.35)
+
+let test_zipf_theta_ordering () =
+  let hot_share theta =
+    let z = Zipf.create ~theta 10_000 in
+    let r = Rng.create 2 in
+    let hot = ref 0 in
+    for _ = 1 to 20_000 do
+      if Zipf.sample z r < 100 then incr hot
+    done;
+    !hot
+  in
+  let h0 = hot_share 0.0 and h6 = hot_share 0.6 and h9 = hot_share 0.9 in
+  Tutil.check_bool "skew grows with theta" true (h0 < h6 && h6 < h9)
+
+(* ------------------------- Vec ------------------------- *)
+
+let test_vec_basic () =
+  let v = Vec.create () in
+  Tutil.check_bool "empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Tutil.check_int "length" 100 (Vec.length v);
+  Tutil.check_int "get" 42 (Vec.get v 42);
+  Vec.set v 42 1000;
+  Tutil.check_int "set" 1000 (Vec.get v 42);
+  Tutil.check_int "pop" 99 (match Vec.pop v with Some x -> x | None -> -1);
+  Tutil.check_int "length after pop" 99 (Vec.length v);
+  Vec.clear v;
+  Tutil.check_int "cleared" 0 (Vec.length v);
+  Tutil.check_bool "pop empty" true (Vec.pop v = None)
+
+let test_vec_oob () =
+  let v = Vec.of_array [| 1; 2; 3 |] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec.get") (fun () ->
+      ignore (Vec.get v 3));
+  Alcotest.check_raises "set oob" (Invalid_argument "Vec.set") (fun () ->
+      Vec.set v (-1) 0)
+
+let test_vec_sort_fold () =
+  let v = Vec.of_array [| 5; 1; 4; 2; 3 |] in
+  Vec.sort compare v;
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] (Vec.to_list v);
+  Tutil.check_int "fold" 15 (Vec.fold ( + ) 0 v);
+  Tutil.check_bool "exists" true (Vec.exists (fun x -> x = 4) v);
+  Tutil.check_bool "not exists" false (Vec.exists (fun x -> x = 9) v)
+
+let prop_vec_model =
+  QCheck.Test.make ~name:"vec behaves like list" ~count:200
+    QCheck.(list (int_bound 1000))
+    (fun xs ->
+      let v = Vec.create () in
+      List.iter (Vec.push v) xs;
+      Vec.to_list v = xs
+      && Vec.length v = List.length xs
+      && List.for_all2 ( = ) (Vec.to_list v) xs)
+
+(* ------------------------- Heap ------------------------- *)
+
+let test_heap_order () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2 ];
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some x ->
+        out := x :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "heap sorts" [ 9; 8; 5; 3; 2; 1 ] !out
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pop order = sorted" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with Some x -> drain (x :: acc) | None -> List.rev acc
+      in
+      drain [] = List.sort compare xs)
+
+(* ------------------------- Bitset ------------------------- *)
+
+let test_bitset_basic () =
+  let b = Bitset.create 100 in
+  Bitset.add b 0;
+  Bitset.add b 63;
+  Bitset.add b 64;
+  Bitset.add b 99;
+  Tutil.check_int "cardinal" 4 (Bitset.cardinal b);
+  Tutil.check_bool "mem" true (Bitset.mem b 64);
+  Bitset.remove b 64;
+  Tutil.check_bool "removed" false (Bitset.mem b 64);
+  Tutil.check_int "cardinal after remove" 3 (Bitset.cardinal b);
+  Alcotest.(check (list int)) "to_list" [ 0; 63; 99 ] (Bitset.to_list b);
+  Bitset.clear b;
+  Tutil.check_int "cleared" 0 (Bitset.cardinal b)
+
+let prop_bitset_model =
+  QCheck.Test.make ~name:"bitset behaves like int set" ~count:200
+    QCheck.(list (int_bound 199))
+    (fun xs ->
+      let b = Bitset.create 200 in
+      List.iter (Bitset.add b) xs;
+      let module S = Set.Make (Int) in
+      let s = S.of_list xs in
+      Bitset.cardinal b = S.cardinal s
+      && Bitset.to_list b = S.elements s)
+
+(* ------------------------- Stats ------------------------- *)
+
+let test_acc () =
+  let a = Stats.Acc.create () in
+  List.iter (Stats.Acc.add a) [ 2.0; 4.0; 6.0; 8.0 ];
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.Acc.mean a);
+  Alcotest.(check (float 1e-9))
+    "variance" (20.0 /. 3.0) (Stats.Acc.variance a);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Stats.Acc.min a);
+  Alcotest.(check (float 1e-9)) "max" 8.0 (Stats.Acc.max a);
+  Tutil.check_int "count" 4 (Stats.Acc.count a);
+  Alcotest.(check (float 1e-9)) "total" 20.0 (Stats.Acc.total a)
+
+let test_hist_exact_small () =
+  let h = Stats.Hist.create () in
+  for v = 0 to 15 do
+    Stats.Hist.add h v
+  done;
+  (* values < 16 are exact buckets *)
+  Tutil.check_int "p50 small" 7 (Stats.Hist.percentile h 50.0);
+  Tutil.check_int "p100 small" 15 (Stats.Hist.percentile h 100.0)
+
+let test_hist_percentile_bounds () =
+  let h = Stats.Hist.create () in
+  let values = [ 100; 1_000; 10_000; 100_000; 1_000_000 ] in
+  List.iter (Stats.Hist.add h) values;
+  List.iteri
+    (fun i v ->
+      let p = float_of_int (i + 1) /. 5.0 *. 100.0 in
+      let est = Stats.Hist.percentile h p in
+      (* log-bucket estimate: within 1/16 relative error, never below *)
+      Tutil.check_bool
+        (Printf.sprintf "p%.0f >= value" p)
+        true (est >= v);
+      Tutil.check_bool
+        (Printf.sprintf "p%.0f within bucket" p)
+        true
+        (float_of_int est <= float_of_int v *. 1.08))
+    values;
+  Tutil.check_int "max" 1_000_000 (Stats.Hist.max_value h);
+  Tutil.check_int "count" 5 (Stats.Hist.count h)
+
+let test_hist_merge () =
+  let a = Stats.Hist.create () and b = Stats.Hist.create () in
+  Stats.Hist.add a 10;
+  Stats.Hist.add b 1_000;
+  Stats.Hist.merge_into ~dst:a b;
+  Tutil.check_int "merged count" 2 (Stats.Hist.count a);
+  Tutil.check_int "merged max" 1_000 (Stats.Hist.max_value a)
+
+let prop_hist_percentile_ge_median =
+  QCheck.Test.make ~name:"hist p50 upper-bounds true median" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 50) (int_bound 1_000_000))
+    (fun xs ->
+      let h = Stats.Hist.create () in
+      List.iter (Stats.Hist.add h) xs;
+      let sorted = List.sort compare xs in
+      let median = List.nth sorted ((List.length xs - 1) / 2) in
+      Stats.Hist.percentile h 50.0 >= median)
+
+(* ------------------------- Tablefmt ------------------------- *)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_tablefmt () =
+  let s =
+    Tablefmt.render ~header:[ "name"; "value" ]
+      [ [ "x"; "1" ]; [ "yy"; "22" ] ]
+  in
+  Tutil.check_bool "contains header" true (contains s "name");
+  Tutil.check_bool "contains cell" true (contains s "yy");
+  (* numbers right-aligned by default: "  22 " not "22   " *)
+  Tutil.check_bool "right aligned" true (contains s "    22 ");
+  Tutil.check_bool "si formatting" true (Tablefmt.fmt_si 1_230_000.0 = "1.23M");
+  Tutil.check_bool "si small" true (Tablefmt.fmt_si 12.0 = "12.00");
+  Tutil.check_bool "float fmt" true (Tablefmt.fmt_float ~decimals:1 1.25 = "1.2")
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "common"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split independent" `Quick
+            test_rng_split_independent;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+          Alcotest.test_case "shuffle permutation" `Quick
+            test_rng_shuffle_permutation;
+          Alcotest.test_case "chance" `Quick test_rng_chance;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "bounds" `Quick test_zipf_bounds;
+          Alcotest.test_case "uniform case" `Quick test_zipf_uniform_case;
+          Alcotest.test_case "skew" `Quick test_zipf_skew;
+          Alcotest.test_case "theta ordering" `Quick test_zipf_theta_ordering;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "basic" `Quick test_vec_basic;
+          Alcotest.test_case "out of bounds" `Quick test_vec_oob;
+          Alcotest.test_case "sort/fold" `Quick test_vec_sort_fold;
+          qc prop_vec_model;
+        ] );
+      ( "heap",
+        [ Alcotest.test_case "order" `Quick test_heap_order; qc prop_heap_sorts ]
+      );
+      ( "bitset",
+        [
+          Alcotest.test_case "basic" `Quick test_bitset_basic;
+          qc prop_bitset_model;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "acc" `Quick test_acc;
+          Alcotest.test_case "hist exact small" `Quick test_hist_exact_small;
+          Alcotest.test_case "hist percentile bounds" `Quick
+            test_hist_percentile_bounds;
+          Alcotest.test_case "hist merge" `Quick test_hist_merge;
+          qc prop_hist_percentile_ge_median;
+        ] );
+      ( "tablefmt",
+        [ Alcotest.test_case "render" `Quick test_tablefmt ] );
+    ]

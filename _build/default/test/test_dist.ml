@@ -1,0 +1,182 @@
+(* Distributed engines: exact-state oracles (both are deterministic),
+   commit without 2PC (message counts scale with batches, not
+   transactions, for dist-quecc), and degenerate configurations. *)
+
+open Quill_storage
+open Quill_txn
+open Quill_workloads
+module Dq = Quill_dist.Dist_quecc
+module Dc = Quill_dist.Dist_calvin
+
+let dq_cfg ?(nodes = 2) ?(planners = 2) ?(executors = 2) ?(batch_size = 128) ()
+    =
+  { Dq.nodes; planners; executors; batch_size;
+    costs = Quill_sim.Costs.default }
+
+let dc_cfg ?(nodes = 2) ?(workers = 2) ?(batch_size = 128) () =
+  { Dc.nodes; workers; batch_size; costs = Quill_sim.Costs.default }
+
+let ycsb_for ~nparts ?(mp = 0.3) ?(theta = 0.6) ?(abort_ratio = 0.0)
+    ?(chain_deps = false) ?(seed = 11) () =
+  Tutil.small_ycsb ~table_size:4_000 ~nparts ~theta ~mp_ratio:mp ~abort_ratio
+    ~chain_deps ~seed ()
+
+(* ------------------------- dist-quecc ------------------------- *)
+
+let test_dq_matches_serial () =
+  let cfg = ycsb_for ~nparts:4 ~chain_deps:true ~abort_ratio:0.1 () in
+  let wl = Ycsb.make cfg in
+  let wl_rec, logs = Tutil.record wl in
+  let m = Dq.run (dq_cfg ()) wl_rec ~batches:3 in
+  let wl2 = Ycsb.make cfg in
+  (* global order: planner gid-major = stream-major ✓ *)
+  let txns = Tutil.epoch_order logs ~streams:4 ~batch_size:128 ~batches:3 in
+  let m2 = Quill_protocols.Serial.run_txns wl2 txns in
+  Tutil.check_int "commits" m2.Metrics.committed m.Metrics.committed;
+  Tutil.check_int "aborts" m2.Metrics.logic_aborted m.Metrics.logic_aborted;
+  Tutil.check_bool "state" true
+    (Db.checksum wl.Workload.db = Db.checksum wl2.Workload.db)
+
+let test_dq_deterministic () =
+  let run () =
+    let wl = Ycsb.make (ycsb_for ~nparts:4 ~abort_ratio:0.1 ()) in
+    let m = Dq.run (dq_cfg ()) wl ~batches:3 in
+    (Db.checksum wl.Workload.db, m.Metrics.elapsed, m.Metrics.msgs)
+  in
+  Tutil.check_bool "bit-identical runs" true (run () = run ())
+
+let test_dq_message_batching () =
+  (* The Q-Store property: message count depends on batches x planners x
+     nodes, not on the number of transactions. *)
+  let msgs batches =
+    let wl = Ycsb.make (ycsb_for ~nparts:4 ~mp:1.0 ()) in
+    let m = Dq.run (dq_cfg ()) wl ~batches in
+    m.Metrics.msgs
+  in
+  let m2 = msgs 2 and m4 = msgs 4 in
+  Tutil.check_bool "scales with batches" true (m4 > m2);
+  (* per-batch message budget: planners ship <= nodes-1 each, plus
+     done/commit/value traffic; far below one per transaction *)
+  Tutil.check_bool
+    (Printf.sprintf "far fewer msgs (%d) than txns (%d)" m4 (128 * 4))
+    true
+    (m4 < 128 * 4 / 4)
+
+let test_dq_single_node () =
+  let cfg = ycsb_for ~nparts:2 ~mp:0.0 () in
+  let wl = Ycsb.make cfg in
+  let m = Dq.run (dq_cfg ~nodes:1 ~planners:2 ~executors:2 ()) wl ~batches:2 in
+  Tutil.check_int "all committed" 256
+    (m.Metrics.committed + m.Metrics.logic_aborted);
+  Tutil.check_int "no network traffic" 0 m.Metrics.msgs
+
+let test_dq_bad_partitioning_rejected () =
+  let wl = Ycsb.make (ycsb_for ~nparts:3 ()) in
+  Alcotest.check_raises "nparts mismatch"
+    (Invalid_argument "Dist_quecc.run: db nparts must equal nodes * executors")
+    (fun () -> ignore (Dq.run (dq_cfg ()) wl ~batches:1))
+
+let test_dq_tpcc () =
+  (* Distributed QueCC on TPC-C with remote stock accesses. *)
+  let cfg =
+    { (Tutil.small_tpcc ~warehouses:2 ~nparts:4 ~payment_only:true ()) with
+      Tpcc_defs.remote_payment_pct = 30 }
+  in
+  let wl = Tpcc.make cfg in
+  let wl_rec, logs = Tutil.record wl in
+  let m = Dq.run (dq_cfg ()) wl_rec ~batches:3 in
+  let wl2 = Tpcc.make cfg in
+  let txns = Tutil.epoch_order logs ~streams:4 ~batch_size:128 ~batches:3 in
+  let m2 = Quill_protocols.Serial.run_txns wl2 txns in
+  Tutil.check_int "commits" m2.Metrics.committed m.Metrics.committed;
+  Tutil.check_bool "state" true
+    (Db.checksum wl.Workload.db = Db.checksum wl2.Workload.db)
+
+(* ------------------------- dist-calvin ------------------------- *)
+
+let test_dc_matches_serial () =
+  let cfg = ycsb_for ~nparts:4 ~abort_ratio:0.1 ~chain_deps:true () in
+  let wl = Ycsb.make cfg in
+  let wl_rec, logs = Tutil.record wl in
+  let m = Dc.run (dc_cfg ()) wl_rec ~batches:3 in
+  (* global order: per epoch, node 0's slice then node 1's *)
+  let wl2 = Ycsb.make cfg in
+  let txns = Tutil.epoch_order logs ~streams:2 ~batch_size:128 ~batches:3 in
+  let m2 = Quill_protocols.Serial.run_txns wl2 txns in
+  Tutil.check_int "commits" m2.Metrics.committed m.Metrics.committed;
+  Tutil.check_bool "state" true
+    (Db.checksum wl.Workload.db = Db.checksum wl2.Workload.db)
+
+let test_dc_deterministic () =
+  let run () =
+    let wl = Ycsb.make (ycsb_for ~nparts:4 ~mp:0.5 ()) in
+    let m = Dc.run (dc_cfg ()) wl ~batches:2 in
+    (Db.checksum wl.Workload.db, m.Metrics.elapsed)
+  in
+  Tutil.check_bool "bit-identical runs" true (run () = run ())
+
+let test_dc_per_txn_messaging () =
+  (* Calvin's structural cost: messages grow with multi-node txn count. *)
+  let msgs mp =
+    let wl = Ycsb.make (ycsb_for ~nparts:4 ~mp ()) in
+    let m = Dc.run (dc_cfg ()) wl ~batches:2 in
+    m.Metrics.msgs
+  in
+  let low = msgs 0.0 and high = msgs 1.0 in
+  Tutil.check_bool
+    (Printf.sprintf "mp=1.0 (%d msgs) >> mp=0 (%d msgs)" high low)
+    true
+    (high > low + 100)
+
+let test_dq_beats_dc_on_messages () =
+  let cfg = ycsb_for ~nparts:4 ~mp:1.0 () in
+  let wl1 = Ycsb.make cfg in
+  let m1 = Dq.run (dq_cfg ()) wl1 ~batches:3 in
+  let wl2 = Ycsb.make cfg in
+  let m2 = Dc.run (dc_cfg ()) wl2 ~batches:3 in
+  Tutil.check_bool "queue shipping amortizes messages" true
+    (m1.Metrics.msgs * 4 < m2.Metrics.msgs)
+
+let prop_dq_oracle_random =
+  QCheck.Test.make ~name:"dist-quecc == serial oracle across seeds" ~count:6
+    QCheck.(pair (int_range 0 500) (int_range 0 100))
+    (fun (seed, mp_pct) ->
+      let cfg =
+        ycsb_for ~nparts:4 ~mp:(float_of_int mp_pct /. 100.0) ~seed
+          ~abort_ratio:0.05 ()
+      in
+      let wl = Ycsb.make cfg in
+      let wl_rec, logs = Tutil.record wl in
+      let _ = Dq.run (dq_cfg ~batch_size:64 ()) wl_rec ~batches:2 in
+      let wl2 = Ycsb.make cfg in
+      let txns = Tutil.epoch_order logs ~streams:4 ~batch_size:64 ~batches:2 in
+      let _ = Quill_protocols.Serial.run_txns wl2 txns in
+      Db.checksum wl.Workload.db = Db.checksum wl2.Workload.db)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "dist"
+    [
+      ( "dist-quecc",
+        [
+          Alcotest.test_case "matches serial oracle" `Quick
+            test_dq_matches_serial;
+          Alcotest.test_case "deterministic" `Quick test_dq_deterministic;
+          Alcotest.test_case "message batching" `Quick test_dq_message_batching;
+          Alcotest.test_case "single node" `Quick test_dq_single_node;
+          Alcotest.test_case "bad partitioning rejected" `Quick
+            test_dq_bad_partitioning_rejected;
+          Alcotest.test_case "tpcc distributed" `Quick test_dq_tpcc;
+          qc prop_dq_oracle_random;
+        ] );
+      ( "dist-calvin",
+        [
+          Alcotest.test_case "matches serial oracle" `Quick
+            test_dc_matches_serial;
+          Alcotest.test_case "deterministic" `Quick test_dc_deterministic;
+          Alcotest.test_case "per-txn messaging" `Quick
+            test_dc_per_txn_messaging;
+          Alcotest.test_case "quecc ships fewer messages" `Quick
+            test_dq_beats_dc_on_messages;
+        ] );
+    ]

@@ -1,0 +1,101 @@
+(* Harness plumbing: every engine is runnable through the one-stop
+   experiment API, names round-trip, and reports render. *)
+
+open Quill_txn
+module E = Quill_harness.Experiment
+module Qe = Quill_quecc.Engine
+
+let tiny_ycsb = E.Ycsb (Tutil.small_ycsb ~table_size:1_000 ~nparts:4 ())
+
+let tiny_tpcc =
+  E.Tpcc (Tutil.small_tpcc ~warehouses:1 ~nparts:4 ~payment_only:true ())
+
+let test_engine_names_roundtrip () =
+  List.iter
+    (fun e ->
+      match E.engine_of_string (E.engine_name e) with
+      | Some e' ->
+          Alcotest.(check string)
+            "roundtrip" (E.engine_name e) (E.engine_name e')
+      | None -> Alcotest.failf "no parse for %s" (E.engine_name e))
+    (E.Serial :: E.all_centralized)
+
+let test_all_engines_run_ycsb () =
+  List.iter
+    (fun engine ->
+      let exp =
+        E.make ~threads:4 ~txns:512 ~batch_size:128 engine tiny_ycsb
+      in
+      let m = E.run exp in
+      Tutil.check_int
+        (E.engine_name engine ^ " completes all txns")
+        512
+        (m.Metrics.committed + m.Metrics.logic_aborted))
+    (E.Serial :: E.Dist_quecc 2 :: E.Dist_calvin 2 :: E.all_centralized)
+
+let test_all_engines_run_tpcc () =
+  List.iter
+    (fun engine ->
+      let exp = E.make ~threads:4 ~txns:256 ~batch_size:64 engine tiny_tpcc in
+      let m = E.run exp in
+      Tutil.check_bool
+        (E.engine_name engine ^ " commits most txns")
+        true
+        (m.Metrics.committed > 200))
+    [
+      E.Serial;
+      E.Quecc (Qe.Speculative, Qe.Serializable);
+      E.Quecc (Qe.Conservative, Qe.Serializable);
+      E.Twopl_nowait;
+      E.Silo;
+      E.Tictoc;
+      E.Mvto;
+      E.Hstore;
+      E.Calvin;
+    ]
+
+let test_experiment_determinism () =
+  let exp =
+    E.make ~threads:4 ~txns:512 ~batch_size:128
+      (E.Quecc (Qe.Speculative, Qe.Serializable))
+      tiny_ycsb
+  in
+  let m1 = E.run exp and m2 = E.run exp in
+  Tutil.check_int "same commits" m1.Metrics.committed m2.Metrics.committed;
+  Tutil.check_int "same virtual time" m1.Metrics.elapsed m2.Metrics.elapsed
+
+let test_report_rendering () =
+  let m = Metrics.create () in
+  m.Metrics.committed <- 1234;
+  m.Metrics.elapsed <- 1_000_000_000;
+  Quill_common.Stats.Hist.add m.Metrics.lat 5_000;
+  let cells =
+    Quill_harness.Report.to_cells { Quill_harness.Report.label = "x"; metrics = m }
+  in
+  Tutil.check_int "cell count" (List.length Quill_harness.Report.header)
+    (List.length cells);
+  Alcotest.(check string) "label" "x" (List.hd cells);
+  Alcotest.(check string) "tput si" "1.23k" (List.nth cells 1);
+  (* speedup vs explicit baseline *)
+  let cells2 =
+    Quill_harness.Report.to_cells ~baseline:617.0
+      { Quill_harness.Report.label = "x"; metrics = m }
+  in
+  Alcotest.(check string) "speedup" "2.00x" (List.nth cells2 8)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "experiment",
+        [
+          Alcotest.test_case "engine names roundtrip" `Quick
+            test_engine_names_roundtrip;
+          Alcotest.test_case "all engines run ycsb" `Quick
+            test_all_engines_run_ycsb;
+          Alcotest.test_case "all engines run tpcc" `Quick
+            test_all_engines_run_tpcc;
+          Alcotest.test_case "determinism" `Quick test_experiment_determinism;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "rendering" `Quick test_report_rendering ] );
+    ]

@@ -1,0 +1,240 @@
+(* Correctness of the baseline protocols.
+
+   Non-deterministic engines can commit in any serializable order, so
+   exact-state oracles don't apply; instead we check (a) the additive
+   invariant (sum of field 0 = initial + committed deltas) on update-only
+   YCSB, (b) completion without losing transactions, (c) run-to-run
+   determinism of the simulation itself, and (d) for the deterministic
+   engines (Calvin, serial) exact equality with the serial oracle. *)
+
+open Quill_storage
+open Quill_txn
+open Quill_workloads
+open Quill_protocols
+
+let nd_cfg workers =
+  { Nd_driver.default_cfg with Nd_driver.workers }
+
+let all_cc : (string * (module Nd_driver.CC)) list =
+  [
+    ("2pl-nowait", (module Twopl.No_wait_cc));
+    ("2pl-waitdie", (module Twopl.Wait_die_cc));
+    ("silo", (module Silo));
+    ("tictoc", (module Tictoc));
+    ("mvto", (module Mvto));
+  ]
+
+let additive_check name run =
+  (* update-only YCSB at high contention: conflicts guaranteed *)
+  let cfg =
+    Tutil.small_ycsb ~table_size:256 ~theta:0.9 ~read_ratio:0.0 ~mp_ratio:0.0 ()
+  in
+  let wl = Ycsb.make cfg in
+  let initial = Tutil.sum_field0 wl.Workload.db "usertable" in
+  let wl_rec, logs = Tutil.record wl in
+  let m = run wl_rec in
+  (* every generated transaction was either committed or logic-aborted *)
+  let txns =
+    Hashtbl.fold
+      (fun _ v acc -> Quill_common.Vec.to_list v @ acc)
+      logs []
+  in
+  let delta = Tutil.ycsb_committed_delta txns in
+  Tutil.check_int (name ^ ": additive invariant") (initial + delta)
+    (Tutil.sum_field0 wl.Workload.db "usertable");
+  Tutil.check_int
+    (name ^ ": no transaction lost")
+    2_000
+    (m.Metrics.committed + m.Metrics.logic_aborted)
+
+let test_additive_all_nd () =
+  List.iter
+    (fun (name, cc) ->
+      additive_check name (fun wl -> Nd_driver.run cc (nd_cfg 4) wl ~txns:2000))
+    all_cc
+
+let test_additive_hstore () =
+  additive_check "hstore" (fun wl ->
+      Hstore.run { Hstore.workers = 4; costs = Quill_sim.Costs.default } wl
+        ~txns:2000)
+
+let test_additive_calvin () =
+  additive_check "calvin" (fun wl ->
+      Calvin.run { Calvin.default_cfg with Calvin.workers = 3 } wl ~txns:2000)
+
+let test_abort_rates_under_contention () =
+  (* ND protocols must actually abort under contention — otherwise the
+     whole comparison is vacuous — and still finish. *)
+  List.iter
+    (fun (name, cc) ->
+      let wl =
+        Ycsb.make (Tutil.small_ycsb ~table_size:64 ~theta:0.0 ~read_ratio:0.0 ())
+      in
+      let m = Nd_driver.run cc (nd_cfg 8) wl ~txns:1000 in
+      Tutil.check_int (name ^ " commits") 1000 m.Metrics.committed;
+      Tutil.check_bool (name ^ " experienced conflicts") true
+        (m.Metrics.cc_aborts > 0))
+    all_cc
+
+let test_deterministic_engines_have_no_cc_aborts () =
+  let wl = Ycsb.make (Tutil.small_ycsb ~table_size:64 ~theta:0.0 ()) in
+  let m = Hstore.run { Hstore.workers = 4; costs = Quill_sim.Costs.default }
+            wl ~txns:500
+  in
+  Tutil.check_int "hstore abort-free" 0 m.Metrics.cc_aborts;
+  let wl2 = Ycsb.make (Tutil.small_ycsb ~table_size:64 ~theta:0.0 ()) in
+  let m2 = Calvin.run { Calvin.default_cfg with Calvin.workers = 3 } wl2
+             ~txns:500
+  in
+  Tutil.check_int "calvin abort-free" 0 m2.Metrics.cc_aborts
+
+let test_calvin_matches_serial () =
+  (* Calvin is deterministic: its state equals serial execution of the
+     sequencer's stream order (stream 0). *)
+  let cfg = Tutil.small_ycsb ~theta:0.9 ~abort_ratio:0.15 ~mp_ratio:0.3 () in
+  let wl = Ycsb.make cfg in
+  let wl_rec, logs = Tutil.record wl in
+  let m =
+    Calvin.run { Calvin.default_cfg with Calvin.workers = 4 } wl_rec ~txns:600
+  in
+  let wl_oracle = Ycsb.make cfg in
+  let txns = Quill_common.Vec.to_list (Hashtbl.find logs 0) in
+  let m2 = Quill_protocols.Serial.run_txns wl_oracle txns in
+  Tutil.check_int "commits" m2.Metrics.committed m.Metrics.committed;
+  Tutil.check_bool "state equals serial" true
+    (Db.checksum wl.Workload.db = Db.checksum wl_oracle.Workload.db)
+
+let test_run_to_run_determinism () =
+  List.iter
+    (fun (name, cc) ->
+      let run () =
+        let wl = Ycsb.make (Tutil.small_ycsb ~theta:0.9 ()) in
+        let m = Nd_driver.run cc (nd_cfg 4) wl ~txns:800 in
+        (Db.checksum wl.Workload.db, m.Metrics.cc_aborts, m.Metrics.elapsed)
+      in
+      Tutil.check_bool (name ^ " deterministic simulation") true
+        (run () = run ()))
+    all_cc
+
+let test_serial_engine () =
+  let cfg = Tutil.small_ycsb ~abort_ratio:0.2 ~read_ratio:0.0 () in
+  let wl = Ycsb.make cfg in
+  let initial = Tutil.sum_field0 wl.Workload.db "usertable" in
+  let wl_rec, logs = Tutil.record wl in
+  let m = Serial.run wl_rec ~txns:500 in
+  Tutil.check_int "count" 500 (m.Metrics.committed + m.Metrics.logic_aborted);
+  let txns = Quill_common.Vec.to_list (Hashtbl.find logs 0) in
+  let delta = Tutil.ycsb_committed_delta txns in
+  Tutil.check_int "serial additive" (initial + delta)
+    (Tutil.sum_field0 wl.Workload.db "usertable");
+  Tutil.check_int "serial never cc-aborts" 0 m.Metrics.cc_aborts
+
+let test_hstore_partition_collapse () =
+  (* The Table-2-row-1 mechanism: multi-partition transactions serialize
+     H-Store's partitions, so throughput must collapse as MP% rises. *)
+  let tput mp =
+    let wl =
+      Ycsb.make
+        (Tutil.small_ycsb ~table_size:8_000 ~nparts:4 ~theta:0.0 ~mp_ratio:mp ())
+    in
+    let m = Hstore.run { Hstore.workers = 4; costs = Quill_sim.Costs.default }
+              wl ~txns:2000
+    in
+    Metrics.throughput m
+  in
+  let t0 = tput 0.0 and t1 = tput 1.0 in
+  Tutil.check_bool
+    (Printf.sprintf "collapse (%.0f -> %.0f)" t0 t1)
+    true
+    (t1 < t0 /. 4.0)
+
+let test_calvin_lock_manager_bottleneck () =
+  (* Adding workers cannot push Calvin past its single-threaded lock
+     manager: going 2 -> 8 workers helps far less than 4x. *)
+  let tput workers =
+    let wl = Ycsb.make (Tutil.small_ycsb ~table_size:8_000 ~theta:0.0 ()) in
+    let m = Calvin.run { Calvin.default_cfg with Calvin.workers } wl ~txns:3000 in
+    Metrics.throughput m
+  in
+  let t2 = tput 2 and t8 = tput 8 in
+  Tutil.check_bool "sublinear worker scaling" true (t8 < t2 *. 2.0)
+
+let test_plock () =
+  let open Quill_sim in
+  let s = Sim.create () in
+  let l = Plock.create () in
+  let order = ref [] in
+  for i = 0 to 2 do
+    Sim.spawn s (fun () ->
+        Sim.tick s (i * 10);
+        Plock.acquire s l;
+        order := i :: !order;
+        Sim.tick s 100;
+        Plock.release s l)
+  done;
+  Tutil.check_int "parked" 0 (Sim.run s);
+  Alcotest.(check (list int)) "fifo handoff" [ 0; 1; 2 ] (List.rev !order);
+  Tutil.check_bool "free at end" false (Plock.held l)
+
+let test_mvto_versions () =
+  (* MVTO run leaves version chains bounded and committed = live. *)
+  let wl = Ycsb.make (Tutil.small_ycsb ~table_size:64 ~read_ratio:0.5 ()) in
+  let _ = Nd_driver.run (module Mvto) (nd_cfg 4) wl ~txns:1000 in
+  Table.iter_dense
+    (fun row ->
+      Tutil.check_bool "chain bounded" true (List.length row.Row.versions <= 8);
+      Tutil.check_int "committed = live" row.Row.data.(0) row.Row.committed.(0))
+    (Db.table_by_name wl.Workload.db "usertable")
+
+let prop_nd_additive =
+  QCheck.Test.make ~name:"nd protocols keep the additive invariant" ~count:10
+    QCheck.(pair (int_range 0 10_000) (int_range 0 4))
+    (fun (seed, proto) ->
+      let _, cc = List.nth all_cc proto in
+      let cfg =
+        Tutil.small_ycsb ~table_size:128 ~theta:0.8 ~read_ratio:0.0 ~seed ()
+      in
+      let wl = Ycsb.make cfg in
+      let initial = Tutil.sum_field0 wl.Workload.db "usertable" in
+      let wl_rec, logs = Tutil.record wl in
+      let _ = Nd_driver.run cc (nd_cfg 3) wl_rec ~txns:300 in
+      let txns =
+        Hashtbl.fold (fun _ v acc -> Quill_common.Vec.to_list v @ acc) logs []
+      in
+      Tutil.sum_field0 wl.Workload.db "usertable"
+      = initial + Tutil.ycsb_committed_delta txns)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "protocols"
+    [
+      ( "invariants",
+        [
+          Alcotest.test_case "additive: all nd protocols" `Quick
+            test_additive_all_nd;
+          Alcotest.test_case "additive: hstore" `Quick test_additive_hstore;
+          Alcotest.test_case "additive: calvin" `Quick test_additive_calvin;
+          Alcotest.test_case "serial engine" `Quick test_serial_engine;
+          qc prop_nd_additive;
+        ] );
+      ( "behaviour",
+        [
+          Alcotest.test_case "nd protocols abort under contention" `Quick
+            test_abort_rates_under_contention;
+          Alcotest.test_case "deterministic engines never cc-abort" `Quick
+            test_deterministic_engines_have_no_cc_aborts;
+          Alcotest.test_case "calvin == serial oracle" `Quick
+            test_calvin_matches_serial;
+          Alcotest.test_case "run-to-run determinism" `Quick
+            test_run_to_run_determinism;
+          Alcotest.test_case "mvto version chains" `Quick test_mvto_versions;
+        ] );
+      ( "shapes",
+        [
+          Alcotest.test_case "hstore multi-partition collapse" `Slow
+            test_hstore_partition_collapse;
+          Alcotest.test_case "calvin lock-manager bottleneck" `Slow
+            test_calvin_lock_manager_bottleneck;
+        ] );
+      ("plock", [ Alcotest.test_case "fifo mutex" `Quick test_plock ]);
+    ]

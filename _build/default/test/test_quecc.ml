@@ -1,0 +1,271 @@
+(* The queue-oriented engine's correctness battery.
+
+   The central oracle: for any input batch sequence, the engine's final
+   committed state must equal serial execution of the same transactions
+   in batch order — that is the determinism property the paper claims,
+   and it must hold for every configuration (planner/executor counts,
+   batch sizes, execution modes, isolation levels for the state written
+   by updates, contention levels, abort rates, data-dependency chains,
+   multi-partition ratios). *)
+
+open Quill_storage
+open Quill_txn
+open Quill_workloads
+module Engine = Quill_quecc.Engine
+
+let run_engine ?(mode = Engine.Speculative) ?(isolation = Engine.Serializable)
+    ?(planners = 4) ?(executors = 4) ?(batch_size = 128) ?(batches = 4) cfg =
+  let wl = Ycsb.make cfg in
+  let wl_rec, logs = Tutil.record wl in
+  let m =
+    Engine.run
+      { Engine.planners; executors; batch_size; mode; isolation;
+        costs = Quill_sim.Costs.default }
+      wl_rec ~batches
+  in
+  (wl, logs, m)
+
+let serial_state cfg logs ~streams ~batch_size ~batches =
+  let wl = Ycsb.make cfg in
+  let txns = Tutil.batch_order logs ~streams ~batch_size ~batches in
+  let m = Quill_protocols.Serial.run_txns wl txns in
+  (Db.checksum wl.Workload.db, m, txns)
+
+let check_against_oracle ?mode ?isolation ?(planners = 4) ?(executors = 4)
+    ?(batch_size = 128) ?(batches = 4) name cfg =
+  let wl, logs, m =
+    run_engine ?mode ?isolation ~planners ~executors ~batch_size ~batches cfg
+  in
+  let oracle, m_serial, _ =
+    serial_state cfg logs ~streams:planners ~batch_size ~batches
+  in
+  Tutil.check_int (name ^ ": commits match serial")
+    m_serial.Metrics.committed m.Metrics.committed;
+  Tutil.check_int (name ^ ": aborts match serial")
+    m_serial.Metrics.logic_aborted m.Metrics.logic_aborted;
+  Tutil.check_bool (name ^ ": state equals serial") true
+    (Db.checksum wl.Workload.db = oracle)
+
+(* ------------------------- oracle equivalence ------------------------- *)
+
+let test_oracle_uniform () =
+  check_against_oracle "uniform" (Tutil.small_ycsb ~theta:0.0 ())
+
+let test_oracle_skewed () =
+  check_against_oracle "skewed" (Tutil.small_ycsb ~theta:0.9 ())
+
+let test_oracle_extreme_skew () =
+  check_against_oracle "extreme skew"
+    (Tutil.small_ycsb ~table_size:64 ~theta:0.0 ~mp_ratio:1.0 ())
+
+let test_oracle_aborts () =
+  check_against_oracle "aborts"
+    (Tutil.small_ycsb ~abort_ratio:0.2 ~theta:0.9 ())
+
+let test_oracle_chain_deps () =
+  check_against_oracle "chain deps"
+    (Tutil.small_ycsb ~chain_deps:true ~theta:0.8 ())
+
+let test_oracle_aborts_and_deps () =
+  check_against_oracle "aborts+deps"
+    (Tutil.small_ycsb ~abort_ratio:0.15 ~chain_deps:true ~theta:0.8
+       ~mp_ratio:0.5 ())
+
+let test_oracle_conservative () =
+  check_against_oracle ~mode:Engine.Conservative "conservative"
+    (Tutil.small_ycsb ~abort_ratio:0.2 ~chain_deps:true ~theta:0.9 ())
+
+let test_oracle_asymmetric_threads () =
+  check_against_oracle ~planners:3 ~executors:5 "3 planners 5 executors"
+    (Tutil.small_ycsb ~theta:0.7 ~abort_ratio:0.1 ());
+  check_against_oracle ~planners:6 ~executors:2 "6 planners 2 executors"
+    (Tutil.small_ycsb ~theta:0.7 ~abort_ratio:0.1 ())
+
+let test_oracle_single_thread () =
+  check_against_oracle ~planners:1 ~executors:1 "1x1"
+    (Tutil.small_ycsb ~abort_ratio:0.1 ~chain_deps:true ())
+
+let test_oracle_uneven_batch () =
+  (* batch size not divisible by planner count *)
+  check_against_oracle ~planners:3 ~executors:3 ~batch_size:100 "uneven slices"
+    (Tutil.small_ycsb ())
+
+(* The same state must arise regardless of the thread configuration:
+   determinism across physical layouts, not just runs. *)
+let test_state_independent_of_executors () =
+  let cfg = Tutil.small_ycsb ~theta:0.9 ~abort_ratio:0.1 () in
+  let c_of executors =
+    let wl, _, _ = run_engine ~planners:4 ~executors cfg in
+    Db.checksum wl.Workload.db
+  in
+  let base = c_of 1 in
+  List.iter
+    (fun e -> Tutil.check_bool "same state any executor count" true
+        (c_of e = base))
+    [ 2; 4; 8 ]
+
+let test_run_to_run_determinism () =
+  let cfg = Tutil.small_ycsb ~theta:0.99 ~abort_ratio:0.1 ~chain_deps:true () in
+  let wl1, _, m1 = run_engine cfg in
+  let wl2, _, m2 = run_engine cfg in
+  Tutil.check_bool "state" true
+    (Db.checksum wl1.Workload.db = Db.checksum wl2.Workload.db);
+  Tutil.check_int "commits" m1.Metrics.committed m2.Metrics.committed;
+  Tutil.check_int "elapsed (virtual time) identical" m1.Metrics.elapsed
+    m2.Metrics.elapsed
+
+let test_speculative_equals_conservative () =
+  let cfg = Tutil.small_ycsb ~theta:0.9 ~abort_ratio:0.25 ~chain_deps:true () in
+  let wl1, _, m1 = run_engine ~mode:Engine.Speculative cfg in
+  let wl2, _, m2 = run_engine ~mode:Engine.Conservative cfg in
+  Tutil.check_bool "same final state" true
+    (Db.checksum wl1.Workload.db = Db.checksum wl2.Workload.db);
+  Tutil.check_int "same commits" m1.Metrics.committed m2.Metrics.committed;
+  Tutil.check_int "conservative never cascades" 0 m2.Metrics.cascades
+
+(* ------------------------- engine behaviour ------------------------- *)
+
+let test_no_cc_aborts () =
+  let _, _, m = run_engine (Tutil.small_ycsb ~theta:0.99 ()) in
+  Tutil.check_int "concurrency-control-free" 0 m.Metrics.cc_aborts
+
+let test_all_txns_accounted () =
+  let _, _, m =
+    run_engine ~batch_size:128 ~batches:5
+      (Tutil.small_ycsb ~abort_ratio:0.3 ())
+  in
+  Tutil.check_int "committed + aborted = total" (128 * 5)
+    (m.Metrics.committed + m.Metrics.logic_aborted);
+  Tutil.check_int "batches" 5 m.Metrics.batches
+
+let test_additive_invariant () =
+  (* With write-only RMW(+delta) fragments, the final sum of field 0
+     equals the initial sum plus all committed deltas. *)
+  let cfg = Tutil.small_ycsb ~theta:0.9 ~read_ratio:0.0 ~abort_ratio:0.2 () in
+  let wl = Ycsb.make cfg in
+  let initial = Tutil.sum_field0 wl.Workload.db "usertable" in
+  let wl_rec, logs = Tutil.record wl in
+  let _ =
+    Engine.run
+      { Engine.default_cfg with Engine.planners = 4; executors = 4;
+        batch_size = 128 }
+      wl_rec ~batches:4
+  in
+  let txns = Tutil.batch_order logs ~streams:4 ~batch_size:128 ~batches:4 in
+  let delta = Tutil.ycsb_committed_delta txns in
+  Tutil.check_int "sum conserved" (initial + delta)
+    (Tutil.sum_field0 wl.Workload.db "usertable")
+
+let test_read_committed_runs () =
+  (* RC relaxes isolation; the update-side state must still be exact for
+     workloads whose writes don't depend on reads (read_ratio split). *)
+  let cfg = Tutil.small_ycsb ~theta:0.9 ~read_ratio:0.6 () in
+  let wl, _, m =
+    run_engine ~isolation:Engine.Read_committed ~batches:3 cfg
+  in
+  Tutil.check_int "all committed" (128 * 3) m.Metrics.committed;
+  (* RMW deltas don't depend on reads, so even RC state matches serial
+     when there are no aborts. *)
+  let wl2, logs2, _ = run_engine ~isolation:Engine.Serializable ~batches:3 cfg in
+  ignore logs2;
+  Tutil.check_bool "same committed state" true
+    (Db.checksum wl.Workload.db = Db.checksum wl2.Workload.db)
+
+let test_latency_batch_shaped () =
+  let _, _, m = run_engine ~batches:4 (Tutil.small_ycsb ()) in
+  let p50 = Quill_common.Stats.Hist.percentile m.Metrics.lat 50.0 in
+  let p99 = Quill_common.Stats.Hist.percentile m.Metrics.lat 99.0 in
+  Tutil.check_bool "p50 > 0" true (p50 > 0);
+  Tutil.check_bool "p99 >= p50" true (p99 >= p50)
+
+let test_more_cores_not_slower () =
+  let cfg = Tutil.small_ycsb ~table_size:16_000 ~nparts:8 ~theta:0.0 () in
+  let tput threads =
+    let wl = Ycsb.make cfg in
+    let m =
+      Engine.run
+        { Engine.default_cfg with Engine.planners = threads;
+          executors = threads; batch_size = 512 }
+        wl ~batches:4
+    in
+    Metrics.throughput m
+  in
+  let t1 = tput 1 and t8 = tput 8 in
+  Tutil.check_bool
+    (Printf.sprintf "8 cores (%.0f) beat 1 core (%.0f) by 3x+" t8 t1)
+    true
+    (t8 > 3.0 *. t1)
+
+(* ------------------------- property tests ------------------------- *)
+
+let prop_oracle_random_configs =
+  QCheck.Test.make ~name:"engine == serial oracle on random configs" ~count:12
+    QCheck.(
+      quad (int_range 0 1000) (int_range 0 90) (int_range 0 30) (int_range 1 4))
+    (fun (seed, theta_pct, abort_pct, planners) ->
+      let cfg =
+        Tutil.small_ycsb ~table_size:512 ~nparts:4
+          ~theta:(float_of_int theta_pct /. 100.0)
+          ~abort_ratio:(float_of_int abort_pct /. 100.0)
+          ~chain_deps:(seed mod 2 = 0) ~seed ()
+      in
+      let wl = Ycsb.make cfg in
+      let wl_rec, logs = Tutil.record wl in
+      let _ =
+        Engine.run
+          { Engine.planners; executors = 4; batch_size = 64;
+            mode = (if seed mod 3 = 0 then Engine.Conservative
+                    else Engine.Speculative);
+            isolation = Engine.Serializable;
+            costs = Quill_sim.Costs.default }
+          wl_rec ~batches:3
+      in
+      let wl_oracle = Ycsb.make cfg in
+      let txns =
+        Tutil.batch_order logs ~streams:planners ~batch_size:64 ~batches:3
+      in
+      let _ = Quill_protocols.Serial.run_txns wl_oracle txns in
+      Db.checksum wl.Workload.db = Db.checksum wl_oracle.Workload.db)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "quecc"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "uniform" `Quick test_oracle_uniform;
+          Alcotest.test_case "skewed" `Quick test_oracle_skewed;
+          Alcotest.test_case "extreme skew + mp" `Quick
+            test_oracle_extreme_skew;
+          Alcotest.test_case "aborts" `Quick test_oracle_aborts;
+          Alcotest.test_case "chain deps" `Quick test_oracle_chain_deps;
+          Alcotest.test_case "aborts + deps" `Quick test_oracle_aborts_and_deps;
+          Alcotest.test_case "conservative" `Quick test_oracle_conservative;
+          Alcotest.test_case "asymmetric threads" `Quick
+            test_oracle_asymmetric_threads;
+          Alcotest.test_case "single thread" `Quick test_oracle_single_thread;
+          Alcotest.test_case "uneven batch slices" `Quick
+            test_oracle_uneven_batch;
+          qc prop_oracle_random_configs;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "state independent of executor count" `Quick
+            test_state_independent_of_executors;
+          Alcotest.test_case "run-to-run" `Quick test_run_to_run_determinism;
+          Alcotest.test_case "speculative == conservative" `Quick
+            test_speculative_equals_conservative;
+        ] );
+      ( "behaviour",
+        [
+          Alcotest.test_case "no cc aborts" `Quick test_no_cc_aborts;
+          Alcotest.test_case "all txns accounted" `Quick
+            test_all_txns_accounted;
+          Alcotest.test_case "additive invariant" `Quick
+            test_additive_invariant;
+          Alcotest.test_case "read-committed" `Quick test_read_committed_runs;
+          Alcotest.test_case "latency sane" `Quick test_latency_batch_shaped;
+          Alcotest.test_case "scales with cores" `Slow
+            test_more_cores_not_slower;
+        ] );
+    ]

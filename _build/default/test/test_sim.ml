@@ -1,0 +1,293 @@
+open Quill_sim
+
+(* ------------------------- scheduling ------------------------- *)
+
+let test_single_thread_clock () =
+  let s = Sim.create () in
+  Sim.spawn s (fun () ->
+      Tutil.check_int "starts at 0" 0 (Sim.now s);
+      Sim.tick s 100;
+      Tutil.check_int "after tick" 100 (Sim.now s);
+      Sim.sleep s 50;
+      Tutil.check_int "after sleep" 150 (Sim.now s));
+  Tutil.check_int "no parked" 0 (Sim.run s);
+  Tutil.check_int "busy" 100 (Sim.busy_time s);
+  Tutil.check_int "idle" 50 (Sim.idle_time s);
+  Tutil.check_int "horizon" 150 (Sim.horizon s)
+
+let test_virtual_time_ordering () =
+  (* Events execute in virtual-time order regardless of spawn order. *)
+  let s = Sim.create () in
+  let log = ref [] in
+  Sim.spawn s (fun () ->
+      Sim.tick s 300;
+      log := "slow" :: !log);
+  Sim.spawn s (fun () ->
+      Sim.tick s 100;
+      log := "fast" :: !log;
+      Sim.tick s 300;
+      log := "fast2" :: !log);
+  ignore (Sim.run s);
+  Alcotest.(check (list string))
+    "order" [ "fast"; "slow"; "fast2" ] (List.rev !log)
+
+let test_spawn_at () =
+  let s = Sim.create () in
+  let t = ref (-1) in
+  Sim.spawn ~at:500 s (fun () -> t := Sim.now s);
+  ignore (Sim.run s);
+  Tutil.check_int "delayed start" 500 !t
+
+let test_determinism () =
+  let run_once () =
+    let s = Sim.create () in
+    let log = Buffer.create 64 in
+    for i = 0 to 9 do
+      Sim.spawn s (fun () ->
+          for j = 0 to 9 do
+            Sim.tick s ((i * 7 mod 3) + 1);
+            Buffer.add_string log (Printf.sprintf "%d.%d;" i j)
+          done)
+    done;
+    ignore (Sim.run s);
+    Buffer.contents log
+  in
+  Alcotest.(check string) "identical traces" (run_once ()) (run_once ())
+
+(* ------------------------- ivar ------------------------- *)
+
+let test_ivar_fill_then_read () =
+  let s = Sim.create () in
+  let iv = Sim.Ivar.create () in
+  Sim.spawn s (fun () ->
+      Sim.tick s 10;
+      Sim.Ivar.fill s iv 7);
+  Sim.spawn s (fun () ->
+      Sim.tick s 100;
+      (* already full: no wait beyond our own clock *)
+      Tutil.check_int "value" 7 (Sim.Ivar.read s iv);
+      Tutil.check_int "no extra wait" 100 (Sim.now s));
+  Tutil.check_int "parked" 0 (Sim.run s)
+
+let test_ivar_read_blocks () =
+  let s = Sim.create () in
+  let iv = Sim.Ivar.create () in
+  Sim.spawn s (fun () ->
+      Tutil.check_int "value" 9 (Sim.Ivar.read s iv);
+      Tutil.check_int "woke at fill time" 250 (Sim.now s));
+  Sim.spawn s (fun () ->
+      Sim.tick s 250;
+      Sim.Ivar.fill s iv 9);
+  Tutil.check_int "parked" 0 (Sim.run s)
+
+let test_ivar_double_fill () =
+  let s = Sim.create () in
+  let iv = Sim.Ivar.create () in
+  Sim.spawn s (fun () ->
+      Sim.Ivar.fill s iv 1;
+      Alcotest.check_raises "double fill"
+        (Invalid_argument "Sim.Ivar.fill: already full") (fun () ->
+          Sim.Ivar.fill s iv 2));
+  ignore (Sim.run s)
+
+let test_ivar_peek_multireader () =
+  let s = Sim.create () in
+  let iv = Sim.Ivar.create () in
+  let seen = ref 0 in
+  for _ = 1 to 5 do
+    Sim.spawn s (fun () -> seen := !seen + Sim.Ivar.read s iv)
+  done;
+  Sim.spawn s (fun () ->
+      Tutil.check_bool "peek empty" true (Sim.Ivar.peek iv = None);
+      Sim.tick s 5;
+      Sim.Ivar.fill s iv 3;
+      Tutil.check_bool "peek full" true (Sim.Ivar.peek iv = Some 3));
+  Tutil.check_int "parked" 0 (Sim.run s);
+  Tutil.check_int "all readers woke" 15 !seen
+
+let test_wake_cost () =
+  let s = Sim.create ~wake_cost:42 () in
+  let iv = Sim.Ivar.create () in
+  Sim.spawn s (fun () ->
+      ignore (Sim.Ivar.read s iv);
+      Tutil.check_int "wake cost added" 142 (Sim.now s));
+  Sim.spawn s (fun () ->
+      Sim.tick s 100;
+      Sim.Ivar.fill s iv 0);
+  Tutil.check_int "parked" 0 (Sim.run s)
+
+(* ------------------------- chan ------------------------- *)
+
+let test_chan_fifo () =
+  let s = Sim.create () in
+  let ch = Sim.Chan.create () in
+  let got = ref [] in
+  Sim.spawn s (fun () ->
+      for i = 1 to 3 do
+        Sim.Chan.send s ch i
+      done);
+  Sim.spawn s (fun () ->
+      for _ = 1 to 3 do
+        got := Sim.Chan.recv s ch :: !got
+      done);
+  Tutil.check_int "parked" 0 (Sim.run s);
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (List.rev !got)
+
+let test_chan_delay () =
+  let s = Sim.create () in
+  let ch = Sim.Chan.create () in
+  Sim.spawn s (fun () -> Sim.Chan.send ~delay:1000 s ch "hello");
+  Sim.spawn s (fun () ->
+      let m = Sim.Chan.recv s ch in
+      Alcotest.(check string) "msg" "hello" m;
+      Tutil.check_int "arrival time" 1000 (Sim.now s));
+  Tutil.check_int "parked" 0 (Sim.run s)
+
+let test_chan_try_recv () =
+  let s = Sim.create () in
+  let ch = Sim.Chan.create () in
+  Sim.spawn s (fun () ->
+      Sim.Chan.send ~delay:100 s ch 1;
+      Tutil.check_bool "not yet arrived" true (Sim.Chan.try_recv s ch = None);
+      Sim.tick s 200;
+      Tutil.check_bool "arrived" true (Sim.Chan.try_recv s ch = Some 1);
+      Tutil.check_int "pending" 0 (Sim.Chan.pending ch));
+  Tutil.check_int "parked" 0 (Sim.run s)
+
+let test_chan_blocked_receiver_parks () =
+  let s = Sim.create () in
+  let ch : int Sim.Chan.ch = Sim.Chan.create () in
+  Sim.spawn s (fun () -> ignore (Sim.Chan.recv s ch));
+  Tutil.check_int "one parked thread" 1 (Sim.run s)
+
+(* ------------------------- barrier / gate ------------------------- *)
+
+let test_barrier_max_clock () =
+  let s = Sim.create () in
+  let b = Sim.Barrier.create 3 in
+  let times = ref [] in
+  List.iter
+    (fun d ->
+      Sim.spawn s (fun () ->
+          Sim.tick s d;
+          Sim.Barrier.await s b;
+          times := Sim.now s :: !times))
+    [ 10; 200; 50 ];
+  Tutil.check_int "parked" 0 (Sim.run s);
+  List.iter (fun t -> Tutil.check_int "released at max" 200 t) !times
+
+let test_barrier_reusable () =
+  let s = Sim.create () in
+  let b = Sim.Barrier.create 2 in
+  let rounds = ref 0 in
+  for _ = 1 to 2 do
+    Sim.spawn s (fun () ->
+        for _ = 1 to 5 do
+          Sim.tick s 10;
+          Sim.Barrier.await s b
+        done;
+        incr rounds)
+  done;
+  Tutil.check_int "parked" 0 (Sim.run s);
+  Tutil.check_int "both finished" 2 !rounds
+
+let test_gate () =
+  let s = Sim.create () in
+  let g = Sim.Gate.create 3 in
+  let opened_at = ref (-1) in
+  Sim.spawn s (fun () ->
+      Sim.Gate.await s g;
+      opened_at := Sim.now s);
+  for i = 1 to 3 do
+    Sim.spawn s (fun () ->
+        Sim.tick s (i * 100);
+        Sim.Gate.arrive s g)
+  done;
+  Tutil.check_int "parked" 0 (Sim.run s);
+  Tutil.check_int "opens at last arrival" 300 !opened_at
+
+let test_gate_zero () =
+  let s = Sim.create () in
+  let g = Sim.Gate.create 0 in
+  Sim.spawn s (fun () ->
+      Sim.Gate.await s g;
+      Tutil.check_int "no wait" 0 (Sim.now s));
+  Tutil.check_int "parked" 0 (Sim.run s)
+
+(* ------------------------- stress ------------------------- *)
+
+let test_many_threads () =
+  let s = Sim.create () in
+  let n = 500 in
+  let b = Sim.Barrier.create n in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    Sim.spawn s (fun () ->
+        Sim.tick s (i mod 17);
+        Sim.Barrier.await s b;
+        incr total)
+  done;
+  Tutil.check_int "parked" 0 (Sim.run s);
+  Tutil.check_int "all ran" n !total;
+  Tutil.check_int "spawned" n (Sim.threads_spawned s);
+  Tutil.check_int "completed" n (Sim.threads_completed s)
+
+let prop_ivar_chain =
+  QCheck.Test.make ~name:"ivar chains preserve order and values" ~count:50
+    QCheck.(list_of_size (Gen.int_range 1 30) (int_bound 100))
+    (fun xs ->
+      let s = Sim.create () in
+      let n = List.length xs in
+      let ivs = Array.init (n + 1) (fun _ -> Sim.Ivar.create ()) in
+      List.iteri
+        (fun i x ->
+          Sim.spawn s (fun () ->
+              let v = Sim.Ivar.read s ivs.(i) in
+              Sim.tick s x;
+              Sim.Ivar.fill s ivs.(i + 1) (v + x)))
+        xs;
+      Sim.spawn s (fun () -> Sim.Ivar.fill s ivs.(0) 0);
+      let parked = Sim.run s in
+      parked = 0
+      && Sim.Ivar.peek ivs.(n) = Some (List.fold_left ( + ) 0 xs))
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sim"
+    [
+      ( "scheduler",
+        [
+          Alcotest.test_case "single thread clock" `Quick
+            test_single_thread_clock;
+          Alcotest.test_case "virtual time ordering" `Quick
+            test_virtual_time_ordering;
+          Alcotest.test_case "spawn at" `Quick test_spawn_at;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "many threads" `Quick test_many_threads;
+        ] );
+      ( "ivar",
+        [
+          Alcotest.test_case "fill then read" `Quick test_ivar_fill_then_read;
+          Alcotest.test_case "read blocks" `Quick test_ivar_read_blocks;
+          Alcotest.test_case "double fill" `Quick test_ivar_double_fill;
+          Alcotest.test_case "peek + multireader" `Quick
+            test_ivar_peek_multireader;
+          Alcotest.test_case "wake cost" `Quick test_wake_cost;
+          qc prop_ivar_chain;
+        ] );
+      ( "chan",
+        [
+          Alcotest.test_case "fifo" `Quick test_chan_fifo;
+          Alcotest.test_case "delay" `Quick test_chan_delay;
+          Alcotest.test_case "try_recv" `Quick test_chan_try_recv;
+          Alcotest.test_case "blocked receiver parks" `Quick
+            test_chan_blocked_receiver_parks;
+        ] );
+      ( "barrier+gate",
+        [
+          Alcotest.test_case "barrier max clock" `Quick test_barrier_max_clock;
+          Alcotest.test_case "barrier reusable" `Quick test_barrier_reusable;
+          Alcotest.test_case "gate" `Quick test_gate;
+          Alcotest.test_case "gate zero" `Quick test_gate_zero;
+        ] );
+    ]

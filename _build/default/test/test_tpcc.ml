@@ -1,0 +1,315 @@
+(* TPC-C workload correctness: key encodings, generator conformance, and
+   post-run consistency conditions (TPC-C clause 3.3 adapted to our
+   schema): district order counters vs committed NewOrders, warehouse /
+   district YTD vs committed Payments, order/order-line row counts. *)
+
+open Quill_storage
+open Quill_txn
+open Quill_workloads
+module Engine = Quill_quecc.Engine
+
+(* ------------------------- encodings ------------------------- *)
+
+let test_key_encodings () =
+  let dk = Tpcc_defs.dkey ~w:3 ~d:7 in
+  Tutil.check_int "dkey" 37 dk;
+  Tutil.check_int "ckey" ((37 * 3000) + 123) (Tpcc_defs.ckey ~w:3 ~d:7 ~c:123);
+  Tutil.check_int "skey" 300_042 (Tpcc_defs.skey ~w:3 ~i:42);
+  let ok = Tpcc_defs.okey ~dk ~o:999 in
+  Tutil.check_int "okey roundtrip" dk (Tpcc_defs.dkey_of_okey ok);
+  let olk = Tpcc_defs.olkey ~ok ~ol:14 in
+  Tutil.check_int "olkey low bits" 14 (olk land 15);
+  Tutil.check_int "olkey embeds okey" ok (olk lsr 4)
+
+let test_nurand_bounds () =
+  let rng = Quill_common.Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Tpcc_defs.nurand rng ~a:1023 ~x:0 ~y:2999 in
+    Tutil.check_bool "nurand range" true (v >= 0 && v <= 2999)
+  done
+
+(* ------------------------- generator ------------------------- *)
+
+let test_mix_ratios () =
+  let cfg = Tutil.small_tpcc () in
+  let wl = Tpcc.make cfg in
+  let stream = wl.Workload.new_stream 0 in
+  let h = Tpcc.handles wl in
+  let counts = Hashtbl.create 8 in
+  let bump k =
+    Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+  in
+  let n = 5_000 in
+  for _ = 1 to n do
+    let t = stream () in
+    if Array.length t.Txn.frags = 0 then bump `Other
+    else begin
+      let f0 = t.Txn.frags.(0) in
+      if f0.Fragment.op = Tpcc_defs.op_no_wh then bump `New_order
+      else if f0.Fragment.op = Tpcc_defs.op_pay_wh then bump `Payment
+      else if f0.Fragment.op = Tpcc_defs.op_os_cust then bump `Order_status
+      else if f0.Fragment.op = Tpcc_defs.op_del_neworder then bump `Delivery
+      else if f0.Fragment.op = Tpcc_defs.op_sl_dist then bump `Stock_level
+      else bump `Other
+    end
+  done;
+  ignore h;
+  let pct k = 100 * Option.value ~default:0 (Hashtbl.find_opt counts k) / n in
+  Tutil.check_bool "new order ~45%" true (abs (pct `New_order - 45) <= 3);
+  Tutil.check_bool "payment ~43%" true (abs (pct `Payment - 43) <= 3);
+  (* empty-delivery txns (nothing undelivered) have zero fragments *)
+  Tutil.check_bool "minor txns present" true
+    (pct `Order_status + pct `Delivery + pct `Stock_level + pct `Other > 5)
+
+let test_new_order_structure () =
+  let cfg = Tutil.small_tpcc ~payment_only:true () in
+  let wl = Tpcc.make cfg in
+  let stream = wl.Workload.new_stream 0 in
+  let rec find_no n =
+    if n = 0 then Alcotest.fail "no NewOrder generated"
+    else
+      let t = stream () in
+      if
+        Array.length t.Txn.frags > 0
+        && t.Txn.frags.(0).Fragment.op = Tpcc_defs.op_no_wh
+      then t
+      else find_no (n - 1)
+  in
+  let t = find_no 100 in
+  let ops = Array.map (fun f -> f.Fragment.op) t.Txn.frags in
+  let count op = Array.fold_left (fun a o -> if o = op then a + 1 else a) 0 ops in
+  let items = count Tpcc_defs.op_no_item in
+  Tutil.check_bool "5-15 items" true (items >= 5 && items <= 15);
+  Tutil.check_int "stock per item" items (count Tpcc_defs.op_no_stock);
+  Tutil.check_int "ol insert per item" items (count Tpcc_defs.op_no_ins_ol);
+  Tutil.check_int "one order insert" 1 (count Tpcc_defs.op_no_ins_order);
+  Tutil.check_int "one new_order insert" 1
+    (count Tpcc_defs.op_no_ins_neworder);
+  (* item checks are abortable, early, dependency-free *)
+  Array.iter
+    (fun (f : Fragment.t) ->
+      if f.Fragment.op = Tpcc_defs.op_no_item then begin
+        Tutil.check_bool "abortable" true f.Fragment.abortable;
+        Tutil.check_bool "early" true f.Fragment.early;
+        Tutil.check_int "dep-free" 0 (Array.length f.Fragment.data_deps)
+      end;
+      if f.Fragment.op = Tpcc_defs.op_no_ins_ol then
+        Tutil.check_bool "ol insert has commit dep" true f.Fragment.commit_dep)
+    t.Txn.frags
+
+(* ------------------------- consistency after runs ------------------- *)
+
+type tally = {
+  mutable new_orders : int array; (* committed NewOrders per dkey *)
+  mutable pay_w : int array;      (* committed payment amounts per warehouse *)
+  mutable pay_d : int array;      (* per dkey *)
+}
+
+let tally_of cfg txns =
+  let dk_count = cfg.Tpcc_defs.warehouses * 10 in
+  let t =
+    {
+      new_orders = Array.make dk_count 0;
+      pay_w = Array.make cfg.Tpcc_defs.warehouses 0;
+      pay_d = Array.make dk_count 0;
+    }
+  in
+  List.iter
+    (fun (txn : Txn.t) ->
+      if txn.Txn.status = Txn.Committed && Array.length txn.Txn.frags > 0 then begin
+        let f0 = txn.Txn.frags.(0) in
+        if f0.Fragment.op = Tpcc_defs.op_no_wh then begin
+          let d = txn.Txn.frags.(1) in
+          t.new_orders.(d.Fragment.key) <- t.new_orders.(d.Fragment.key) + 1
+        end
+        else if f0.Fragment.op = Tpcc_defs.op_pay_wh then begin
+          let amount = f0.Fragment.args.(0) in
+          t.pay_w.(f0.Fragment.key) <- t.pay_w.(f0.Fragment.key) + amount;
+          let d = txn.Txn.frags.(1) in
+          t.pay_d.(d.Fragment.key) <- t.pay_d.(d.Fragment.key) + amount
+        end
+      end)
+    txns;
+  t
+
+let check_consistency name cfg (wl : Workload.t) txns =
+  let h = Tpcc.handles wl in
+  let db = wl.Workload.db in
+  let t = tally_of cfg txns in
+  (* Consistency 1: d_next_o_id == committed NewOrders for that district *)
+  Table.iter_dense
+    (fun row ->
+      Tutil.check_int
+        (Printf.sprintf "%s: district %d order counter" name row.Row.key)
+        t.new_orders.(row.Row.key)
+        row.Row.committed.(Tpcc_defs.D.next_o_id))
+    (Db.table db h.Tpcc_load.t_district);
+  (* Consistency 2: w_ytd == initial + committed payments *)
+  Table.iter_dense
+    (fun row ->
+      Tutil.check_int
+        (Printf.sprintf "%s: warehouse %d ytd" name row.Row.key)
+        (3_000_000_00 + t.pay_w.(row.Row.key))
+        row.Row.committed.(Tpcc_defs.W.ytd))
+    (Db.table db h.Tpcc_load.t_warehouse);
+  (* Consistency 3: d_ytd == initial + committed district payments *)
+  Table.iter_dense
+    (fun row ->
+      Tutil.check_int
+        (Printf.sprintf "%s: district %d ytd" name row.Row.key)
+        (300_000_00 + t.pay_d.(row.Row.key))
+        row.Row.committed.(Tpcc_defs.D.ytd))
+    (Db.table db h.Tpcc_load.t_district);
+  (* Consistency 4: order rows == committed NewOrders *)
+  let total_no = Array.fold_left ( + ) 0 t.new_orders in
+  Tutil.check_int (name ^ ": orders inserted") total_no
+    (Table.inserted_count (Db.table db h.Tpcc_load.t_orders));
+  Tutil.check_int (name ^ ": new_order rows") total_no
+    (Table.inserted_count (Db.table db h.Tpcc_load.t_new_order))
+
+let run_quecc_consistency mode () =
+  let cfg = Tutil.small_tpcc ~warehouses:2 () in
+  let wl = Tpcc.make cfg in
+  let wl_rec, logs = Tutil.record wl in
+  let _ =
+    Engine.run
+      { Engine.default_cfg with Engine.planners = 4; executors = 4;
+        batch_size = 128; mode }
+      wl_rec ~batches:4
+  in
+  let txns = Tutil.batch_order logs ~streams:4 ~batch_size:128 ~batches:4 in
+  check_consistency "quecc" cfg wl txns
+
+let test_quecc_speculative_consistency () =
+  run_quecc_consistency Engine.Speculative ()
+
+let test_quecc_conservative_consistency () =
+  run_quecc_consistency Engine.Conservative ()
+
+let test_nd_consistency () =
+  List.iter
+    (fun (name, (cc : (module Quill_protocols.Nd_driver.CC))) ->
+      let cfg = Tutil.small_tpcc ~payment_only:true () in
+      let wl = Tpcc.make cfg in
+      let wl_rec, logs = Tutil.record wl in
+      let _ =
+        Quill_protocols.Nd_driver.run cc
+          { Quill_protocols.Nd_driver.default_cfg with
+            Quill_protocols.Nd_driver.workers = 4 }
+          wl_rec ~txns:600
+      in
+      let txns =
+        Hashtbl.fold (fun _ v acc -> Quill_common.Vec.to_list v @ acc) logs []
+      in
+      check_consistency name cfg wl txns)
+    [
+      ("2pl-nowait", (module Quill_protocols.Twopl.No_wait_cc));
+      ("silo", (module Quill_protocols.Silo));
+      ("tictoc", (module Quill_protocols.Tictoc));
+      ("mvto", (module Quill_protocols.Mvto));
+    ]
+
+let test_quecc_matches_serial_full_mix () =
+  let cfg = Tutil.small_tpcc ~warehouses:2 () in
+  let wl = Tpcc.make cfg in
+  let wl_rec, logs = Tutil.record wl in
+  let m =
+    Engine.run
+      { Engine.default_cfg with Engine.planners = 4; executors = 4;
+        batch_size = 128 }
+      wl_rec ~batches:4
+  in
+  let cfg2 = Tutil.small_tpcc ~warehouses:2 () in
+  let wl2 = Tpcc.make cfg2 in
+  let txns = Tutil.batch_order logs ~streams:4 ~batch_size:128 ~batches:4 in
+  let m2 = Quill_protocols.Serial.run_txns wl2 txns in
+  Tutil.check_int "commits" m2.Metrics.committed m.Metrics.committed;
+  Tutil.check_int "aborts" m2.Metrics.logic_aborted m.Metrics.logic_aborted;
+  Tutil.check_bool "state" true
+    (Db.checksum wl.Workload.db = Db.checksum wl2.Workload.db)
+
+let test_invalid_items_abort () =
+  let cfg =
+    { (Tutil.small_tpcc ~payment_only:true ()) with
+      Tpcc_defs.invalid_item_pct = 50 }
+  in
+  let wl = Tpcc.make cfg in
+  let m =
+    Engine.run
+      { Engine.default_cfg with Engine.planners = 2; executors = 2;
+        batch_size = 64 }
+      wl ~batches:2
+  in
+  (* ~50% of ~50% NewOrders should abort *)
+  Tutil.check_bool "aborts happen" true (m.Metrics.logic_aborted > 10);
+  Tutil.check_bool "most still commit" true
+    (m.Metrics.committed > m.Metrics.logic_aborted)
+
+let test_customer_index () =
+  let cfg = Tutil.small_tpcc () in
+  let wl = Tpcc.make cfg in
+  let h = Tpcc.handles wl in
+  let idx = Db.index wl.Workload.db h.Tpcc_load.ix_cust_by_name in
+  let tbl = Db.table wl.Workload.db h.Tpcc_load.t_customer in
+  (* every indexed primary key carries the matching last name *)
+  let checked = ref 0 in
+  for last = 0 to 50 do
+    List.iter
+      (fun ck ->
+        incr checked;
+        let row = Table.dense tbl ck in
+        Tutil.check_int "index consistent" last
+          row.Row.committed.(Tpcc_defs.C.last))
+      (Index.find idx last)
+    (* dkey 0, last name [last] *)
+  done;
+  Tutil.check_bool "index nonempty" true (!checked > 0)
+
+let prop_tpcc_quecc_oracle =
+  QCheck.Test.make ~name:"tpcc: quecc == serial oracle across seeds" ~count:5
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let cfg = Tutil.small_tpcc ~seed () in
+      let wl = Tpcc.make cfg in
+      let wl_rec, logs = Tutil.record wl in
+      let _ =
+        Engine.run
+          { Engine.default_cfg with Engine.planners = 2; executors = 4;
+            batch_size = 64 }
+          wl_rec ~batches:3
+      in
+      let wl2 = Tpcc.make cfg in
+      let txns = Tutil.batch_order logs ~streams:2 ~batch_size:64 ~batches:3 in
+      let _ = Quill_protocols.Serial.run_txns wl2 txns in
+      Db.checksum wl.Workload.db = Db.checksum wl2.Workload.db)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "tpcc"
+    [
+      ( "schema",
+        [
+          Alcotest.test_case "key encodings" `Quick test_key_encodings;
+          Alcotest.test_case "nurand bounds" `Quick test_nurand_bounds;
+          Alcotest.test_case "customer index" `Quick test_customer_index;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "mix ratios" `Quick test_mix_ratios;
+          Alcotest.test_case "new order structure" `Quick
+            test_new_order_structure;
+        ] );
+      ( "consistency",
+        [
+          Alcotest.test_case "quecc speculative" `Quick
+            test_quecc_speculative_consistency;
+          Alcotest.test_case "quecc conservative" `Quick
+            test_quecc_conservative_consistency;
+          Alcotest.test_case "nd protocols" `Quick test_nd_consistency;
+          Alcotest.test_case "quecc == serial (full mix)" `Quick
+            test_quecc_matches_serial_full_mix;
+          Alcotest.test_case "invalid items abort" `Quick
+            test_invalid_items_abort;
+          qc prop_tpcc_quecc_oracle;
+        ] );
+    ]

@@ -1,0 +1,177 @@
+open Quill_txn
+
+let frag ?(abortable = false) ?(early = false) ?(deps = [||]) ~fid ~key mode =
+  Fragment.make ~abortable ~early ~data_deps:deps ~fid ~table:0 ~key ~mode
+    ~op:0 ()
+
+(* ------------------------- fragment ------------------------- *)
+
+let test_fragment_updates () =
+  Tutil.check_bool "read" false (Fragment.updates (frag ~fid:0 ~key:0 Fragment.Read));
+  Tutil.check_bool "write" true (Fragment.updates (frag ~fid:0 ~key:0 Fragment.Write));
+  Tutil.check_bool "rmw" true (Fragment.updates (frag ~fid:0 ~key:0 Fragment.Rmw));
+  Tutil.check_bool "insert" true (Fragment.updates (frag ~fid:0 ~key:0 Fragment.Insert))
+
+(* ------------------------- txn ------------------------- *)
+
+let test_txn_validation () =
+  Alcotest.check_raises "fid order" (Invalid_argument "Txn.make: fid out of order")
+    (fun () ->
+      ignore (Txn.make ~tid:0 [| frag ~fid:1 ~key:0 Fragment.Read |]));
+  Alcotest.check_raises "forward dep"
+    (Invalid_argument "Txn.make: data dependency must point backwards")
+    (fun () ->
+      ignore
+        (Txn.make ~tid:0
+           [|
+             frag ~fid:0 ~deps:[| 0 |] ~key:0 Fragment.Read;
+           |]))
+
+let test_commit_dep_computation () =
+  (* Updating fragments get a commit dependency iff another fragment of
+     the same txn may abort. *)
+  let t =
+    Txn.make ~tid:1
+      [|
+        frag ~fid:0 ~abortable:true ~key:0 Fragment.Read;
+        frag ~fid:1 ~key:1 Fragment.Rmw;
+        frag ~fid:2 ~key:2 Fragment.Read;
+      |]
+  in
+  Tutil.check_int "n_abortable" 1 t.Txn.n_abortable;
+  Tutil.check_bool "abortable read: no cdep" false
+    t.Txn.frags.(0).Fragment.commit_dep;
+  Tutil.check_bool "update: cdep" true t.Txn.frags.(1).Fragment.commit_dep;
+  Tutil.check_bool "read: no cdep" false t.Txn.frags.(2).Fragment.commit_dep;
+  (* no aborters: no commit deps at all *)
+  let t2 =
+    Txn.make ~tid:2
+      [| frag ~fid:0 ~key:0 Fragment.Rmw; frag ~fid:1 ~key:1 Fragment.Write |]
+  in
+  Tutil.check_bool "no aborter" false t2.Txn.frags.(0).Fragment.commit_dep;
+  (* an abortable updating fragment guards itself: no self commit-dep *)
+  let t3 = Txn.make ~tid:3 [| frag ~fid:0 ~abortable:true ~key:0 Fragment.Rmw |] in
+  Tutil.check_bool "self-guarding aborter" false
+    t3.Txn.frags.(0).Fragment.commit_dep
+
+let test_txn_read_only () =
+  let ro =
+    Txn.make ~tid:0
+      [| frag ~fid:0 ~key:0 Fragment.Read; frag ~fid:1 ~key:1 Fragment.Read |]
+  in
+  Tutil.check_bool "read only" true (Txn.is_read_only ro);
+  let rw =
+    Txn.make ~tid:1
+      [| frag ~fid:0 ~key:0 Fragment.Read; frag ~fid:1 ~key:1 Fragment.Rmw |]
+  in
+  Tutil.check_bool "not read only" false (Txn.is_read_only rw)
+
+let test_txn_partitions () =
+  let db = Quill_storage.Db.create ~nparts:4 in
+  let _ = Quill_storage.Db.add_table db ~name:"t" ~nfields:1 ~capacity:100 in
+  let t =
+    Txn.make ~tid:0
+      [|
+        frag ~fid:0 ~key:0 Fragment.Read;
+        frag ~fid:1 ~key:99 Fragment.Read;
+        frag ~fid:2 ~key:1 Fragment.Read;
+      |]
+  in
+  Alcotest.(check (list int)) "partitions" [ 0; 3 ] (Txn.partitions db t)
+
+(* ------------------------- plan order ------------------------- *)
+
+let test_plan_order () =
+  let frags =
+    [|
+      frag ~fid:0 ~key:0 Fragment.Rmw;
+      frag ~fid:1 ~abortable:true ~key:1 Fragment.Read;
+      frag ~fid:2 ~key:2 Fragment.Write;
+      frag ~fid:3 ~abortable:true ~deps:[| 0 |] ~key:3 Fragment.Read;
+    |]
+  in
+  let t = Txn.make ~tid:0 frags in
+  let ordered = Quill_quecc.Engine.plan_order_for_dist t.Txn.frags in
+  (* dep-free abortable first; abortable-with-deps stays in place *)
+  Tutil.check_int "aborter first" 1 ordered.(0).Fragment.fid;
+  Alcotest.(check (list int))
+    "rest in program order" [ 1; 0; 2; 3 ]
+    (Array.to_list (Array.map (fun f -> f.Fragment.fid) ordered));
+  (* empty txn is fine *)
+  Tutil.check_int "empty" 0
+    (Array.length (Quill_quecc.Engine.plan_order_for_dist [||]))
+
+(* ------------------------- metrics ------------------------- *)
+
+let test_metrics () =
+  let m = Metrics.create () in
+  m.Metrics.committed <- 1000;
+  m.Metrics.elapsed <- 500_000_000;
+  m.Metrics.cc_aborts <- 250;
+  m.Metrics.busy <- 400_000_000;
+  m.Metrics.threads <- 2;
+  Alcotest.(check (float 1e-6)) "throughput" 2000.0 (Metrics.throughput m);
+  Alcotest.(check (float 1e-6)) "abort rate" 0.2 (Metrics.abort_rate m);
+  Alcotest.(check (float 1e-6)) "utilization" 0.4 (Metrics.utilization m);
+  let empty = Metrics.create () in
+  Alcotest.(check (float 1e-6)) "zero tput" 0.0 (Metrics.throughput empty);
+  Alcotest.(check (float 1e-6)) "zero abort" 0.0 (Metrics.abort_rate empty)
+
+(* ------------------------- workload serial executor ----------------- *)
+
+let test_exec_txn_stops_at_abort () =
+  let calls = ref [] in
+  let wl =
+    {
+      Workload.name = "t";
+      db = Quill_storage.Db.create ~nparts:1;
+      new_stream = (fun _ () -> assert false);
+      exec =
+        (fun _ _ f ->
+          calls := f.Fragment.fid :: !calls;
+          if f.Fragment.fid = 1 then Exec.Abort else Exec.Ok);
+      describe = "";
+    }
+  in
+  let dummy_ctx =
+    {
+      Exec.read = (fun _ _ -> 0);
+      write = (fun _ _ _ -> ());
+      add = (fun _ _ _ -> ());
+      insert = (fun _ ~key:_ _ -> ());
+      input = (fun _ -> 0);
+      output = (fun _ _ -> ());
+      found = (fun _ -> true);
+    }
+  in
+  let t =
+    Txn.make ~tid:0
+      [|
+        frag ~fid:0 ~key:0 Fragment.Read;
+        frag ~fid:1 ~key:1 Fragment.Read;
+        frag ~fid:2 ~key:2 Fragment.Read;
+      |]
+  in
+  Tutil.check_bool "aborts" true (Workload.exec_txn wl dummy_ctx t = Exec.Abort);
+  Alcotest.(check (list int)) "stopped at abort" [ 0; 1 ] (List.rev !calls)
+
+let () =
+  Alcotest.run "txn"
+    [
+      ( "fragment",
+        [ Alcotest.test_case "updates" `Quick test_fragment_updates ] );
+      ( "txn",
+        [
+          Alcotest.test_case "validation" `Quick test_txn_validation;
+          Alcotest.test_case "commit deps" `Quick test_commit_dep_computation;
+          Alcotest.test_case "read only" `Quick test_txn_read_only;
+          Alcotest.test_case "partitions" `Quick test_txn_partitions;
+          Alcotest.test_case "plan order" `Quick test_plan_order;
+        ] );
+      ("metrics", [ Alcotest.test_case "math" `Quick test_metrics ]);
+      ( "workload",
+        [
+          Alcotest.test_case "exec stops at abort" `Quick
+            test_exec_txn_stops_at_abort;
+        ] );
+    ]

@@ -1,0 +1,108 @@
+(* Shared helpers for the test suites. *)
+
+open Quill_common
+open Quill_txn
+
+(* Wrap a workload so every generated transaction is recorded per stream;
+   [batch_order] then reconstructs the exact global order an engine with
+   planner-major slicing processed. *)
+let record (wl : Workload.t) =
+  let logs : (int, Txn.t Vec.t) Hashtbl.t = Hashtbl.create 8 in
+  let new_stream i =
+    let s = wl.Workload.new_stream i in
+    let v =
+      match Hashtbl.find_opt logs i with
+      | Some v -> v
+      | None ->
+          let v = Vec.create () in
+          Hashtbl.replace logs i v;
+          v
+    in
+    fun () ->
+      let t = s () in
+      Vec.push v t;
+      t
+  in
+  ({ wl with Workload.new_stream }, logs)
+
+(* Global batch order for a planner-major engine: batch b consists of the
+   b-th slice of every stream in stream order. *)
+let batch_order logs ~streams ~batch_size ~batches =
+  (* Mirror the engines' slice_bounds: the remainder goes to the first
+     [batch_size mod streams] planners. *)
+  let base = batch_size / streams and rem = batch_size mod streams in
+  let count p = base + if p < rem then 1 else 0 in
+  let acc = ref [] in
+  for b = 0 to batches - 1 do
+    for p = 0 to streams - 1 do
+      let v = Hashtbl.find logs p in
+      for j = 0 to count p - 1 do
+        acc := Vec.get v ((b * count p) + j) :: !acc
+      done
+    done
+  done;
+  List.rev !acc
+
+(* Epoch order for the distributed engines: per batch, node-major, then
+   planner-major within the node. *)
+let epoch_order logs ~streams ~batch_size ~batches =
+  batch_order logs ~streams ~batch_size ~batches
+
+let small_ycsb ?(table_size = 4_000) ?(nparts = 4) ?(theta = 0.6)
+    ?(mp_ratio = 0.2) ?(abort_ratio = 0.0) ?(chain_deps = false)
+    ?(read_ratio = 0.5) ?(seed = 42) () =
+  {
+    Quill_workloads.Ycsb.default with
+    Quill_workloads.Ycsb.table_size;
+    nparts;
+    theta;
+    mp_ratio;
+    abort_ratio;
+    abort_threshold = 100;
+    chain_deps;
+    read_ratio;
+    seed;
+  }
+
+let small_tpcc ?(warehouses = 1) ?(nparts = 4) ?(seed = 9)
+    ?(payment_only = false) () =
+  let cfg =
+    {
+      Quill_workloads.Tpcc.default with
+      Quill_workloads.Tpcc_defs.warehouses;
+      nparts;
+      items = 2_000;
+      customers_per_district = 300;
+      seed;
+    }
+  in
+  if payment_only then Quill_workloads.Tpcc.payment_mix cfg else cfg
+
+(* Sum of committed YCSB RMW deltas: the additive invariant oracle.  Every
+   Rmw fragment with op op_rmw adds args.(0) to field 0; op_rmw_dep adds
+   args.(0) + (dep value & 1023) which is not statically known, so the
+   invariant tests use chain_deps = false workloads. *)
+let ycsb_committed_delta txns =
+  List.fold_left
+    (fun acc (t : Txn.t) ->
+      if t.Txn.status = Txn.Committed then
+        Array.fold_left
+          (fun acc (f : Fragment.t) ->
+            if
+              f.Fragment.op = Quill_workloads.Ycsb.op_rmw
+              && f.Fragment.mode = Fragment.Rmw
+            then acc + f.Fragment.args.(0)
+            else acc)
+          acc t.Txn.frags
+      else acc)
+    0 txns
+
+let sum_field0 db name =
+  let acc = ref 0 in
+  Quill_storage.Table.iter_dense
+    (fun row -> acc := !acc + row.Quill_storage.Row.committed.(0))
+    (Quill_storage.Db.table_by_name db name);
+  !acc
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
