@@ -1,0 +1,23 @@
+SMOKE_TRACE := /tmp/quill-smoke-trace.json
+
+.PHONY: all build test check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Full verification: build, test suite, then a CLI smoke run that exports
+# a trace and validates the Chrome trace-event JSON actually parses.
+check: build test
+	dune exec bin/quill_cli.exe -- run --engine quecc --workload ycsb \
+	  --txns 2048 --batch 512 --trace $(SMOKE_TRACE) --phase-table
+	python3 -c "import json; d = json.load(open('$(SMOKE_TRACE)')); \
+	  assert d['traceEvents'], 'empty trace'; \
+	  print('trace ok: %d events' % len(d['traceEvents']))"
+
+clean:
+	dune clean

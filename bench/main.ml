@@ -124,14 +124,36 @@ let usage () =
   print_endline
     "usage: main.exe [table2-row1|table2-row2|table2-row3|fig-contention|\n\
     \                 fig-scalability|fig-modes|fig-latency|fig-batch|micro|all]\n\
-    \                [scale]";
+    \                [scale] [--trace FILE] [--phase-table]";
   exit 1
 
-let () =
-  let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  let scale =
-    if Array.length Sys.argv > 2 then float_of_string Sys.argv.(2) else 0.5
+(* Pull the option flags out of argv; what remains is positional. *)
+let parse_args () =
+  let trace_file = ref None in
+  let positional = ref [] in
+  let rec go i =
+    if i < Array.length Sys.argv then begin
+      (match Sys.argv.(i) with
+      | "--trace" ->
+          if i + 1 >= Array.length Sys.argv then usage ();
+          trace_file := Some Sys.argv.(i + 1)
+      | "--phase-table" -> H.Report.phase_tables := true
+      | a -> positional := a :: !positional);
+      go (i + if Sys.argv.(i) = "--trace" then 2 else 1)
+    end
   in
+  go 1;
+  (!trace_file, List.rev !positional)
+
+let () =
+  let trace_file, positional = parse_args () in
+  let arg = match positional with a :: _ -> a | [] -> "all" in
+  let scale =
+    match positional with _ :: s :: _ -> float_of_string s | _ -> 0.5
+  in
+  (match trace_file with
+  | Some _ -> H.Experiments.tracer := Quill_trace.Trace.create ()
+  | None -> ());
   Printf.printf "quill benchmark harness (scale=%.2f)\n%!" scale;
   (match arg with
   | "table2-row1" -> H.Experiments.table2_row1 ~scale ()
@@ -147,4 +169,11 @@ let () =
       H.Experiments.all ~scale ();
       run_micro ()
   | _ -> usage ());
+  (match trace_file with
+  | Some path ->
+      let tr = !H.Experiments.tracer in
+      Quill_trace.Trace.write_file tr path;
+      Printf.printf "trace: %d events written to %s\n"
+        (Quill_trace.Trace.num_events tr) path
+  | None -> ());
   print_endline "\ndone."

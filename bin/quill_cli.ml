@@ -18,7 +18,7 @@ let engines =
   ]
 
 let run_cmd engine workload threads txns batch theta mp abort_ratio warehouses
-    table_size seed =
+    table_size seed trace_file phase_table =
   match E.engine_of_string engine with
   | None ->
       Printf.eprintf "unknown engine %s; see list-engines\n" engine;
@@ -55,11 +55,25 @@ let run_cmd engine workload threads txns batch theta mp abort_ratio warehouses
             exit 2
       in
       let exp = E.make ~threads ~txns ~batch_size:batch e spec in
-      let m = E.run exp in
+      let tracer =
+        match trace_file with
+        | Some _ -> Quill_trace.Trace.create ()
+        | None -> Quill_trace.Trace.null
+      in
+      let m = E.run ~tracer exp in
       Format.printf "%s on %s:@.  %a@." engine workload
         Quill_txn.Metrics.pp m;
       Quill_harness.Report.print_table ~title:"result"
-        [ { Quill_harness.Report.label = engine; metrics = m } ]
+        [ { Quill_harness.Report.label = engine; metrics = m } ];
+      if phase_table then
+        Quill_harness.Report.print_phase_table ~title:"result"
+          [ { Quill_harness.Report.label = engine; metrics = m } ];
+      match trace_file with
+      | Some path ->
+          Quill_trace.Trace.write_file tracer path;
+          Printf.printf "trace: %d events written to %s\n"
+            (Quill_trace.Trace.num_events tracer) path
+      | None -> ()
 
 let experiments_cmd only scale =
   let module X = Quill_harness.Experiments in
@@ -119,10 +133,24 @@ let table_size_t =
 
 let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
 
+let trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace-event JSON file of the run.")
+
+let phase_table_t =
+  Arg.(
+    value & flag
+    & info [ "phase-table" ]
+        ~doc:"Print the per-phase busy / idle-cause breakdown.")
+
 let run_term =
   Term.(
     const run_cmd $ engine_t $ workload_t $ threads_t $ txns_t $ batch_t
-    $ theta_t $ mp_t $ abort_t $ warehouses_t $ table_size_t $ seed_t)
+    $ theta_t $ mp_t $ abort_t $ warehouses_t $ table_size_t $ seed_t
+    $ trace_t $ phase_table_t)
 
 let only_t =
   Arg.(

@@ -133,6 +133,7 @@ let sequencer_thread sh node stream epochs =
   let base = sh.cfg.batch_size / sh.cfg.nodes in
   let count = base + if node < sh.cfg.batch_size mod sh.cfg.nodes then 1 else 0 in
   for e = 0 to epochs - 1 do
+    Sim.set_phase sh.sim Sim.Ph_plan;
     let rts =
       Array.init count (fun _ ->
           Sim.tick sh.sim costs.Costs.txn_overhead;
@@ -151,6 +152,7 @@ let sequencer_thread sh node stream epochs =
       if dst = node then Sim.Ivar.fill sh.sim (get_slice sh e node node) rts
       else Net.send sh.net ~src:node ~dst ~bytes (Slice { epoch = e; src = node; rts })
     done;
+    Sim.set_phase sh.sim Sim.Ph_other;
     Sim.Ivar.read sh.sim (get_commit sh e node)
   done
 
@@ -240,6 +242,7 @@ let check_node_done sh node =
 let scheduler_thread sh node epochs =
   let costs = sh.cfg.costs in
   for e = 0 to epochs - 1 do
+    Sim.set_phase sh.sim Sim.Ph_plan;
     let count = ref 0 in
     for src = 0 to sh.cfg.nodes - 1 do
       let rts = Sim.Ivar.read sh.sim (get_slice sh e src node) in
@@ -271,14 +274,17 @@ let scheduler_thread sh node epochs =
     done;
     sh.ns.(node).expected <- !count;
     check_node_done sh node;
+    Sim.set_phase sh.sim Sim.Ph_other;
     Sim.Ivar.read sh.sim (get_commit sh e node);
     (* All local sub-transactions are done: publish committed state. *)
+    Sim.set_phase sh.sim Sim.Ph_publish;
     Vec.iter
       (fun row ->
         Row.publish row;
         row.Row.dirty <- false)
       sh.ns.(node).touched;
-    Vec.clear sh.ns.(node).touched
+    Vec.clear sh.ns.(node).touched;
+    Sim.set_phase sh.sim Sim.Ph_other
   done;
   (* Poison the worker pool after the final epoch. *)
   for _ = 1 to sh.cfg.workers do
@@ -303,6 +309,7 @@ let broadcast_resolution sh ~self rt aborted =
     rt.participants
 
 let exec_sub sh node sub =
+  Sim.set_phase sh.sim Sim.Ph_execute;
   let costs = sh.cfg.costs in
   let rt = sub.rt in
   let txn = rt.txn in
@@ -418,7 +425,8 @@ let exec_sub sh node sub =
       release sh node sub (t, k))
     sub.locks;
   sh.ns.(node).completed <- sh.ns.(node).completed + 1;
-  check_node_done sh node
+  check_node_done sh node;
+  Sim.set_phase sh.sim Sim.Ph_other
 
 let worker_thread sh node =
   let rec loop () =
@@ -557,4 +565,5 @@ let run ?sim cfg wl ~batches =
   m.Metrics.idle <- Sim.idle_time sim;
   m.Metrics.threads <- cfg.nodes * (cfg.workers + 3);
   m.Metrics.msgs <- Net.messages_sent sh.net;
+  Quill_quecc.Engine.record_sim_breakdown m sim;
   m

@@ -171,6 +171,7 @@ let planner_thread sh node p stream batches =
   (* Staging area: queues destined for every executor gid. *)
   let out = Array.init (e_global sh) (fun _ -> Vec.create ()) in
   for b = 0 to batches - 1 do
+    Sim.set_phase sh.sim Sim.Ph_plan;
     Array.iter Vec.clear out;
     for j = 0 to count - 1 do
       Sim.tick sh.sim costs.Costs.txn_overhead;
@@ -209,6 +210,7 @@ let planner_thread sh node p stream batches =
       end
     done;
     (* Wait for the global batch commit before planning the next one. *)
+    Sim.set_phase sh.sim Sim.Ph_other;
     Sim.Ivar.read sh.sim (get_commit sh b node)
   done
 
@@ -323,22 +325,26 @@ let executor_thread sh node e batches =
              cur_found = false } in
   let ctx = make_ctx sh st in
   for b = 0 to batches - 1 do
+    Sim.set_phase sh.sim Sim.Ph_execute;
     for prio = 0 to p_global sh - 1 do
       let q = Sim.Ivar.read sh.sim (get_reg sh b prio egid) in
       Vec.iter (exec_entry sh st ctx) q;
       Hashtbl.remove sh.reg (b, prio, egid)
     done;
+    Sim.set_phase sh.sim Sim.Ph_other;
     (* Node-local rendezvous; the last executor reports to node 0. *)
     Sim.Barrier.await sh.sim sh.exec_done_b.(node);
     if e = 0 then Net.send sh.net ~src:node ~dst:0 ~bytes:8 Exec_done;
     Sim.Ivar.read sh.sim (get_commit sh b node);
     (* Publish committed state for this executor's rows. *)
+    Sim.set_phase sh.sim Sim.Ph_publish;
     Vec.iter
       (fun row ->
         Row.publish row;
         row.Row.dirty <- false)
       sh.touched.(egid);
-    Vec.clear sh.touched.(egid)
+    Vec.clear sh.touched.(egid);
+    Sim.set_phase sh.sim Sim.Ph_other
   done
 
 (* ------------------------------------------------------------------ *)
@@ -461,4 +467,5 @@ let run ?sim cfg wl ~batches =
   m.Metrics.idle <- Sim.idle_time sim;
   m.Metrics.threads <- cfg.nodes * (cfg.planners + cfg.executors + 1);
   m.Metrics.msgs <- Net.messages_sent sh.net;
+  Quill_quecc.Engine.record_sim_breakdown m sim;
   m

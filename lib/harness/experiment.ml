@@ -1,6 +1,8 @@
 open Quill_sim
 open Quill_workloads
 module Qe = Quill_quecc.Engine
+module Trace = Quill_trace.Trace
+module Metrics = Quill_txn.Metrics
 
 type engine =
   | Serial
@@ -31,6 +33,14 @@ let engine_name = function
   | Dist_quecc n -> Printf.sprintf "dist-quecc-%dn" n
   | Dist_calvin n -> Printf.sprintf "dist-calvin-%dn" n
 
+(* "dist-quecc-8n" -> Some 8: the node-count suffix [engine_name] prints
+   for distributed engines, accepted back on parse for round-tripping. *)
+let nodes_suffix ~prefix s =
+  let lp = String.length prefix and ls = String.length s in
+  if ls > lp && String.sub s 0 lp = prefix && s.[ls - 1] = 'n' then
+    int_of_string_opt (String.sub s lp (ls - lp - 1))
+  else None
+
 let engine_of_string = function
   | "serial" -> Some Serial
   | "quecc" -> Some (Quecc (Qe.Speculative, Qe.Serializable))
@@ -46,7 +56,13 @@ let engine_of_string = function
   | "calvin" -> Some Calvin
   | "dist-quecc" -> Some (Dist_quecc 4)
   | "dist-calvin" -> Some (Dist_calvin 4)
-  | _ -> None
+  | s -> (
+      match nodes_suffix ~prefix:"dist-quecc-" s with
+      | Some n when n > 0 -> Some (Dist_quecc n)
+      | Some _ | None -> (
+          match nodes_suffix ~prefix:"dist-calvin-" s with
+          | Some n when n > 0 -> Some (Dist_calvin n)
+          | Some _ | None -> None))
 
 let all_centralized =
   [
@@ -90,75 +106,90 @@ let respec_parts spec nparts =
   | Ycsb cfg -> Ycsb { cfg with Quill_workloads.Ycsb.nparts }
   | Tpcc cfg -> Tpcc { cfg with Quill_workloads.Tpcc_defs.nparts }
 
-let run t =
-  match t.engine with
-  | Serial ->
-      let wl = build_workload t.workload in
-      Quill_protocols.Serial.run ~costs:t.costs wl ~txns:t.txns
-  | Quecc (mode, isolation) ->
-      let wl = build_workload t.workload in
-      let cfg =
-        {
-          Qe.planners = t.threads;
-          executors = t.threads;
-          batch_size = t.batch_size;
-          mode;
-          isolation;
-          costs = t.costs;
-        }
-      in
-      Qe.run cfg wl ~batches:(max 1 (t.txns / t.batch_size))
-  | Twopl_nowait | Twopl_waitdie | Silo | Tictoc | Mvto ->
-      let wl = build_workload t.workload in
-      let cfg =
-        { Quill_protocols.Nd_driver.default_cfg with
-          Quill_protocols.Nd_driver.workers = t.threads; costs = t.costs }
-      in
-      let m : (module Quill_protocols.Nd_driver.CC) =
-        match t.engine with
-        | Twopl_nowait -> (module Quill_protocols.Twopl.No_wait_cc)
-        | Twopl_waitdie -> (module Quill_protocols.Twopl.Wait_die_cc)
-        | Silo -> (module Quill_protocols.Silo)
-        | Tictoc -> (module Quill_protocols.Tictoc)
-        | Mvto -> (module Quill_protocols.Mvto)
-        | _ -> assert false
-      in
-      Quill_protocols.Nd_driver.run m cfg wl ~txns:t.txns
-  | Hstore ->
-      let wl = build_workload t.workload in
-      Quill_protocols.Hstore.run
-        { Quill_protocols.Hstore.workers = t.threads; costs = t.costs }
-        wl ~txns:t.txns
-  | Calvin ->
-      let wl = build_workload t.workload in
-      Quill_protocols.Calvin.run
-        {
-          Quill_protocols.Calvin.workers = max 1 (t.threads - 1);
-          batch_size = t.batch_size;
-          costs = t.costs;
-        }
-        wl ~txns:t.txns
-  | Dist_quecc nodes ->
-      let per_role = max 1 (t.threads / 2) in
-      let wl = build_workload (respec_parts t.workload (nodes * per_role)) in
-      Quill_dist.Dist_quecc.run
-        {
-          Quill_dist.Dist_quecc.nodes;
-          planners = per_role;
-          executors = per_role;
-          batch_size = t.batch_size;
-          costs = t.costs;
-        }
-        wl
-        ~batches:(max 1 (t.txns / t.batch_size))
-  | Dist_calvin nodes ->
-      let wl = build_workload (respec_parts t.workload (nodes * 4)) in
-      Quill_dist.Dist_calvin.run
-        {
-          Quill_dist.Dist_calvin.nodes;
-          workers = t.threads;
-          batch_size = t.batch_size;
-          costs = t.costs;
-        }
-        wl
-        ~batches:(max 1 (t.txns / t.batch_size))
+(* Round the requested transaction count to a whole number of batches
+   (nearest, at least one batch).  The batch engines can only process
+   whole batches; giving the per-transaction engines the same effective
+   count keeps throughput comparisons apples-to-apples (previously Quecc
+   at the 20_000/1024 defaults silently ran 19_456 transactions while
+   Serial ran 20_000). *)
+let batches t = max 1 ((t.txns + (t.batch_size / 2)) / t.batch_size)
+let effective_txns t = batches t * t.batch_size
+
+let run ?(tracer = Trace.null) t =
+  Trace.begin_process tracer t.name;
+  let sim () = Sim.create ~wake_cost:t.costs.Costs.wakeup ~tracer () in
+  let batches = batches t in
+  let txns = batches * t.batch_size in
+  let m =
+    match t.engine with
+    | Serial ->
+        let wl = build_workload t.workload in
+        Quill_protocols.Serial.run ~sim:(sim ()) ~costs:t.costs wl ~txns
+    | Quecc (mode, isolation) ->
+        let wl = build_workload t.workload in
+        let cfg =
+          {
+            Qe.planners = t.threads;
+            executors = t.threads;
+            batch_size = t.batch_size;
+            mode;
+            isolation;
+            costs = t.costs;
+          }
+        in
+        Qe.run ~sim:(sim ()) cfg wl ~batches
+    | Twopl_nowait | Twopl_waitdie | Silo | Tictoc | Mvto ->
+        let wl = build_workload t.workload in
+        let cfg =
+          { Quill_protocols.Nd_driver.default_cfg with
+            Quill_protocols.Nd_driver.workers = t.threads; costs = t.costs }
+        in
+        let m : (module Quill_protocols.Nd_driver.CC) =
+          match t.engine with
+          | Twopl_nowait -> (module Quill_protocols.Twopl.No_wait_cc)
+          | Twopl_waitdie -> (module Quill_protocols.Twopl.Wait_die_cc)
+          | Silo -> (module Quill_protocols.Silo)
+          | Tictoc -> (module Quill_protocols.Tictoc)
+          | Mvto -> (module Quill_protocols.Mvto)
+          | _ -> assert false
+        in
+        Quill_protocols.Nd_driver.run ~sim:(sim ()) m cfg wl ~txns
+    | Hstore ->
+        let wl = build_workload t.workload in
+        Quill_protocols.Hstore.run ~sim:(sim ())
+          { Quill_protocols.Hstore.workers = t.threads; costs = t.costs }
+          wl ~txns
+    | Calvin ->
+        let wl = build_workload t.workload in
+        Quill_protocols.Calvin.run ~sim:(sim ())
+          {
+            Quill_protocols.Calvin.workers = max 1 (t.threads - 1);
+            batch_size = t.batch_size;
+            costs = t.costs;
+          }
+          wl ~txns
+    | Dist_quecc nodes ->
+        let per_role = max 1 (t.threads / 2) in
+        let wl = build_workload (respec_parts t.workload (nodes * per_role)) in
+        Quill_dist.Dist_quecc.run ~sim:(sim ())
+          {
+            Quill_dist.Dist_quecc.nodes;
+            planners = per_role;
+            executors = per_role;
+            batch_size = t.batch_size;
+            costs = t.costs;
+          }
+          wl ~batches
+    | Dist_calvin nodes ->
+        let wl = build_workload (respec_parts t.workload (nodes * 4)) in
+        Quill_dist.Dist_calvin.run ~sim:(sim ())
+          {
+            Quill_dist.Dist_calvin.nodes;
+            workers = t.threads;
+            batch_size = t.batch_size;
+            costs = t.costs;
+          }
+          wl ~batches
+  in
+  m.Metrics.effective_txns <- txns;
+  m

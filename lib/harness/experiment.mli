@@ -44,6 +44,16 @@ val make :
   workload_spec ->
   t
 
-val run : t -> Quill_txn.Metrics.t
+val batches : t -> int
+(** [txns] rounded to the nearest whole number of batches (at least 1). *)
+
+val effective_txns : t -> int
+(** The transaction count actually submitted: [batches t * batch_size].
+    The same effective count is given to every engine, batch-oriented or
+    per-transaction, so throughput comparisons stay apples-to-apples. *)
+
+val run : ?tracer:Quill_trace.Trace.t -> t -> Quill_txn.Metrics.t
 (** Builds a fresh database, runs, returns metrics.  Deterministic:
-    the same [t] always yields the same metrics. *)
+    the same [t] always yields the same metrics, with or without a
+    tracer ([tracer] defaults to the disabled {!Quill_trace.Trace.null}
+    and never affects virtual time). *)

@@ -4,9 +4,13 @@ module Qe = Quill_quecc.Engine
 
 let scaled scale n ~min_v = max min_v (int_of_float (float_of_int n *. scale))
 
+(* Tracer shared by every run of the suite (bench --trace); the default
+   null tracer records nothing. *)
+let tracer = ref Quill_trace.Trace.null
+
 let run_row engine spec ~threads ~txns ~batch_size =
   let e = E.make ~threads ~txns ~batch_size engine spec in
-  { Report.label = E.engine_name e.E.engine; metrics = E.run e }
+  { Report.label = E.engine_name e.E.engine; metrics = E.run ~tracer:!tracer e }
 
 (* ------------------------------------------------------------------ *)
 
@@ -192,7 +196,7 @@ let fig_modes ?(scale = 1.0) () =
               let e = E.make ~threads:8 ~txns ~batch_size:2048
                         (E.Quecc (mode, iso)) spec
               in
-              { Report.label; metrics = E.run e })
+              { Report.label; metrics = E.run ~tracer:!tracer e })
             [
               ("speculative/serializable", Qe.Speculative, Qe.Serializable);
               ("conservative/serializable", Qe.Conservative, Qe.Serializable);
@@ -248,7 +252,7 @@ let fig_batch ?(scale = 1.0) () =
             (E.Quecc (Qe.Speculative, Qe.Serializable))
             spec
         in
-        { Report.label = e.E.name; metrics = E.run e })
+        { Report.label = e.E.name; metrics = E.run ~tracer:!tracer e })
       [ 128; 512; 2048; 8192 ]
   in
   Report.print_table

@@ -7,6 +7,11 @@
     transaction counts and table sizes proportionally (minimum sizes are
     enforced). *)
 
+val tracer : Quill_trace.Trace.t ref
+(** Tracer used for every run of the suite (default: the disabled null
+    tracer).  Set it to an enabled tracer to capture the whole suite in
+    one trace file. *)
+
 val table2_row1 : ?scale:float -> unit -> unit
 (** Centralized QueCC vs deterministic H-Store, YCSB multi-partition
     sweep (paper: two orders of magnitude at high MP%). *)

@@ -33,14 +33,55 @@ let to_cells ?baseline r =
     (if base > 0.0 then Printf.sprintf "%.2fx" (tput /. base) else "-");
   ]
 
+(* Per-phase breakdown: where each engine's CPU time went (plan /
+   execute / recover / publish) and what its idle time waited on. *)
+let phase_header =
+  [
+    "engine"; "plan"; "execute"; "recover"; "publish"; "other"; "busy%";
+    "idle:barrier"; "idle:ivar"; "idle:chan"; "idle:sleep";
+  ]
+
+let pct part whole =
+  if whole <= 0 then "-"
+  else Printf.sprintf "%.1f%%" (100.0 *. float_of_int part /. float_of_int whole)
+
+let phase_cells r =
+  let m = r.metrics in
+  let span = m.Metrics.busy + m.Metrics.idle in
+  [
+    r.label;
+    pct m.Metrics.plan_busy m.Metrics.busy;
+    pct m.Metrics.exec_busy m.Metrics.busy;
+    pct m.Metrics.recover_busy m.Metrics.busy;
+    pct m.Metrics.publish_busy m.Metrics.busy;
+    pct m.Metrics.other_busy m.Metrics.busy;
+    pct m.Metrics.busy span;
+    pct m.Metrics.idle_barrier span;
+    pct m.Metrics.idle_ivar span;
+    pct m.Metrics.idle_chan span;
+    pct m.Metrics.idle_sleep span;
+  ]
+
+let print_phase_table ~title rows =
+  Printf.printf "\n== %s: phase breakdown ==\n" title;
+  match rows with
+  | [] -> print_endline "(no rows)"
+  | rows -> Tablefmt.print ~header:phase_header (List.map phase_cells rows)
+
+(* When set, [print_table] and [print_sweep] follow every metrics table
+   with the phase breakdown (the CLI/bench --phase-table flag). *)
+let phase_tables = ref false
+
 let print_table ~title rows =
   Printf.printf "\n== %s ==\n" title;
-  match rows with
+  (match rows with
   | [] -> print_endline "(no rows)"
   | first :: _ ->
       let base = Metrics.throughput first.metrics in
       Tablefmt.print ~header
-        (List.map (fun r -> to_cells ~baseline:base r) rows)
+        (List.map (fun r -> to_cells ~baseline:base r) rows));
+  if !phase_tables && rows <> [] then
+    Tablefmt.print ~header:phase_header (List.map phase_cells rows)
 
 let print_sweep ~title ~param series =
   Printf.printf "\n== %s ==\n" title;
@@ -52,7 +93,9 @@ let print_sweep ~title ~param series =
       | first :: _ ->
           let base = Metrics.throughput first.metrics in
           Tablefmt.print ~header
-            (List.map (fun r -> to_cells ~baseline:base r) rows))
+            (List.map (fun r -> to_cells ~baseline:base r) rows);
+          if !phase_tables then
+            Tablefmt.print ~header:phase_header (List.map phase_cells rows))
     series
 
 let best_throughput rows =

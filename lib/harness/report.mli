@@ -20,4 +20,16 @@ val print_sweep :
   title:string -> param:string -> (string * row list) list -> unit
 (** Series output: one table per parameter value. *)
 
+val phase_header : string list
+
+val phase_cells : row -> string list
+
+val print_phase_table : title:string -> row list -> unit
+(** Per-phase CPU breakdown (plan/execute/recover/publish/other as % of
+    busy time) plus idle time split by wait cause (% of busy+idle). *)
+
+val phase_tables : bool ref
+(** When true, {!print_table} and {!print_sweep} append the phase
+    breakdown after every metrics table (default false). *)
+
 val best_throughput : row list -> float

@@ -101,6 +101,7 @@ let release st crt key =
 
 let scheduler st (wl : Workload.t) ~txns =
   let stream = wl.Workload.new_stream 0 in
+  Pcommon.in_phase st.sim Sim.Ph_plan (Sim.current_tid st.sim) @@ fun () ->
   for _ = 1 to txns do
     Sim.tick st.sim st.costs.Costs.txn_overhead;
     let txn = stream () in
@@ -123,12 +124,16 @@ let scheduler st (wl : Workload.t) ~txns =
     done
 
 let worker st (wl : Workload.t) =
+  let tid = Sim.current_tid st.sim in
   let rec loop () =
     match Sim.Chan.recv st.sim st.work with
     | None -> ()
     | Some crt ->
         let txn = crt.txn in
-        let outcome = Pcommon.run_direct st.sim st.costs st.db wl txn in
+        let outcome =
+          Pcommon.in_phase st.sim Sim.Ph_execute tid (fun () ->
+              Pcommon.run_direct st.sim st.costs st.db wl txn)
+        in
         List.iter
           (fun (t, k, _) ->
             Sim.tick st.sim st.costs.Costs.lock_release;
@@ -188,4 +193,5 @@ let run ?sim cfg wl ~txns =
   st.metrics.Metrics.idle <- Sim.idle_time sim;
   st.metrics.Metrics.threads <- cfg.workers + 1;
   st.metrics.Metrics.batches <- (txns + cfg.batch_size - 1) / cfg.batch_size;
+  Pcommon.record_sim_breakdown st.metrics sim;
   st.metrics

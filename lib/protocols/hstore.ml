@@ -75,7 +75,10 @@ let run ?sim cfg wl ~txns =
               Plock.acquire sim st.plocks.(p))
             parts;
           coordination_round st k;
-          let outcome = Pcommon.run_direct sim cfg.costs st.db wl txn in
+          let outcome =
+            Pcommon.in_phase sim Sim.Ph_execute (Sim.current_tid sim)
+              (fun () -> Pcommon.run_direct sim cfg.costs st.db wl txn)
+          in
           coordination_round st k;
           List.iter
             (fun p ->
@@ -103,4 +106,5 @@ let run ?sim cfg wl ~txns =
   st.metrics.Metrics.busy <- Sim.busy_time sim;
   st.metrics.Metrics.idle <- Sim.idle_time sim;
   st.metrics.Metrics.threads <- cfg.workers;
+  Pcommon.record_sim_breakdown st.metrics sim;
   st.metrics

@@ -39,29 +39,35 @@ let run ?sim (module P : CC) cfg wl ~txns =
   for w = 0 to cfg.workers - 1 do
     let quota = (txns / cfg.workers) + if w < txns mod cfg.workers then 1 else 0 in
     Sim.spawn sim (fun () ->
+        let tid = Sim.current_tid sim in
         let stream = wl.Workload.new_stream w in
         let jitter = Rng.create ((w * 2654435761) + 17) in
         for _ = 1 to quota do
-          Sim.tick sim cfg.costs.Costs.txn_overhead;
-          let txn = stream () in
-          txn.Txn.submit_time <- Sim.now sim;
-          let rec attempt backoff =
-            txn.Txn.attempts <- txn.Txn.attempts + 1;
-            txn.Txn.status <- Txn.Active;
-            match P.run_txn state ~wid:w wl txn with
-            | Exec.Ok ->
-                txn.Txn.status <- Txn.Committed;
-                metrics.Metrics.committed <- metrics.Metrics.committed + 1
-            | Exec.Abort ->
-                txn.Txn.status <- Txn.Aborted;
-                metrics.Metrics.logic_aborted <-
-                  metrics.Metrics.logic_aborted + 1
-            | Exec.Blocked ->
-                metrics.Metrics.cc_aborts <- metrics.Metrics.cc_aborts + 1;
-                Sim.sleep sim (backoff + Rng.int jitter (backoff + 1));
-                attempt (min (backoff * 2) cfg.max_backoff)
+          let txn =
+            Pcommon.in_phase sim Sim.Ph_plan tid (fun () ->
+                Sim.tick sim cfg.costs.Costs.txn_overhead;
+                let txn = stream () in
+                txn.Txn.submit_time <- Sim.now sim;
+                txn)
           in
-          attempt cfg.backoff;
+          Pcommon.in_phase sim Sim.Ph_execute tid (fun () ->
+              let rec attempt backoff =
+                txn.Txn.attempts <- txn.Txn.attempts + 1;
+                txn.Txn.status <- Txn.Active;
+                match P.run_txn state ~wid:w wl txn with
+                | Exec.Ok ->
+                    txn.Txn.status <- Txn.Committed;
+                    metrics.Metrics.committed <- metrics.Metrics.committed + 1
+                | Exec.Abort ->
+                    txn.Txn.status <- Txn.Aborted;
+                    metrics.Metrics.logic_aborted <-
+                      metrics.Metrics.logic_aborted + 1
+                | Exec.Blocked ->
+                    metrics.Metrics.cc_aborts <- metrics.Metrics.cc_aborts + 1;
+                    Sim.sleep sim (backoff + Rng.int jitter (backoff + 1));
+                    attempt (min (backoff * 2) cfg.max_backoff)
+              in
+              attempt cfg.backoff);
           txn.Txn.finish_time <- Sim.now sim;
           Stats.Hist.add metrics.Metrics.lat
             (txn.Txn.finish_time - txn.Txn.submit_time)
@@ -74,4 +80,5 @@ let run ?sim (module P : CC) cfg wl ~txns =
   metrics.Metrics.busy <- Sim.busy_time sim;
   metrics.Metrics.idle <- Sim.idle_time sim;
   metrics.Metrics.threads <- cfg.workers;
+  Pcommon.record_sim_breakdown metrics sim;
   metrics

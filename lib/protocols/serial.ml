@@ -121,11 +121,13 @@ let run_list sim costs wl next =
   in
   let ctx = make_ctx st in
   Sim.spawn sim (fun () ->
+      let tid = Sim.current_tid sim in
       let rec loop () =
         match next () with
         | None -> ()
         | Some txn ->
-            exec_one st ctx txn;
+            Pcommon.in_phase sim Sim.Ph_execute tid (fun () ->
+                exec_one st ctx txn);
             loop ()
       in
       loop ());
@@ -136,6 +138,7 @@ let run_list sim costs wl next =
   m.Metrics.busy <- Sim.busy_time sim;
   m.Metrics.idle <- Sim.idle_time sim;
   m.Metrics.threads <- 1;
+  Pcommon.record_sim_breakdown m sim;
   m
 
 let run ?sim ?(costs = Costs.default) wl ~txns =

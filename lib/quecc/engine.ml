@@ -2,6 +2,7 @@ open Quill_common
 open Quill_sim
 open Quill_storage
 open Quill_txn
+module Trace = Quill_trace.Trace
 
 type exec_mode = Speculative | Conservative
 type isolation = Serializable | Read_committed
@@ -592,6 +593,34 @@ let account sh =
   done;
   sh.metrics.Metrics.batches <- sh.metrics.Metrics.batches + 1
 
+(* Copy the simulator's per-phase busy / per-cause idle attribution into
+   the run's metrics. *)
+let record_sim_breakdown m sim =
+  Metrics.record_phases m
+    ~plan:(Sim.busy_in sim Sim.Ph_plan)
+    ~execute:(Sim.busy_in sim Sim.Ph_execute)
+    ~recover:(Sim.busy_in sim Sim.Ph_recover)
+    ~publish:(Sim.busy_in sim Sim.Ph_publish)
+    ~other:(Sim.busy_in sim Sim.Ph_other);
+  Metrics.record_idle m
+    ~barrier:(Sim.idle_in sim Sim.Cause_barrier)
+    ~ivar:(Sim.idle_in sim Sim.Cause_ivar)
+    ~chan:(Sim.idle_in sim Sim.Cause_chan)
+    ~sleep:(Sim.idle_in sim Sim.Cause_sleep)
+
+(* Run [f] as engine phase [ph], emitting a span covering its virtual
+   extent when tracing.  The span includes wait time inside the phase;
+   busy attribution (Sim.busy_in) counts only ticks. *)
+let in_phase sim ph tid f =
+  Sim.set_phase sim ph;
+  let t0 = Sim.now sim in
+  f ();
+  let tr = Sim.tracer sim in
+  if Trace.enabled tr then
+    Trace.span tr ~tid ~name:(Sim.phase_name ph) ~ts:t0
+      ~dur:(Sim.now sim - t0) ();
+  Sim.set_phase sim Sim.Ph_other
+
 let run ?sim cfg wl ~batches =
   assert (cfg.planners > 0 && cfg.executors > 0 && cfg.batch_size > 0);
   let sim =
@@ -624,29 +653,48 @@ let run ?sim cfg wl ~batches =
         in
         let ctx = make_exec_ctx sh st in
         let rr = ref t in
+        let tr = Sim.tracer sim in
+        let queue_depth_counter () =
+          if Trace.enabled tr then begin
+            let depth = ref 0 in
+            for p = 0 to cfg.planners - 1 do
+              depth := !depth + Vec.length sh.queues.(p).(t)
+            done;
+            Trace.counter tr ~tid:t ~name:"queue_depth"
+              ~series:("exec" ^ string_of_int t) ~ts:(Sim.now sim)
+              ~value:!depth
+          end
+        in
         for b = 0 to batches - 1 do
           if t = 0 then sh.batch_no <- b;
-          if t < cfg.planners then plan_slice sh t streams.(t) rr;
+          if t < cfg.planners then
+            in_phase sim Sim.Ph_plan t (fun () ->
+                plan_slice sh t streams.(t) rr);
           Sim.Barrier.await sim barrier;
-          if t < cfg.executors then
-            for p = 0 to cfg.planners - 1 do
-              Vec.iter (exec_entry sh st ctx) sh.queues.(p).(t)
-            done;
-          Sim.Barrier.await sim barrier;
-          if t = 0 then begin
-            if cfg.mode = Speculative then recover sh
-            else
-              for i = 0 to cfg.batch_size - 1 do
-                match sh.rts.(i) with
-                | Some rt when rt.txn.Txn.status = Txn.Active ->
-                    rt.txn.Txn.status <- Txn.Committed
-                | Some _ | None -> ()
-              done;
-            account sh
+          if t < cfg.executors then begin
+            queue_depth_counter ();
+            in_phase sim Sim.Ph_execute t (fun () ->
+                for p = 0 to cfg.planners - 1 do
+                  Vec.iter (exec_entry sh st ctx) sh.queues.(p).(t)
+                done)
           end;
           Sim.Barrier.await sim barrier;
-          if t < cfg.executors then publish_slot sh t;
-          if t = 0 then publish_slot sh cfg.executors;
+          if t = 0 then
+            in_phase sim Sim.Ph_recover t (fun () ->
+                if cfg.mode = Speculative then recover sh
+                else
+                  for i = 0 to cfg.batch_size - 1 do
+                    match sh.rts.(i) with
+                    | Some rt when rt.txn.Txn.status = Txn.Active ->
+                        rt.txn.Txn.status <- Txn.Committed
+                    | Some _ | None -> ()
+                  done;
+                account sh);
+          Sim.Barrier.await sim barrier;
+          if t < cfg.executors || t = 0 then
+            in_phase sim Sim.Ph_publish t (fun () ->
+                if t < cfg.executors then publish_slot sh t;
+                if t = 0 then publish_slot sh cfg.executors);
           Sim.Barrier.await sim barrier
         done)
   done;
@@ -658,4 +706,5 @@ let run ?sim cfg wl ~batches =
   m.Metrics.busy <- Sim.busy_time sim;
   m.Metrics.idle <- Sim.idle_time sim;
   m.Metrics.threads <- nthreads;
+  record_sim_breakdown m sim;
   m

@@ -49,6 +49,10 @@ val run :
   batches:int ->
   Quill_txn.Metrics.t
 
+val record_sim_breakdown : Quill_txn.Metrics.t -> Quill_sim.Sim.t -> unit
+(** Copy the simulator's per-phase busy and per-cause idle attribution
+    into the metrics record (also used by the distributed engines). *)
+
 val plan_order_for_dist :
   Quill_txn.Fragment.t array -> Quill_txn.Fragment.t array
 (** Queue-insertion order for one transaction's fragments (dependency-free

@@ -1,6 +1,46 @@
 open Quill_common
+module Trace = Quill_trace.Trace
 
 type time = int
+
+(* Why a thread spent virtual time idle: which primitive it waited on.
+   [Cause_sleep] is an explicit [sleep] (e.g. contention backoff). *)
+type idle_cause = Cause_barrier | Cause_ivar | Cause_chan | Cause_sleep
+
+let n_causes = 4
+
+let cause_index = function
+  | Cause_barrier -> 0
+  | Cause_ivar -> 1
+  | Cause_chan -> 2
+  | Cause_sleep -> 3
+
+let cause_name = function
+  | Cause_barrier -> "barrier"
+  | Cause_ivar -> "ivar"
+  | Cause_chan -> "chan"
+  | Cause_sleep -> "sleep"
+
+(* Engine phase the current thread is in; [tick]ed busy time is
+   attributed to it.  The labels follow the QueCC plan/execute/recover/
+   publish pipeline; non-batched engines use the subset that applies. *)
+type phase = Ph_other | Ph_plan | Ph_execute | Ph_recover | Ph_publish
+
+let n_phases = 5
+
+let phase_index = function
+  | Ph_other -> 0
+  | Ph_plan -> 1
+  | Ph_execute -> 2
+  | Ph_recover -> 3
+  | Ph_publish -> 4
+
+let phase_name = function
+  | Ph_other -> "other"
+  | Ph_plan -> "plan"
+  | Ph_execute -> "execute"
+  | Ph_recover -> "recover"
+  | Ph_publish -> "publish"
 
 type t = {
   runq : entry Heap.t;
@@ -12,9 +52,12 @@ type t = {
   mutable idle : int;
   mutable horizon : time;
   wake_cost : int;
+  busy_by_phase : int array;   (* indexed by phase_index *)
+  idle_by_cause : int array;   (* indexed by cause_index *)
+  tracer : Trace.t;
 }
 
-and thread = { tid : int; mutable clock : time }
+and thread = { tid : int; mutable clock : time; mutable phase : int }
 and entry = { at : time; ord : int; resume : unit -> unit }
 
 type _ Effect.t +=
@@ -25,7 +68,7 @@ let compare_entry a b =
   let c = compare a.at b.at in
   if c <> 0 then c else compare a.ord b.ord
 
-let create ?(wake_cost = 0) () =
+let create ?(wake_cost = 0) ?(tracer = Trace.null) () =
   {
     runq = Heap.create ~cmp:compare_entry;
     order = 0;
@@ -36,6 +79,9 @@ let create ?(wake_cost = 0) () =
     idle = 0;
     horizon = 0;
     wake_cost;
+    busy_by_phase = Array.make n_phases 0;
+    idle_by_cause = Array.make n_causes 0;
+    tracer;
   }
 
 let schedule t ~at resume =
@@ -61,7 +107,7 @@ let suspend (_ : t) f = Effect.perform (Suspend f)
 let reschedule t th k = schedule t ~at:th.clock (make_resume t th k)
 
 let spawn ?(at = 0) t body =
-  let th = { tid = t.spawned; clock = at } in
+  let th = { tid = t.spawned; clock = at; phase = 0 } in
   t.spawned <- t.spawned + 1;
   let start () =
     t.current <- Some th;
@@ -107,35 +153,64 @@ let maybe_yield t th =
   | Some e when e.at <= th.clock -> suspend t (fun th k -> reschedule t th k)
   | Some _ | None -> ()
 
+(* Charge [dt] of idle time to [cause], starting at the thread's current
+   clock; emits a wait span when tracing.  Does not move the clock. *)
+let charge_idle t th cause dt =
+  t.idle <- t.idle + dt;
+  t.idle_by_cause.(cause_index cause) <- t.idle_by_cause.(cause_index cause) + dt;
+  if Trace.enabled t.tracer then
+    Trace.span t.tracer ~tid:th.tid ~cat:"wait"
+      ~name:("wait:" ^ cause_name cause)
+      ~ts:th.clock ~dur:dt ()
+
 let tick t n =
   let th = cur t in
   t.busy <- t.busy + n;
+  t.busy_by_phase.(th.phase) <- t.busy_by_phase.(th.phase) + n;
   advance t th n;
   maybe_yield t th
 
 let sleep t n =
   let th = cur t in
-  t.idle <- t.idle + n;
+  charge_idle t th Cause_sleep n;
   advance t th n;
   maybe_yield t th
 
 let yield t = suspend t (fun th k -> reschedule t th k)
 
+let set_phase t ph = (cur t).phase <- phase_index ph
 let busy_time t = t.busy
+let busy_in t ph = t.busy_by_phase.(phase_index ph)
 let idle_time t = t.idle
+let idle_in t cause = t.idle_by_cause.(cause_index cause)
 let horizon t = t.horizon
 let threads_spawned t = t.spawned
 let threads_completed t = t.completed
+let tracer t = t.tracer
+let current_tid t = (cur t).tid
 
-let wake t th at resume =
+let wake t ~cause th at resume =
   let at = if at > th.clock then at else th.clock in
   let at = at + t.wake_cost in
   schedule t ~at (fun () ->
       if at > th.clock then begin
-        t.idle <- t.idle + (at - th.clock);
+        charge_idle t th cause (at - th.clock);
         th.clock <- at
       end;
       resume ())
+
+(* A fast-path waiter (the value was produced at a virtual time ahead of
+   the caller's clock) pays the same wake-up cost as a parked waiter
+   would; without this, one thread per hand-off was systematically
+   cheaper than its peers.  A value already available at or before the
+   caller's clock costs nothing: no wait, no wake. *)
+let catch_up t th cause target =
+  if target > th.clock then begin
+    let target = target + t.wake_cost in
+    charge_idle t th cause (target - th.clock);
+    th.clock <- target;
+    if th.clock > t.horizon then t.horizon <- th.clock
+  end
 
 module Ivar = struct
   type 'a state =
@@ -153,16 +228,12 @@ module Ivar = struct
     | Empty waiters ->
         let at = now t in
         iv.st <- Full (at, v);
-        Vec.iter (fun (th, r) -> wake t th at r) waiters
+        Vec.iter (fun (th, r) -> wake t ~cause:Cause_ivar th at r) waiters
 
   let rec read t iv =
     match iv.st with
     | Full (tf, v) ->
-        let th = cur t in
-        if tf > th.clock then begin
-          t.idle <- t.idle + (tf - th.clock);
-          th.clock <- tf
-        end;
+        catch_up t (cur t) Cause_ivar tf;
         v
     | Empty waiters ->
         suspend t (fun th k -> Vec.push waiters (th, make_resume t th k));
@@ -184,7 +255,7 @@ module Chan = struct
     Queue.push (arrival, v) ch.q;
     if not (Queue.is_empty ch.waiters) then begin
       let th, r = Queue.pop ch.waiters in
-      wake t th arrival r
+      wake t ~cause:Cause_chan th arrival r
     end
 
   let rec recv t ch =
@@ -194,11 +265,7 @@ module Chan = struct
     end
     else begin
       let arrival, v = Queue.pop ch.q in
-      let th = cur t in
-      if arrival > th.clock then begin
-        t.idle <- t.idle + (arrival - th.clock);
-        th.clock <- arrival
-      end;
+      catch_up t (cur t) Cause_chan arrival;
       v
     end
 
@@ -234,10 +301,15 @@ module Barrier = struct
       b.arrived <- 0;
       b.t_max <- 0;
       b.waiters <- [];
-      List.iter (fun (wth, r) -> wake t wth release r) waiters;
-      if release > th.clock then begin
-        t.idle <- t.idle + (release - th.clock);
-        th.clock <- release
+      List.iter (fun (wth, r) -> wake t ~cause:Cause_barrier wth release r)
+        waiters;
+      (* The last arriver pays the same wake-up cost as the waiters it
+         releases: every party leaves the barrier at release + wake_cost. *)
+      let target = release + t.wake_cost in
+      if target > th.clock then begin
+        charge_idle t th Cause_barrier (target - th.clock);
+        th.clock <- target;
+        if th.clock > t.horizon then t.horizon <- th.clock
       end
     end
     else

@@ -19,9 +19,28 @@
 type t
 type time = int
 
-val create : ?wake_cost:int -> unit -> t
+(** Why a thread spent virtual time idle: the primitive it waited on
+    ([Cause_sleep] is an explicit {!sleep}, e.g. contention backoff). *)
+type idle_cause = Cause_barrier | Cause_ivar | Cause_chan | Cause_sleep
+
+val cause_name : idle_cause -> string
+
+(** Engine phase of the calling thread; busy time charged via {!tick} is
+    attributed to the phase active at that moment.  The labels follow
+    the QueCC plan / execute / recover / publish pipeline; engines
+    without a phase use the subset that applies (default [Ph_other]). *)
+type phase = Ph_other | Ph_plan | Ph_execute | Ph_recover | Ph_publish
+
+val phase_name : phase -> string
+
+val create : ?wake_cost:int -> ?tracer:Quill_trace.Trace.t -> unit -> t
 (** [wake_cost] is added to a thread's clock whenever it is woken from a
-    blocking primitive (models scheduler/futex wake latency). *)
+    blocking primitive (models scheduler/futex wake latency); every
+    party of a hand-off pays it, including fast-path readers that catch
+    up to a value produced ahead of their clock and the barrier arriver
+    that releases the others.  [tracer] (default {!Quill_trace.Trace.null},
+    disabled) receives wait spans for idle time; it never affects
+    virtual time. *)
 
 val spawn : ?at:time -> t -> (unit -> unit) -> unit
 (** Register a thread whose body starts executing at virtual time [at]
@@ -44,15 +63,30 @@ val sleep : t -> int -> unit
 val yield : t -> unit
 (** Reschedule at the current clock, letting equal-time threads run. *)
 
+val set_phase : t -> phase -> unit
+(** Label subsequent [tick]s of the calling thread with [phase]. *)
+
 val busy_time : t -> int
 (** Total CPU ns charged via [tick] across all threads. *)
 
+val busy_in : t -> phase -> int
+(** CPU ns charged while the given phase was active. *)
+
 val idle_time : t -> int
+
+val idle_in : t -> idle_cause -> int
+(** Idle ns attributed to the given wait cause.  The causes partition
+    {!idle_time} exactly. *)
+
 val horizon : t -> time
 (** Largest virtual time reached by any thread. *)
 
 val threads_spawned : t -> int
 val threads_completed : t -> int
+
+val tracer : t -> Quill_trace.Trace.t
+val current_tid : t -> int
+(** Thread id of the calling thread (stable spawn index). *)
 
 (** Write-once cell: the cross-thread data-dependency primitive. *)
 module Ivar : sig

@@ -12,6 +12,19 @@ type t = {
   mutable threads : int;
   mutable batches : int;
   mutable msgs : int;
+  mutable effective_txns : int;
+  (* Per-phase busy breakdown (virtual ns charged while the phase was
+     active); phases not applicable to an engine stay 0. *)
+  mutable plan_busy : int;
+  mutable exec_busy : int;
+  mutable recover_busy : int;
+  mutable publish_busy : int;
+  mutable other_busy : int;
+  (* Idle time split by the primitive waited on. *)
+  mutable idle_barrier : int;
+  mutable idle_ivar : int;
+  mutable idle_chan : int;
+  mutable idle_sleep : int;
 }
 
 let create () =
@@ -27,7 +40,32 @@ let create () =
     threads = 0;
     batches = 0;
     msgs = 0;
+    effective_txns = 0;
+    plan_busy = 0;
+    exec_busy = 0;
+    recover_busy = 0;
+    publish_busy = 0;
+    other_busy = 0;
+    idle_barrier = 0;
+    idle_ivar = 0;
+    idle_chan = 0;
+    idle_sleep = 0;
   }
+
+let record_phases t ~plan ~execute ~recover ~publish ~other =
+  t.plan_busy <- plan;
+  t.exec_busy <- execute;
+  t.recover_busy <- recover;
+  t.publish_busy <- publish;
+  t.other_busy <- other
+
+let record_idle t ~barrier ~ivar ~chan ~sleep =
+  t.idle_barrier <- barrier;
+  t.idle_ivar <- ivar;
+  t.idle_chan <- chan;
+  t.idle_sleep <- sleep
+
+let phase_busy t = t.plan_busy + t.exec_busy + t.recover_busy + t.publish_busy
 
 let throughput t =
   if t.elapsed <= 0 then 0.0
@@ -48,3 +86,14 @@ let pp fmt t =
     (Stats.Hist.percentile t.lat 50.0)
     (Stats.Hist.percentile t.lat 99.0)
     (utilization t)
+
+let pp_phases fmt t =
+  let pct part whole =
+    if whole <= 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int whole
+  in
+  Format.fprintf fmt
+    "busy: plan=%d exec=%d recover=%d publish=%d other=%d (phases=%.1f%%); \
+     idle: barrier=%d ivar=%d chan=%d sleep=%d"
+    t.plan_busy t.exec_busy t.recover_busy t.publish_busy t.other_busy
+    (pct (phase_busy t) t.busy)
+    t.idle_barrier t.idle_ivar t.idle_chan t.idle_sleep

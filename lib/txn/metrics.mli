@@ -12,9 +12,30 @@ type t = {
   mutable threads : int;        (** virtual cores used *)
   mutable batches : int;
   mutable msgs : int;           (** messages sent (distributed engines) *)
+  mutable effective_txns : int;
+      (** transactions actually submitted (the harness rounds the
+          requested count to whole batches; 0 when run outside it) *)
+  mutable plan_busy : int;      (** busy ns attributed to the plan phase *)
+  mutable exec_busy : int;
+  mutable recover_busy : int;
+  mutable publish_busy : int;
+  mutable other_busy : int;     (** busy ns outside any labelled phase *)
+  mutable idle_barrier : int;   (** idle ns waiting on barriers *)
+  mutable idle_ivar : int;
+  mutable idle_chan : int;
+  mutable idle_sleep : int;     (** explicit sleeps (backoff) *)
 }
 
 val create : unit -> t
+
+val record_phases :
+  t -> plan:int -> execute:int -> recover:int -> publish:int -> other:int ->
+  unit
+
+val record_idle : t -> barrier:int -> ivar:int -> chan:int -> sleep:int -> unit
+
+val phase_busy : t -> int
+(** Busy ns covered by the four labelled phases (excludes [other_busy]). *)
 
 val throughput : t -> float
 (** Committed transactions per virtual second. *)
@@ -24,3 +45,6 @@ val abort_rate : t -> float
 
 val utilization : t -> float
 val pp : Format.formatter -> t -> unit
+
+val pp_phases : Format.formatter -> t -> unit
+(** One-line per-phase busy / per-cause idle breakdown. *)

@@ -18,7 +18,28 @@ let test_engine_names_roundtrip () =
           Alcotest.(check string)
             "roundtrip" (E.engine_name e) (E.engine_name e')
       | None -> Alcotest.failf "no parse for %s" (E.engine_name e))
-    (E.Serial :: E.all_centralized)
+    (E.Serial :: E.Dist_quecc 2 :: E.Dist_calvin 8 :: E.all_centralized)
+
+let test_dist_suffix_parse () =
+  let check_parse s expect =
+    match E.engine_of_string s with
+    | Some e -> Alcotest.(check string) s expect (E.engine_name e)
+    | None -> Alcotest.failf "no parse for %s" s
+  in
+  check_parse "dist-quecc-4n" "dist-quecc-4n";
+  check_parse "dist-quecc-16n" "dist-quecc-16n";
+  check_parse "dist-calvin-8n" "dist-calvin-8n";
+  List.iter
+    (fun s ->
+      Tutil.check_bool (s ^ " rejected") true (E.engine_of_string s = None))
+    [
+      "dist-quecc-0n";
+      "dist-quecc--1n";
+      "dist-quecc-xn";
+      "dist-quecc-4";
+      "dist-quecc-n";
+      "dist-calvin-";
+    ]
 
 let test_all_engines_run_ycsb () =
   List.iter
@@ -64,6 +85,62 @@ let test_experiment_determinism () =
   Tutil.check_int "same commits" m1.Metrics.committed m2.Metrics.committed;
   Tutil.check_int "same virtual time" m1.Metrics.elapsed m2.Metrics.elapsed
 
+(* 500 requested txns round to 4 whole batches of 128 = 512, and every
+   engine -- batch-oriented or per-txn -- must process that same count. *)
+let test_effective_txns_equal () =
+  let engines =
+    [ E.Quecc (Qe.Speculative, Qe.Serializable); E.Serial; E.Silo ]
+  in
+  List.iter
+    (fun engine ->
+      let exp = E.make ~threads:4 ~txns:500 ~batch_size:128 engine tiny_ycsb in
+      Tutil.check_int "batches" 4 (E.batches exp);
+      Tutil.check_int "effective" 512 (E.effective_txns exp);
+      let m = E.run exp in
+      Tutil.check_int
+        (E.engine_name engine ^ " records effective count")
+        512 m.Metrics.effective_txns;
+      Tutil.check_int
+        (E.engine_name engine ^ " processes effective count")
+        512
+        (m.Metrics.committed + m.Metrics.logic_aborted))
+    engines;
+  (* 64 requested with batch 128 rounds up to one whole batch. *)
+  let exp =
+    E.make ~threads:4 ~txns:64 ~batch_size:128
+      (E.Quecc (Qe.Speculative, Qe.Serializable))
+      tiny_ycsb
+  in
+  Tutil.check_int "small run rounds up" 128 (E.effective_txns exp)
+
+let test_trace_export_and_phases () =
+  let exp =
+    E.make ~threads:4 ~txns:512 ~batch_size:128
+      (E.Quecc (Qe.Speculative, Qe.Serializable))
+      tiny_ycsb
+  in
+  let tracer = Quill_trace.Trace.create () in
+  let m = E.run ~tracer exp in
+  Tutil.check_bool "trace captured events" true
+    (Quill_trace.Trace.num_events tracer > 0);
+  (match Tutil.json_error (Quill_trace.Trace.to_chrome_json tracer) with
+  | None -> ()
+  | Some err -> Alcotest.failf "trace JSON malformed: %s" err);
+  (* Phase attribution covers (almost) all of QueCC's busy time. *)
+  Tutil.check_bool "phases cover >= 95% of busy" true
+    (Metrics.phase_busy m * 100 >= m.Metrics.busy * 95);
+  Tutil.check_int "phase + other = busy" m.Metrics.busy
+    (Metrics.phase_busy m + m.Metrics.other_busy);
+  Tutil.check_int "idle causes partition idle" m.Metrics.idle
+    (m.Metrics.idle_barrier + m.Metrics.idle_ivar + m.Metrics.idle_chan
+   + m.Metrics.idle_sleep);
+  (* Tracing must not perturb the simulation. *)
+  let m' = E.run exp in
+  Tutil.check_int "same commits with tracing off" m'.Metrics.committed
+    m.Metrics.committed;
+  Tutil.check_int "same virtual time with tracing off" m'.Metrics.elapsed
+    m.Metrics.elapsed
+
 let test_report_rendering () =
   let m = Metrics.create () in
   m.Metrics.committed <- 1234;
@@ -90,11 +167,16 @@ let () =
         [
           Alcotest.test_case "engine names roundtrip" `Quick
             test_engine_names_roundtrip;
+          Alcotest.test_case "dist suffix parse" `Quick test_dist_suffix_parse;
           Alcotest.test_case "all engines run ycsb" `Quick
             test_all_engines_run_ycsb;
           Alcotest.test_case "all engines run tpcc" `Quick
             test_all_engines_run_tpcc;
           Alcotest.test_case "determinism" `Quick test_experiment_determinism;
+          Alcotest.test_case "effective txns equal" `Quick
+            test_effective_txns_equal;
+          Alcotest.test_case "trace export and phases" `Quick
+            test_trace_export_and_phases;
         ] );
       ( "report",
         [ Alcotest.test_case "rendering" `Quick test_report_rendering ] );

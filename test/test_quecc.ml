@@ -196,6 +196,102 @@ let test_more_cores_not_slower () =
     true
     (t8 > 3.0 *. t1)
 
+(* Conservative-mode abort purity.  Each transaction updates its own pair
+   of keys: fragment 0 is a gated update (commit_dep — a sibling may
+   abort), fragment 1 is the sole abortable fragment and also writes, so
+   its write is the transaction's only non-commit_dep update.  Rows are
+   seeded so the abort decision is a pure function of the initial state;
+   an aborting transaction must leave both of its rows — live and
+   committed copies — exactly as seeded. *)
+let test_conservative_abort_purity () =
+  let streams = 2 and batch_size = 8 and batches = 2 in
+  let total = batch_size * batches in
+  let db = Db.create ~nparts:2 in
+  let table_id = Db.add_table db ~name:"t" ~nfields:1 ~capacity:(2 * total) in
+  let tbl = Db.table_by_name db "t" in
+  Table.iter_dense
+    (fun row ->
+      row.Row.data.(0) <- 1000 + row.Row.key;
+      Row.publish row)
+    tbl;
+  let op_gated = 0 and op_maybe_abort = 1 in
+  let gen g =
+    let f0 =
+      Fragment.make ~fid:0 ~table:table_id ~key:(2 * g) ~mode:Fragment.Rmw
+        ~op:op_gated ~args:[| 100 |] ()
+    in
+    let f1 =
+      Fragment.make ~fid:1 ~table:table_id
+        ~key:((2 * g) + 1)
+        ~mode:Fragment.Rmw ~op:op_maybe_abort ~abortable:true ~args:[| 7 |] ()
+    in
+    Txn.make ~tid:g [| f0; f1 |]
+  in
+  let new_stream i =
+    let counter = ref 0 in
+    fun () ->
+      let g = (!counter * streams) + i in
+      incr counter;
+      gen g
+  in
+  let exec (ctx : Exec.ctx) (_txn : Txn.t) (frag : Fragment.t) =
+    let v = ctx.Exec.read frag 0 in
+    ctx.Exec.output frag.Fragment.fid v;
+    if frag.Fragment.op = op_gated then begin
+      ctx.Exec.write frag 0 (v + frag.Fragment.args.(0));
+      Exec.Ok
+    end
+    else if v mod 3 = 0 then Exec.Abort
+    else begin
+      ctx.Exec.write frag 0 (v + frag.Fragment.args.(0));
+      Exec.Ok
+    end
+  in
+  let wl =
+    {
+      Workload.name = "abort-purity";
+      db;
+      new_stream;
+      exec;
+      describe = "paired gated/abortable updates";
+    }
+  in
+  let m =
+    Engine.run
+      { Engine.planners = streams; executors = 4; batch_size;
+        mode = Engine.Conservative; isolation = Engine.Serializable;
+        costs = Quill_sim.Costs.default }
+      wl ~batches
+  in
+  let expected_aborts = ref 0 in
+  for g = 0 to total - 1 do
+    let r0 = Table.dense tbl (2 * g) and r1 = Table.dense tbl ((2 * g) + 1) in
+    let init0 = 1000 + (2 * g) and init1 = 1000 + (2 * g) + 1 in
+    if init1 mod 3 = 0 then begin
+      incr expected_aborts;
+      Tutil.check_int "aborted: gated update absent (committed)" init0
+        r0.Row.committed.(0);
+      Tutil.check_int "aborted: gated update absent (live)" init0
+        r0.Row.data.(0);
+      Tutil.check_int "aborted: abortable write absent (committed)" init1
+        r1.Row.committed.(0);
+      Tutil.check_int "aborted: abortable write absent (live)" init1
+        r1.Row.data.(0)
+    end
+    else begin
+      Tutil.check_int "committed: gated update applied" (init0 + 100)
+        r0.Row.committed.(0);
+      Tutil.check_int "committed: abortable write applied" (init1 + 7)
+        r1.Row.committed.(0)
+    end
+  done;
+  Tutil.check_bool "test exercises both outcomes" true
+    (!expected_aborts > 0 && !expected_aborts < total);
+  Tutil.check_int "abort count" !expected_aborts m.Metrics.logic_aborted;
+  Tutil.check_int "commit count" (total - !expected_aborts)
+    m.Metrics.committed;
+  Tutil.check_int "conservative never speculates" 0 m.Metrics.cascades
+
 (* ------------------------- property tests ------------------------- *)
 
 let prop_oracle_random_configs =
@@ -258,6 +354,8 @@ let () =
         ] );
       ( "behaviour",
         [
+          Alcotest.test_case "conservative abort purity" `Quick
+            test_conservative_abort_purity;
           Alcotest.test_case "no cc aborts" `Quick test_no_cc_aborts;
           Alcotest.test_case "all txns accounted" `Quick
             test_all_txns_accounted;

@@ -214,6 +214,123 @@ let test_gate_zero () =
       Tutil.check_int "no wait" 0 (Sim.now s));
   Tutil.check_int "parked" 0 (Sim.run s)
 
+(* -------------------- wake-cost uniformity -------------------- *)
+
+(* Regression: the barrier's last arriver used to release the waiters
+   (each paying wake_cost) without paying wake_cost itself, so it left
+   the rendezvous ahead of everyone it woke.  All parties must leave at
+   release + wake_cost. *)
+let test_barrier_wake_cost_uniform () =
+  let s = Sim.create ~wake_cost:7 () in
+  let b = Sim.Barrier.create 2 in
+  let times = ref [] in
+  List.iter
+    (fun d ->
+      Sim.spawn s (fun () ->
+          Sim.tick s d;
+          Sim.Barrier.await s b;
+          times := Sim.now s :: !times))
+    [ 10; 30 ];
+  Tutil.check_int "parked" 0 (Sim.run s);
+  List.iter
+    (fun t -> Tutil.check_int "all leave at release + wake_cost" 37 t)
+    !times;
+  (* Early arriver waited 10->37, last arriver 30->37. *)
+  Tutil.check_int "barrier idle" 34 (Sim.idle_in s Sim.Cause_barrier);
+  Tutil.check_int "idle total matches" 34 (Sim.idle_time s)
+
+(* Regression: a reader hitting an already-full ivar whose fill time is
+   AHEAD of the reader's clock used to catch up to the fill time for
+   free, while a parked reader paid wake_cost for the same hand-off. *)
+let test_ivar_fastpath_wake_cost () =
+  let s = Sim.create ~wake_cost:5 () in
+  let iv = Sim.Ivar.create () in
+  Sim.spawn s (fun () ->
+      Sim.tick s 100;
+      Sim.Ivar.fill s iv 3;
+      (* Reader starts at 0, finds the ivar full at 100: it genuinely
+         waited, so it pays the same wake_cost as a parked reader. *)
+      Sim.spawn ~at:0 s (fun () ->
+          Tutil.check_int "value" 3 (Sim.Ivar.read s iv);
+          Tutil.check_int "fastpath pays wake cost" 105 (Sim.now s)));
+  Tutil.check_int "parked" 0 (Sim.run s);
+  Tutil.check_int "charged as ivar idle" 105 (Sim.idle_in s Sim.Cause_ivar)
+
+(* Every idle nanosecond is attributed to exactly one cause. *)
+let test_idle_cause_partition () =
+  let s = Sim.create ~wake_cost:11 () in
+  let iv = Sim.Ivar.create () in
+  let ch = Sim.Chan.create () in
+  let b = Sim.Barrier.create 2 in
+  Sim.spawn s (fun () ->
+      Sim.sleep s 25;
+      ignore (Sim.Ivar.read s iv);
+      ignore (Sim.Chan.recv s ch);
+      Sim.Barrier.await s b);
+  Sim.spawn s (fun () ->
+      Sim.tick s 40;
+      Sim.Ivar.fill s iv 1;
+      Sim.tick s 40;
+      Sim.Chan.send s ch 2;
+      Sim.tick s 40;
+      Sim.Barrier.await s b);
+  Tutil.check_int "parked" 0 (Sim.run s);
+  let by_cause =
+    Sim.idle_in s Sim.Cause_barrier
+    + Sim.idle_in s Sim.Cause_ivar
+    + Sim.idle_in s Sim.Cause_chan
+    + Sim.idle_in s Sim.Cause_sleep
+  in
+  Tutil.check_int "causes partition idle" (Sim.idle_time s) by_cause;
+  Tutil.check_bool "barrier idle seen" true
+    (Sim.idle_in s Sim.Cause_barrier > 0);
+  Tutil.check_bool "ivar idle seen" true (Sim.idle_in s Sim.Cause_ivar > 0);
+  Tutil.check_bool "chan idle seen" true (Sim.idle_in s Sim.Cause_chan > 0);
+  Tutil.check_int "sleep idle" 25 (Sim.idle_in s Sim.Cause_sleep)
+
+(* ------------------------- phases / tracing ------------------------- *)
+
+let test_phase_attribution () =
+  let s = Sim.create () in
+  Sim.spawn s (fun () ->
+      Sim.tick s 5;
+      Sim.set_phase s Sim.Ph_plan;
+      Sim.tick s 10;
+      Sim.set_phase s Sim.Ph_execute;
+      Sim.tick s 20;
+      Sim.set_phase s Sim.Ph_other;
+      Sim.tick s 1);
+  Tutil.check_int "parked" 0 (Sim.run s);
+  Tutil.check_int "plan busy" 10 (Sim.busy_in s Sim.Ph_plan);
+  Tutil.check_int "execute busy" 20 (Sim.busy_in s Sim.Ph_execute);
+  Tutil.check_int "other busy" 6 (Sim.busy_in s Sim.Ph_other);
+  Tutil.check_int "recover busy" 0 (Sim.busy_in s Sim.Ph_recover);
+  Tutil.check_int "total" (Sim.busy_time s)
+    (Sim.busy_in s Sim.Ph_plan + Sim.busy_in s Sim.Ph_execute
+    + Sim.busy_in s Sim.Ph_other)
+
+(* Tracing must never perturb virtual time: the same program with an
+   enabled tracer reaches bit-identical clocks. *)
+let test_tracer_zero_overhead () =
+  let run tracer =
+    let s = Sim.create ~wake_cost:9 ~tracer () in
+    let b = Sim.Barrier.create 3 in
+    for i = 0 to 2 do
+      Sim.spawn s (fun () ->
+          Sim.tick s (10 * (i + 1));
+          Sim.Barrier.await s b;
+          Sim.tick s 7)
+    done;
+    ignore (Sim.run s);
+    (Sim.horizon s, Sim.busy_time s, Sim.idle_time s)
+  in
+  let tr = Quill_trace.Trace.create () in
+  let plain = run Quill_trace.Trace.null in
+  let traced = run tr in
+  Tutil.check_bool "identical timings" true (plain = traced);
+  Tutil.check_bool "wait spans recorded" true
+    (Quill_trace.Trace.num_events tr > 0)
+
 (* ------------------------- stress ------------------------- *)
 
 let test_many_threads () =
@@ -289,5 +406,17 @@ let () =
           Alcotest.test_case "barrier reusable" `Quick test_barrier_reusable;
           Alcotest.test_case "gate" `Quick test_gate;
           Alcotest.test_case "gate zero" `Quick test_gate_zero;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "barrier wake cost uniform" `Quick
+            test_barrier_wake_cost_uniform;
+          Alcotest.test_case "ivar fastpath wake cost" `Quick
+            test_ivar_fastpath_wake_cost;
+          Alcotest.test_case "idle cause partition" `Quick
+            test_idle_cause_partition;
+          Alcotest.test_case "phase attribution" `Quick test_phase_attribution;
+          Alcotest.test_case "tracer zero overhead" `Quick
+            test_tracer_zero_overhead;
         ] );
     ]

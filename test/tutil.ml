@@ -104,5 +104,111 @@ let sum_field0 db name =
     (Quill_storage.Db.table_by_name db name);
   !acc
 
+(* Minimal JSON syntax checker for the trace-export tests: verifies the
+   string is exactly one well-formed JSON value.  Returns [Some error]
+   on malformed input, [None] when it parses. *)
+let json_error s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Failure (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = Some c then advance ()
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string_lit ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some 't' -> lit "true"
+    | Some 'f' -> lit "false"
+    | Some 'n' -> lit "null"
+    | _ -> fail "expected a value"
+  and lit w =
+    let l = String.length w in
+    if !pos + l <= n && String.sub s !pos l = w then pos := !pos + l
+    else fail ("expected " ^ w)
+  and number () =
+    let start = !pos in
+    let num c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> num c | None -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "bad number"
+  and string_lit () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          if peek () = None then fail "bad escape";
+          advance ();
+          go ()
+      | Some _ ->
+          advance ();
+          go ()
+    in
+    go ()
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then advance ()
+    else
+      let rec members () =
+        skip_ws ();
+        string_lit ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            advance ();
+            members ()
+        | Some '}' -> advance ()
+        | _ -> fail "expected ',' or '}'"
+      in
+      members ()
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then advance ()
+    else
+      let rec elems () =
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            advance ();
+            elems ()
+        | Some ']' -> advance ()
+        | _ -> fail "expected ',' or ']'"
+      in
+      elems ()
+  in
+  try
+    value ();
+    skip_ws ();
+    if !pos <> n then Some (Printf.sprintf "trailing input at %d" !pos)
+    else None
+  with Failure msg -> Some msg
+
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
