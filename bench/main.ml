@@ -120,36 +120,57 @@ let run_micro () =
 
 (* ------------------------------------------------------------------ *)
 
-let usage () =
-  print_endline
+let usage ?hint () =
+  (match hint with
+  | Some h -> Printf.eprintf "main.exe: %s\n" h
+  | None -> ());
+  prerr_endline
     "usage: main.exe [table2-row1|table2-row2|table2-row3|fig-contention|\n\
-    \                 fig-scalability|fig-modes|fig-latency|fig-batch|micro|all]\n\
-    \                [scale] [--trace FILE] [--phase-table]";
-  exit 1
+    \                 fig-scalability|fig-modes|fig-latency|fig-batch|\n\
+    \                 fault-tolerance|micro|all]\n\
+    \                [scale] [--trace FILE] [--phase-table] [--faults SPEC]";
+  exit 2
 
 (* Pull the option flags out of argv; what remains is positional. *)
 let parse_args () =
   let trace_file = ref None in
+  let faults = ref None in
   let positional = ref [] in
+  let takes_value = function "--trace" | "--faults" -> true | _ -> false in
   let rec go i =
     if i < Array.length Sys.argv then begin
       (match Sys.argv.(i) with
       | "--trace" ->
-          if i + 1 >= Array.length Sys.argv then usage ();
+          if i + 1 >= Array.length Sys.argv then
+            usage ~hint:"--trace needs a FILE argument" ();
           trace_file := Some Sys.argv.(i + 1)
+      | "--faults" -> (
+          if i + 1 >= Array.length Sys.argv then
+            usage ~hint:"--faults needs a SPEC argument" ();
+          match Quill_faults.Faults.parse Sys.argv.(i + 1) with
+          | Ok f -> faults := Some f
+          | Error msg -> usage ~hint:("bad --faults spec: " ^ msg) ())
       | "--phase-table" -> H.Report.phase_tables := true
+      | a when String.length a > 0 && a.[0] = '-' ->
+          usage ~hint:("unknown option " ^ a) ()
       | a -> positional := a :: !positional);
-      go (i + if Sys.argv.(i) = "--trace" then 2 else 1)
+      go (i + if takes_value Sys.argv.(i) then 2 else 1)
     end
   in
   go 1;
-  (!trace_file, List.rev !positional)
+  (!trace_file, !faults, List.rev !positional)
 
 let () =
-  let trace_file, positional = parse_args () in
+  let trace_file, faults, positional = parse_args () in
   let arg = match positional with a :: _ -> a | [] -> "all" in
   let scale =
-    match positional with _ :: s :: _ -> float_of_string s | _ -> 0.5
+    match positional with
+    | _ :: s :: _ -> (
+        match float_of_string_opt s with
+        | Some f when f > 0.0 -> f
+        | Some _ | None ->
+            usage ~hint:("scale must be a positive number, got " ^ s) ())
+    | _ -> 0.5
   in
   (match trace_file with
   | Some _ -> H.Experiments.tracer := Quill_trace.Trace.create ()
@@ -164,11 +185,12 @@ let () =
   | "fig-modes" -> H.Experiments.fig_modes ~scale ()
   | "fig-latency" -> H.Experiments.fig_latency ~scale ()
   | "fig-batch" -> H.Experiments.fig_batch ~scale ()
+  | "fault-tolerance" -> H.Experiments.fault_tolerance ~scale ?plan:faults ()
   | "micro" -> run_micro ()
   | "all" ->
       H.Experiments.all ~scale ();
       run_micro ()
-  | _ -> usage ());
+  | a -> usage ~hint:("unknown experiment " ^ a) ());
   (match trace_file with
   | Some path ->
       let tr = !H.Experiments.tracer in

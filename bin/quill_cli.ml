@@ -18,7 +18,17 @@ let engines =
   ]
 
 let run_cmd engine workload threads txns batch theta mp abort_ratio warehouses
-    table_size seed trace_file phase_table =
+    table_size seed faults_spec trace_file phase_table =
+  let faults =
+    match faults_spec with
+    | None -> Quill_faults.Faults.none
+    | Some s -> (
+        match Quill_faults.Faults.parse s with
+        | Ok f -> f
+        | Error msg ->
+            Printf.eprintf "quill_cli: bad --faults spec: %s\n" msg;
+            exit 2)
+  in
   match E.engine_of_string engine with
   | None ->
       Printf.eprintf "unknown engine %s; see list-engines\n" engine;
@@ -54,7 +64,7 @@ let run_cmd engine workload threads txns batch theta mp abort_ratio warehouses
             Printf.eprintf "unknown workload %s (ycsb|tpcc|tpcc-full)\n" w;
             exit 2
       in
-      let exp = E.make ~threads ~txns ~batch_size:batch e spec in
+      let exp = E.make ~threads ~txns ~batch_size:batch ~faults e spec in
       let tracer =
         match trace_file with
         | Some _ -> Quill_trace.Trace.create ()
@@ -87,6 +97,7 @@ let experiments_cmd only scale =
   | Some "fig-modes" -> X.fig_modes ~scale ()
   | Some "fig-latency" -> X.fig_latency ~scale ()
   | Some "fig-batch" -> X.fig_batch ~scale ()
+  | Some "fault-tolerance" -> X.fault_tolerance ~scale ()
   | Some other ->
       Printf.eprintf "unknown experiment %s\n" other;
       exit 2
@@ -133,6 +144,18 @@ let table_size_t =
 
 let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
 
+let faults_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Deterministic fault plan for the distributed engines, e.g. \
+           'crash@t=5ms:node=1,drop=0.01,seed=7'.  Clauses: \
+           crash@t=TIME[:node=N][:down=TIME], \
+           part@t=TIME:a=N:b=N:until=TIME, drop=P, dup=P, \
+           delay=P[:by=TIME], seed=N, retries=N, rto=TIME.")
+
 let trace_t =
   Arg.(
     value
@@ -150,7 +173,7 @@ let run_term =
   Term.(
     const run_cmd $ engine_t $ workload_t $ threads_t $ txns_t $ batch_t
     $ theta_t $ mp_t $ abort_t $ warehouses_t $ table_size_t $ seed_t
-    $ trace_t $ phase_table_t)
+    $ faults_t $ trace_t $ phase_table_t)
 
 let only_t =
   Arg.(
@@ -174,9 +197,38 @@ let cmds =
       Term.(const list_engines_cmd $ const ());
   ]
 
+(* Errors exit 2 with a one-line hint: cmdliner's multi-line usage dump
+   is collapsed to its first line, and stray Invalid_argument / Failure
+   from the engines (e.g. a fault plan naming a node that doesn't
+   exist) are reported without a backtrace. *)
 let () =
   let info =
     Cmd.info "quill_cli" ~version:"1.0"
       ~doc:"Queue-oriented deterministic transaction processing testbed"
   in
-  exit (Cmd.eval (Cmd.group info cmds))
+  let err_buf = Buffer.create 256 in
+  let err = Format.formatter_of_buffer err_buf in
+  let rc =
+    try Cmd.eval ~catch:false ~err (Cmd.group info cmds) with
+    | Invalid_argument msg | Failure msg ->
+        Printf.eprintf "quill_cli: %s\n" msg;
+        2
+  in
+  Format.pp_print_flush err ();
+  if rc = Cmd.Exit.cli_error then begin
+    let first_line =
+      match
+        List.filter
+          (fun l -> String.trim l <> "")
+          (String.split_on_char '\n' (Buffer.contents err_buf))
+      with
+      | l :: _ -> String.trim l
+      | [] -> "quill_cli: invalid command line"
+    in
+    Printf.eprintf "%s (try 'quill_cli --help')\n" first_line;
+    exit 2
+  end
+  else begin
+    prerr_string (Buffer.contents err_buf);
+    exit rc
+  end

@@ -2,6 +2,8 @@ open Quill_common
 open Quill_sim
 open Quill_storage
 open Quill_txn
+module Faults = Quill_faults.Faults
+module Trace = Quill_trace.Trace
 
 type cfg = { nodes : int; workers : int; batch_size : int; costs : Costs.t }
 
@@ -51,6 +53,10 @@ type nstate = {
   mutable expected : int;   (* -1 until the scheduler finished the epoch *)
   mutable completed : int;
   touched : Row.t Vec.t;
+  subs : sub Vec.t;
+      (* this epoch's local sub-txns in sequencer-log order: Calvin's
+         redo log for crash recovery *)
+  mutable crash_idx : int;  (* next unconsumed crash in the fault plan *)
 }
 
 type shared = {
@@ -60,6 +66,7 @@ type shared = {
   db : Db.t;
   net : msg Net.t;
   ns : nstate array;
+  crash_plan : Faults.crash array array;   (* per node, sorted by time *)
   slices : (int * int * int, xrt array Sim.Ivar.iv) Hashtbl.t;
       (* (epoch, src, receiving node) *)
   epoch_rts : (int * int, xrt array) Hashtbl.t;          (* accounting *)
@@ -231,11 +238,131 @@ let has_remote_inputs sh node txn =
            f.Fragment.data_deps)
     txn.Txn.frags
 
+let dummy_row = Row.make ~key:(-1) ~nfields:1
+
+(* Re-execute one local sub-transaction during crash recovery.  The
+   sequencer log (this epoch's subs in sequence order) is Calvin's redo
+   log: replaying it serially against the rolled-back partition
+   reproduces the pre-crash state, because deterministic locking made
+   the concurrent original equivalent to exactly that serial order.
+   Cross-node traffic is suppressed — input values were computed and
+   broadcast before the crash and their ivars are still full — and the
+   abort vote is not re-cast (the outcome is already decided).  Returns
+   whether the sub was replayed (aborted txns left no persistent
+   writes, so they are skipped). *)
+let replay_sub sh node sub =
+  let costs = sh.cfg.costs in
+  let rt = sub.rt in
+  if rt.aborted_local.(node) then false
+  else begin
+    let txn = rt.txn in
+    let cur_row = ref dummy_row and cur_found = ref false in
+    let cur_frag = ref None in
+    let read (_ : Fragment.t) field =
+      Sim.tick sh.sim costs.Costs.row_read;
+      if !cur_found then (!cur_row).Row.data.(field) else 0
+    in
+    let write _frag field v =
+      Sim.tick sh.sim costs.Costs.row_write;
+      if !cur_found then begin
+        let row = !cur_row in
+        if not row.Row.dirty then begin
+          row.Row.dirty <- true;
+          Vec.push sh.ns.(node).touched row
+        end;
+        row.Row.data.(field) <- v
+      end
+    in
+    let add frag field d = write frag field (read frag field + d) in
+    let insert (frag : Fragment.t) ~key payload =
+      Sim.tick sh.sim costs.Costs.index_insert;
+      let tbl = Db.table sh.db frag.Fragment.table in
+      (* Inserts published before the crash survive it. *)
+      if Table.find tbl key = None then begin
+        let home = Db.home sh.db frag.Fragment.table frag.Fragment.key in
+        ignore (Table.insert tbl ~home ~key payload)
+      end
+    in
+    let input producer_fid =
+      let frag = match !cur_frag with Some f -> f | None -> assert false in
+      let deps = frag.Fragment.data_deps in
+      let rec find i = if deps.(i) = producer_fid then i else find (i + 1) in
+      Sim.Ivar.read sh.sim rt.inputs.(frag.Fragment.fid).(find 0)
+    in
+    let output _ _ = () in
+    let found _ = !cur_found in
+    let ctx = { Exec.read; write; add; insert; input; output; found } in
+    Array.iter
+      (fun (f : Fragment.t) ->
+        if frag_node sh f = node then begin
+          cur_frag := Some f;
+          (match f.Fragment.mode with
+          | Fragment.Insert ->
+              cur_row := dummy_row;
+              cur_found := true
+          | Fragment.Read | Fragment.Write | Fragment.Rmw -> (
+              Sim.tick sh.sim costs.Costs.index_probe;
+              match
+                Table.find (Db.table sh.db f.Fragment.table) f.Fragment.key
+              with
+              | Some row ->
+                  cur_row := row;
+                  cur_found := true
+              | None ->
+                  cur_row := dummy_row;
+                  cur_found := false));
+          Sim.tick sh.sim costs.Costs.logic;
+          match sh.wl.Workload.exec ctx txn f with
+          | Exec.Ok | Exec.Abort -> ()
+          | Exec.Blocked -> assert false
+        end)
+      (Quill_quecc.Engine.plan_order_for_dist txn.Txn.frags);
+    true
+  end
+
+(* Consume planned crashes once all of the node's sub-txns for the
+   epoch finished, before the node reports Node_done.  A crash rolls
+   the node's partitions back to the last committed epoch and replays
+   the sequencer log — epoch granularity, coarser than dist-quecc's
+   per-queue-entry replay. *)
+let maybe_recover sh node =
+  let ns = sh.ns.(node) in
+  let crashes = sh.crash_plan.(node) in
+  while
+    ns.crash_idx < Array.length crashes
+    && crashes.(ns.crash_idx).Faults.at <= Sim.now sh.sim
+  do
+    let c = crashes.(ns.crash_idx) in
+    ns.crash_idx <- ns.crash_idx + 1;
+    let t0 = Sim.now sh.sim in
+    Sim.set_phase sh.sim Sim.Ph_recover;
+    Vec.iter Row.revert ns.touched;
+    Vec.clear ns.touched;
+    let restart = c.Faults.at + c.Faults.down in
+    if restart > Sim.now sh.sim then
+      Sim.sleep sh.sim (restart - Sim.now sh.sim);
+    Sim.tick sh.sim sh.cfg.costs.Costs.crash_reboot;
+    Vec.iter
+      (fun sub ->
+        if replay_sub sh node sub then
+          sh.metrics.Metrics.redone <- sh.metrics.Metrics.redone + 1)
+      ns.subs;
+    sh.metrics.Metrics.crashes <- sh.metrics.Metrics.crashes + 1;
+    let tr = Sim.tracer sh.sim in
+    if Trace.enabled tr then
+      Trace.span tr ~tid:(Sim.current_tid sh.sim) ~cat:"phase" ~name:"recover"
+        ~ts:t0
+        ~dur:(Sim.now sh.sim - t0)
+        ();
+    Sim.set_phase sh.sim Sim.Ph_other
+  done
+
 let check_node_done sh node =
   let ns = sh.ns.(node) in
   if ns.expected >= 0 && ns.completed = ns.expected then begin
     ns.expected <- -1;
     ns.completed <- 0;
+    maybe_recover sh node;
     Net.send sh.net ~src:node ~dst:0 ~bytes:8 Node_done
   end
 
@@ -262,6 +389,7 @@ let scheduler_thread sh node epochs =
                      && List.exists (fun n -> n <> node) rt.participants);
               }
             in
+            Vec.push sh.ns.(node).subs sub;
             List.iter
               (fun (t, k, x) ->
                 Sim.tick sh.sim costs.Costs.lock_mgr_op;
@@ -284,6 +412,7 @@ let scheduler_thread sh node epochs =
         row.Row.dirty <- false)
       sh.ns.(node).touched;
     Vec.clear sh.ns.(node).touched;
+    Vec.clear sh.ns.(node).subs;
     Sim.set_phase sh.sim Sim.Ph_other
   done;
   (* Poison the worker pool after the final epoch. *)
@@ -294,8 +423,6 @@ let scheduler_thread sh node epochs =
 (* ------------------------------------------------------------------ *)
 (* Workers                                                             *)
 (* ------------------------------------------------------------------ *)
-
-let dummy_row = Row.make ~key:(-1) ~nfields:1
 
 let broadcast_resolution sh ~self rt aborted =
   List.iter
@@ -512,11 +639,13 @@ let demux_thread sh node =
   in
   loop ()
 
-let run ?sim cfg wl ~batches =
+let run ?sim ?(faults = Faults.none) cfg wl ~batches =
   assert (cfg.nodes > 0 && cfg.workers > 0);
   let db = wl.Workload.db in
   if Db.nparts db mod cfg.nodes <> 0 then
     invalid_arg "Dist_calvin.run: nparts must be a multiple of nodes";
+  Faults.check_nodes faults ~nodes:cfg.nodes ~name:"Dist_calvin.run";
+  let frt = if Faults.active faults then Some (Faults.make faults) else None in
   let sim =
     match sim with
     | Some s -> s
@@ -528,7 +657,7 @@ let run ?sim cfg wl ~batches =
       sim;
       wl;
       db;
-      net = Net.create sim cfg.costs ~nodes:cfg.nodes;
+      net = Net.create ?faults:frt sim cfg.costs ~nodes:cfg.nodes;
       ns =
         Array.init cfg.nodes (fun _ ->
             {
@@ -537,7 +666,11 @@ let run ?sim cfg wl ~batches =
               expected = -1;
               completed = 0;
               touched = Vec.create ();
+              subs = Vec.create ();
+              crash_idx = 0;
             });
+      crash_plan =
+        Array.init cfg.nodes (fun n -> Faults.crashes_for faults ~node:n);
       slices = Hashtbl.create 64;
       epoch_rts = Hashtbl.create 64;
       commits = Hashtbl.create 64;
@@ -565,5 +698,7 @@ let run ?sim cfg wl ~batches =
   m.Metrics.idle <- Sim.idle_time sim;
   m.Metrics.threads <- cfg.nodes * (cfg.workers + 3);
   m.Metrics.msgs <- Net.messages_sent sh.net;
+  m.Metrics.msg_retries <- Net.messages_retried sh.net;
+  m.Metrics.msg_dup_drops <- Net.duplicates_dropped sh.net;
   Quill_quecc.Engine.record_sim_breakdown m sim;
   m

@@ -11,7 +11,13 @@
     (one message per participant pair per transaction — the per-txn
     messaging QueCC's shipped queues amortize away); cross-node data
     dependencies travel as value-fill messages.  Commitment needs no 2PC
-    (deterministic execution), matching the paper's description. *)
+    (deterministic execution), matching the paper's description.
+
+    Crash recovery replays the sequencer log: a fault-plan crash rolls
+    the node's partitions back to the last committed epoch and serially
+    re-executes the epoch's local sub-transactions in sequence order —
+    epoch-granular, coarser than dist-quecc's queue-entry-granular
+    replay (the comparison EXPERIMENTS.md quantifies). *)
 
 type cfg = {
   nodes : int;
@@ -24,9 +30,12 @@ val default_cfg : cfg
 
 val run :
   ?sim:Quill_sim.Sim.t ->
+  ?faults:Quill_faults.Faults.spec ->
   cfg ->
   Quill_txn.Workload.t ->
   batches:int ->
   Quill_txn.Metrics.t
 (** Requires [Db.nparts db] to be a multiple of [nodes] (partition p is
-    homed at node [p * nodes / nparts]). *)
+    homed at node [p * nodes / nparts]).  [faults] attaches a
+    deterministic fault plan; raises [Invalid_argument] if the plan
+    names a node outside the cluster. *)

@@ -2,6 +2,8 @@ open Quill_common
 open Quill_sim
 open Quill_storage
 open Quill_txn
+module Faults = Quill_faults.Faults
+module Trace = Quill_trace.Trace
 
 type cfg = {
   nodes : int;
@@ -28,7 +30,11 @@ type drt = {
   mutable aborted : bool;                  (* authoritative (coordinator) *)
 }
 
-type entry = { rt : drt; frag : Fragment.t }
+(* [voted] makes the abort-resolution vote idempotent: queue replay
+   after a crash re-executes entries whose vote already reached the
+   coordinator, and a second [resolve_arrive] would corrupt the
+   pending-aborters count. *)
+type entry = { rt : drt; frag : Fragment.t; mutable voted : bool }
 
 type msg =
   | Ship of { batch : int; prio : int; qs : entry Vec.t array }
@@ -50,6 +56,7 @@ type shared = {
       (* (batch, node) -> commit signal *)
   rts : drt option array;                  (* global batch slots *)
   touched : Row.t Vec.t array;             (* per executor gid *)
+  crash_plan : Faults.crash array array;   (* per node, sorted by time *)
   metrics : Metrics.t;
   exec_done_b : Sim.Barrier.b array;       (* per node: executor rendezvous *)
   mutable done_count : int;                (* node 0: Exec_done received *)
@@ -183,7 +190,7 @@ let planner_thread sh node p stream batches =
       Array.iter
         (fun (f : Fragment.t) ->
           Sim.tick sh.sim costs.Costs.plan_fragment;
-          Vec.push out.(frag_part sh f) { rt; frag = f })
+          Vec.push out.(frag_part sh f) { rt; frag = f; voted = false })
         (plan_order txn.Txn.frags)
     done;
     (* Deliver queues: local ones directly, remote ones as one shipped
@@ -225,6 +232,7 @@ type est = {
   mutable cur_frag : Fragment.t option;
   mutable cur_row : Row.t;
   mutable cur_found : bool;
+  mutable replaying : bool;  (* re-executing queues during recovery *)
 }
 
 let dummy_row = Row.make ~key:(-1) ~nfields:1
@@ -253,8 +261,12 @@ let make_ctx sh st =
   let insert (frag : Fragment.t) ~key payload =
     Sim.tick sh.sim costs.Costs.index_insert;
     let tbl = Db.table sh.db frag.Fragment.table in
-    let home = Db.home sh.db frag.Fragment.table frag.Fragment.key in
-    ignore (Table.insert tbl ~home ~key payload)
+    (* Inserts publish immediately and survive the crash; replaying one
+       verbatim would raise on the duplicate key. *)
+    if not (st.replaying && Table.find tbl key <> None) then begin
+      let home = Db.home sh.db frag.Fragment.table frag.Fragment.key in
+      ignore (Table.insert tbl ~home ~key payload)
+    end
   in
   let input producer_fid =
     let rt = the_rt () in
@@ -284,7 +296,8 @@ let make_ctx sh st =
   let found _ = st.cur_found in
   { Exec.read; write; add; insert; input; output; found }
 
-let exec_entry sh st ctx { rt; frag } =
+let exec_entry sh st ctx e =
+  let { rt; frag; _ } = e in
   let costs = sh.cfg.costs in
   Sim.tick sh.sim costs.Costs.queue_op;
   if rt.aborted_local.(st.node) then Sim.tick sh.sim costs.Costs.abort_cleanup
@@ -313,7 +326,11 @@ let exec_entry sh st ctx { rt; frag } =
               st.cur_found <- false));
       Sim.tick sh.sim costs.Costs.logic;
       match sh.wl.Workload.exec ctx rt.txn frag with
-      | Exec.Ok -> if frag.Fragment.abortable then resolve_arrive sh ~self:st.node rt
+      | Exec.Ok ->
+          if frag.Fragment.abortable && not e.voted then begin
+            e.voted <- true;
+            resolve_arrive sh ~self:st.node rt
+          end
       | Exec.Abort -> do_abort sh ~self:st.node rt
       | Exec.Blocked -> assert false
     end
@@ -322,13 +339,71 @@ let exec_entry sh st ctx { rt; frag } =
 let executor_thread sh node e batches =
   let egid = (node * sh.cfg.executors) + e in
   let st = { node; egid; cur_rt = None; cur_frag = None; cur_row = dummy_row;
-             cur_found = false } in
+             cur_found = false; replaying = false } in
   let ctx = make_ctx sh st in
+  let nprio = p_global sh in
+  (* Volatile batch state for recovery: the queues delivered so far and
+     how many entries of each were completed.  The planned queues double
+     as the redo log — after a crash, replaying the completed prefixes
+     in priority order rebuilds exactly the pre-crash partition state. *)
+  let qs : entry Vec.t option array = Array.make nprio None in
+  let done_ = Array.make nprio 0 in
+  let crashes = sh.crash_plan.(node) in
+  let crash_idx = ref 0 in
+  let tr = Sim.tracer sh.sim in
+  (* Consume every planned crash whose time has passed.  Crashes
+     materialize at entry boundaries: the executor rolls its partition
+     back to the last published batch, sits out the downtime, pays the
+     reboot cost, and re-executes the completed queue prefixes. *)
+  let check_crash () =
+    while
+      !crash_idx < Array.length crashes
+      && crashes.(!crash_idx).Faults.at <= Sim.now sh.sim
+    do
+      let c = crashes.(!crash_idx) in
+      incr crash_idx;
+      let t0 = Sim.now sh.sim in
+      Sim.set_phase sh.sim Sim.Ph_recover;
+      Vec.iter Row.revert sh.touched.(egid);
+      Vec.clear sh.touched.(egid);
+      let restart = c.Faults.at + c.Faults.down in
+      if restart > Sim.now sh.sim then
+        Sim.sleep sh.sim (restart - Sim.now sh.sim);
+      Sim.tick sh.sim sh.cfg.costs.Costs.crash_reboot;
+      st.replaying <- true;
+      for prio = 0 to nprio - 1 do
+        match qs.(prio) with
+        | None -> ()
+        | Some q ->
+            for i = 0 to done_.(prio) - 1 do
+              exec_entry sh st ctx (Vec.get q i);
+              sh.metrics.Metrics.redone <- sh.metrics.Metrics.redone + 1
+            done
+      done;
+      st.replaying <- false;
+      if e = 0 then
+        sh.metrics.Metrics.crashes <- sh.metrics.Metrics.crashes + 1;
+      if Trace.enabled tr then
+        Trace.span tr ~tid:(Sim.current_tid sh.sim) ~cat:"phase"
+          ~name:"recover" ~ts:t0
+          ~dur:(Sim.now sh.sim - t0)
+          ();
+      Sim.set_phase sh.sim Sim.Ph_execute
+    done
+  in
   for b = 0 to batches - 1 do
     Sim.set_phase sh.sim Sim.Ph_execute;
-    for prio = 0 to p_global sh - 1 do
+    Array.fill qs 0 nprio None;
+    Array.fill done_ 0 nprio 0;
+    for prio = 0 to nprio - 1 do
+      check_crash ();
       let q = Sim.Ivar.read sh.sim (get_reg sh b prio egid) in
-      Vec.iter (exec_entry sh st ctx) q;
+      qs.(prio) <- Some q;
+      for i = 0 to Vec.length q - 1 do
+        check_crash ();
+        exec_entry sh st ctx (Vec.get q i);
+        done_.(prio) <- i + 1
+      done;
       Hashtbl.remove sh.reg (b, prio, egid)
     done;
     Sim.set_phase sh.sim Sim.Ph_other;
@@ -419,11 +494,13 @@ let demux_thread sh node =
 
 (* ------------------------------------------------------------------ *)
 
-let run ?sim cfg wl ~batches =
+let run ?sim ?(faults = Faults.none) cfg wl ~batches =
   assert (cfg.nodes > 0 && cfg.planners > 0 && cfg.executors > 0);
   let db = wl.Workload.db in
   if Db.nparts db <> cfg.nodes * cfg.executors then
     invalid_arg "Dist_quecc.run: db nparts must equal nodes * executors";
+  Faults.check_nodes faults ~nodes:cfg.nodes ~name:"Dist_quecc.run";
+  let frt = if Faults.active faults then Some (Faults.make faults) else None in
   let sim =
     match sim with
     | Some s -> s
@@ -435,12 +512,14 @@ let run ?sim cfg wl ~batches =
       sim;
       wl;
       db;
-      net = Net.create sim cfg.costs ~nodes:cfg.nodes;
+      net = Net.create ?faults:frt sim cfg.costs ~nodes:cfg.nodes;
       reg = Hashtbl.create 1024;
       commits = Hashtbl.create 64;
       rts = Array.make cfg.batch_size None;
       touched =
         Array.init (cfg.nodes * cfg.executors) (fun _ -> Vec.create ());
+      crash_plan =
+        Array.init cfg.nodes (fun n -> Faults.crashes_for faults ~node:n);
       metrics = Metrics.create ();
       exec_done_b = Array.init cfg.nodes (fun _ -> Sim.Barrier.create cfg.executors);
       done_count = 0;
@@ -467,5 +546,7 @@ let run ?sim cfg wl ~batches =
   m.Metrics.idle <- Sim.idle_time sim;
   m.Metrics.threads <- cfg.nodes * (cfg.planners + cfg.executors + 1);
   m.Metrics.msgs <- Net.messages_sent sh.net;
+  m.Metrics.msg_retries <- Net.messages_retried sh.net;
+  m.Metrics.msg_dup_drops <- Net.duplicates_dropped sh.net;
   Quill_quecc.Engine.record_sim_breakdown m sim;
   m

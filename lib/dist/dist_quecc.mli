@@ -13,7 +13,13 @@
     Cross-node data dependencies travel as value-fill messages;
     commit dependencies (abortable fragments) resolve via per-node
     resolution messages, giving conservative execution semantics
-    (DESIGN.md discusses why the distributed engine is conservative). *)
+    (DESIGN.md discusses why the distributed engine is conservative).
+
+    Crash recovery exploits the paradigm directly: the planned
+    execution queues are the redo log.  A fault-plan crash rolls the
+    node's partitions back to the last published batch boundary and
+    re-executes the completed prefix of each queue in priority order,
+    under the [recover] phase label (DESIGN.md, "Fault injection"). *)
 
 type cfg = {
   nodes : int;
@@ -27,9 +33,13 @@ val default_cfg : cfg
 
 val run :
   ?sim:Quill_sim.Sim.t ->
+  ?faults:Quill_faults.Faults.spec ->
   cfg ->
   Quill_txn.Workload.t ->
   batches:int ->
   Quill_txn.Metrics.t
 (** Requires the workload database to be partitioned with
-    [nparts = nodes * executors]. *)
+    [nparts = nodes * executors].  [faults] (default
+    {!Quill_faults.Faults.none}) attaches a deterministic fault plan;
+    raises [Invalid_argument] if the plan crashes a node index outside
+    the cluster. *)

@@ -1,0 +1,257 @@
+open Quill_common
+
+type crash = { node : int; at : int; down : int }
+type partition = { a : int; b : int; from_t : int; until_t : int }
+
+type spec = {
+  seed : int;
+  drop : float;
+  dup : float;
+  delay_p : float;
+  delay_by : int;
+  crashes : crash list;
+  partitions : partition list;
+  max_retries : int;
+  rto : int;
+}
+
+let none =
+  {
+    seed = 0;
+    drop = 0.0;
+    dup = 0.0;
+    delay_p = 0.0;
+    delay_by = 100_000;
+    crashes = [];
+    partitions = [];
+    max_retries = 8;
+    rto = 50_000;
+  }
+
+let active s =
+  s.drop > 0.0 || s.dup > 0.0 || s.delay_p > 0.0
+  || s.crashes <> []
+  || s.partitions <> []
+
+(* ------------------------------------------------------------------ *)
+(* Spec string parsing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string
+
+let failf fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+(* "5ms" -> 5_000_000 ns; bare numbers are ns. *)
+let parse_time s =
+  let len = String.length s in
+  let split n mul = (String.sub s 0 (len - n), mul) in
+  let num, mul =
+    if len > 2 && String.sub s (len - 2) 2 = "ns" then split 2 1.
+    else if len > 2 && String.sub s (len - 2) 2 = "us" then split 2 1e3
+    else if len > 2 && String.sub s (len - 2) 2 = "ms" then split 2 1e6
+    else if len > 1 && s.[len - 1] = 's' then split 1 1e9
+    else (s, 1.)
+  in
+  match float_of_string_opt num with
+  | Some f when f >= 0. -> int_of_float ((f *. mul) +. 0.5)
+  | _ -> failf "bad time %S (want NUM[ns|us|ms|s])" s
+
+let parse s =
+  let prob k v =
+    match float_of_string_opt v with
+    | Some f when f >= 0.0 && f <= 1.0 -> f
+    | _ -> failf "%s wants a probability in [0,1], got %S" k v
+  in
+  let nat k v =
+    match int_of_string_opt v with
+    | Some i when i >= 0 -> i
+    | _ -> failf "%s wants a non-negative integer, got %S" k v
+  in
+  let kv a =
+    match String.index_opt a '=' with
+    | Some i ->
+        (String.sub a 0 i, String.sub a (i + 1) (String.length a - i - 1))
+    | None -> (a, "")
+  in
+  let sp = ref none in
+  (* The clause a bare key like [node=] or [until=] attaches to. *)
+  let ctx = ref `Top in
+  let with_crash f =
+    match (!ctx, !sp.crashes) with
+    | `Crash, c :: rest -> sp := { !sp with crashes = f c :: rest }
+    | _ -> failf "crash field outside a crash@ clause"
+  in
+  let with_part f =
+    match (!ctx, !sp.partitions) with
+    | `Part, p :: rest -> sp := { !sp with partitions = f p :: rest }
+    | _ -> failf "partition field outside a part@ clause"
+  in
+  let atom a =
+    match String.index_opt a '@' with
+    | Some i -> (
+        let head = String.sub a 0 i in
+        let k, v = kv (String.sub a (i + 1) (String.length a - i - 1)) in
+        if k <> "t" then failf "%s@ wants t=TIME, got %S" head a;
+        match head with
+        | "crash" ->
+            sp :=
+              {
+                !sp with
+                crashes =
+                  { node = 0; at = parse_time v; down = 500_000 } :: !sp.crashes;
+              };
+            ctx := `Crash
+        | "part" ->
+            sp :=
+              {
+                !sp with
+                partitions =
+                  { a = 0; b = 1; from_t = parse_time v; until_t = -1 }
+                  :: !sp.partitions;
+              };
+            ctx := `Part
+        | _ -> failf "unknown fault clause %S" a)
+    | None -> (
+        let k, v = kv a in
+        match k with
+        | "drop" ->
+            sp := { !sp with drop = prob k v };
+            ctx := `Top
+        | "dup" ->
+            sp := { !sp with dup = prob k v };
+            ctx := `Top
+        | "delay" ->
+            sp := { !sp with delay_p = prob k v };
+            ctx := `Delay
+        | "by" when !ctx = `Delay -> sp := { !sp with delay_by = parse_time v }
+        | "seed" -> (
+            ctx := `Top;
+            match int_of_string_opt v with
+            | Some i -> sp := { !sp with seed = i }
+            | None -> failf "seed wants an integer, got %S" v)
+        | "retries" ->
+            sp := { !sp with max_retries = nat k v };
+            ctx := `Top
+        | "rto" ->
+            sp := { !sp with rto = parse_time v };
+            ctx := `Top
+        | "node" -> with_crash (fun c -> { c with node = nat k v })
+        | "down" -> with_crash (fun c -> { c with down = parse_time v })
+        | "a" -> with_part (fun p -> { p with a = nat k v })
+        | "b" -> with_part (fun p -> { p with b = nat k v })
+        | "until" -> with_part (fun p -> { p with until_t = parse_time v })
+        | _ -> failf "unknown fault key %S" a)
+  in
+  try
+    String.split_on_char ',' s
+    |> List.concat_map (String.split_on_char ':')
+    |> List.map String.trim
+    |> List.filter (fun a -> a <> "")
+    |> List.iter atom;
+    List.iter
+      (fun p ->
+        if p.until_t < 0 then failf "part@ clause needs until=TIME";
+        if p.until_t < p.from_t then failf "part@ until before t";
+        if p.a = p.b then failf "part@ wants two distinct nodes")
+      !sp.partitions;
+    Ok
+      {
+        !sp with
+        crashes = List.rev !sp.crashes;
+        partitions = List.rev !sp.partitions;
+      }
+  with Bad m -> Error m
+
+let time_str ns =
+  if ns > 0 && ns mod 1_000_000 = 0 then string_of_int (ns / 1_000_000) ^ "ms"
+  else if ns > 0 && ns mod 1_000 = 0 then string_of_int (ns / 1_000) ^ "us"
+  else string_of_int ns ^ "ns"
+
+let to_string s =
+  let buf = Buffer.create 64 in
+  let add fmt =
+    Printf.ksprintf
+      (fun x ->
+        if Buffer.length buf > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf x)
+      fmt
+  in
+  List.iter
+    (fun c ->
+      add "crash@t=%s:node=%d:down=%s" (time_str c.at) c.node (time_str c.down))
+    s.crashes;
+  List.iter
+    (fun p ->
+      add "part@t=%s:a=%d:b=%d:until=%s" (time_str p.from_t) p.a p.b
+        (time_str p.until_t))
+    s.partitions;
+  if s.drop > 0.0 then add "drop=%g" s.drop;
+  if s.dup > 0.0 then add "dup=%g" s.dup;
+  if s.delay_p > 0.0 then add "delay=%g:by=%s" s.delay_p (time_str s.delay_by);
+  if s.max_retries <> none.max_retries then add "retries=%d" s.max_retries;
+  if s.rto <> none.rto then add "rto=%s" (time_str s.rto);
+  add "seed=%d" s.seed;
+  Buffer.contents buf
+
+let pp fmt s = Format.pp_print_string fmt (to_string s)
+
+let check_nodes s ~nodes ~name =
+  let chk what n =
+    if n < 0 || n >= nodes then
+      invalid_arg
+        (Printf.sprintf "%s: fault plan %s node %d of a %d-node cluster" name
+           what n nodes)
+  in
+  List.iter (fun c -> chk "crashes" c.node) s.crashes;
+  List.iter
+    (fun p ->
+      chk "partitions" p.a;
+      chk "partitions" p.b)
+    s.partitions
+
+let crashes_for s ~node =
+  List.filter (fun c -> c.node = node) s.crashes
+  |> List.sort (fun c1 c2 -> compare (c1.at, c1.down) (c2.at, c2.down))
+  |> Array.of_list
+
+(* ------------------------------------------------------------------ *)
+(* Runtime                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type t = { sp : spec; rng : Rng.t }
+type verdict = { extra_delay : int; retries : int; duplicate : bool }
+
+let make sp = { sp; rng = Rng.create sp.seed }
+let spec t = t.sp
+
+(* Remaining ns until the src<->dst link heals, 0 when it is up. *)
+let partitioned sp ~src ~dst ~now =
+  List.fold_left
+    (fun acc p ->
+      if
+        ((p.a = src && p.b = dst) || (p.a = dst && p.b = src))
+        && now >= p.from_t && now < p.until_t
+      then max acc (p.until_t - now)
+      else acc)
+    0 sp.partitions
+
+let on_send t ~src ~dst ~now =
+  let sp = t.sp in
+  let retries = ref 0 and extra = ref 0 in
+  (* Each drop costs one retransmit timeout; the timeout doubles per
+     retry.  The guards keep the RNG untouched at zero probability so a
+     drop=0 plan is draw-for-draw identical to no plan at all. *)
+  if sp.drop > 0.0 then begin
+    let rto = ref sp.rto in
+    while !retries < sp.max_retries && Rng.chance t.rng sp.drop do
+      incr retries;
+      extra := !extra + !rto;
+      rto := min (!rto * 2) (64 * sp.rto)
+    done
+  end;
+  if sp.delay_p > 0.0 && Rng.chance t.rng sp.delay_p then
+    extra := !extra + sp.delay_by;
+  let heal = partitioned sp ~src ~dst ~now in
+  if heal > !extra then extra := heal;
+  let duplicate = sp.dup > 0.0 && Rng.chance t.rng sp.dup in
+  { extra_delay = !extra; retries = !retries; duplicate }

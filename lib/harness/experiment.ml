@@ -3,6 +3,7 @@ open Quill_workloads
 module Qe = Quill_quecc.Engine
 module Trace = Quill_trace.Trace
 module Metrics = Quill_txn.Metrics
+module Faults = Quill_faults.Faults
 
 type engine =
   | Serial
@@ -86,14 +87,15 @@ type t = {
   txns : int;
   batch_size : int;
   costs : Costs.t;
+  faults : Faults.spec;
 }
 
 let make ?name ?(threads = 8) ?(txns = 20_000) ?(batch_size = 1024)
-    ?(costs = Costs.default) engine workload =
+    ?(costs = Costs.default) ?(faults = Faults.none) engine workload =
   let name =
     match name with Some n -> n | None -> engine_name engine
   in
-  { name; engine; workload; threads; txns; batch_size; costs }
+  { name; engine; workload; threads; txns; batch_size; costs; faults }
 
 let build_workload = function
   | Ycsb cfg -> Quill_workloads.Ycsb.make cfg
@@ -120,6 +122,15 @@ let run ?(tracer = Trace.null) t =
   let sim () = Sim.create ~wake_cost:t.costs.Costs.wakeup ~tracer () in
   let batches = batches t in
   let txns = batches * t.batch_size in
+  (match t.engine with
+  | Dist_quecc _ | Dist_calvin _ -> ()
+  | _ ->
+      if Faults.active t.faults then
+        invalid_arg
+          (Printf.sprintf
+             "Experiment.run: fault plans only apply to the distributed \
+              engines, not %s"
+             (engine_name t.engine)));
   let m =
     match t.engine with
     | Serial ->
@@ -171,7 +182,7 @@ let run ?(tracer = Trace.null) t =
     | Dist_quecc nodes ->
         let per_role = max 1 (t.threads / 2) in
         let wl = build_workload (respec_parts t.workload (nodes * per_role)) in
-        Quill_dist.Dist_quecc.run ~sim:(sim ())
+        Quill_dist.Dist_quecc.run ~sim:(sim ()) ~faults:t.faults
           {
             Quill_dist.Dist_quecc.nodes;
             planners = per_role;
@@ -182,7 +193,7 @@ let run ?(tracer = Trace.null) t =
           wl ~batches
     | Dist_calvin nodes ->
         let wl = build_workload (respec_parts t.workload (nodes * 4)) in
-        Quill_dist.Dist_calvin.run ~sim:(sim ())
+        Quill_dist.Dist_calvin.run ~sim:(sim ()) ~faults:t.faults
           {
             Quill_dist.Dist_calvin.nodes;
             workers = t.threads;

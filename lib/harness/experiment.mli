@@ -32,6 +32,10 @@ type t = {
   txns : int;          (** total transactions to process *)
   batch_size : int;
   costs : Quill_sim.Costs.t;
+  faults : Quill_faults.Faults.spec;
+      (** deterministic fault plan; {!Quill_faults.Faults.none} (the
+          default) runs fault-free.  Only the distributed engines accept
+          an active plan — {!run} raises [Invalid_argument] otherwise. *)
 }
 
 val make :
@@ -40,6 +44,7 @@ val make :
   ?txns:int ->
   ?batch_size:int ->
   ?costs:Quill_sim.Costs.t ->
+  ?faults:Quill_faults.Faults.spec ->
   engine ->
   workload_spec ->
   t

@@ -42,4 +42,14 @@ val fig_batch : ?scale:float -> unit -> unit
 (** Supplementary: QueCC batch-size sensitivity — larger batches amortize
     planning/coordination but add commit latency. *)
 
+val default_fault_plan : Quill_faults.Faults.spec
+(** One node-1 crash mid-run, 1% drop, 1% duplication, seed 7. *)
+
+val fault_tolerance :
+  ?scale:float -> ?plan:Quill_faults.Faults.spec -> unit -> unit
+(** Robustness headline: dist-quecc (queue replay) vs dist-calvin
+    (sequencer-log replay) with and without an identical fault plan
+    ([plan] defaults to {!default_fault_plan}); the fault table rows
+    report crashes, redone work and recovery time. *)
+
 val all : ?scale:float -> unit -> unit

@@ -68,6 +68,35 @@ let print_phase_table ~title rows =
   | [] -> print_endline "(no rows)"
   | rows -> Tablefmt.print ~header:phase_header (List.map phase_cells rows)
 
+(* Robustness columns: crash/recovery work and message-fault traffic.
+   Only meaningful (and only printed automatically) when a fault plan
+   actually fired. *)
+let fault_header =
+  [
+    "engine"; "crashes"; "redone"; "recover time"; "recover%"; "retries";
+    "dup-drops";
+  ]
+
+let fault_cells r =
+  let m = r.metrics in
+  [
+    r.label;
+    string_of_int m.Metrics.crashes;
+    string_of_int m.Metrics.redone;
+    fmt_lat m.Metrics.recover_busy;
+    pct m.Metrics.recover_busy m.Metrics.busy;
+    string_of_int m.Metrics.msg_retries;
+    string_of_int m.Metrics.msg_dup_drops;
+  ]
+
+let print_fault_table ~title rows =
+  Printf.printf "\n== %s: fault tolerance ==\n" title;
+  match rows with
+  | [] -> print_endline "(no rows)"
+  | rows -> Tablefmt.print ~header:fault_header (List.map fault_cells rows)
+
+let any_faulted rows = List.exists (fun r -> Metrics.faulted r.metrics) rows
+
 (* When set, [print_table] and [print_sweep] follow every metrics table
    with the phase breakdown (the CLI/bench --phase-table flag). *)
 let phase_tables = ref false
@@ -81,7 +110,9 @@ let print_table ~title rows =
       Tablefmt.print ~header
         (List.map (fun r -> to_cells ~baseline:base r) rows));
   if !phase_tables && rows <> [] then
-    Tablefmt.print ~header:phase_header (List.map phase_cells rows)
+    Tablefmt.print ~header:phase_header (List.map phase_cells rows);
+  if any_faulted rows then
+    Tablefmt.print ~header:fault_header (List.map fault_cells rows)
 
 let print_sweep ~title ~param series =
   Printf.printf "\n== %s ==\n" title;
@@ -95,7 +126,9 @@ let print_sweep ~title ~param series =
           Tablefmt.print ~header
             (List.map (fun r -> to_cells ~baseline:base r) rows);
           if !phase_tables then
-            Tablefmt.print ~header:phase_header (List.map phase_cells rows))
+            Tablefmt.print ~header:phase_header (List.map phase_cells rows);
+          if any_faulted rows then
+            Tablefmt.print ~header:fault_header (List.map fault_cells rows))
     series
 
 let best_throughput rows =

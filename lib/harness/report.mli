@@ -28,6 +28,15 @@ val print_phase_table : title:string -> row list -> unit
 (** Per-phase CPU breakdown (plan/execute/recover/publish/other as % of
     busy time) plus idle time split by wait cause (% of busy+idle). *)
 
+val fault_header : string list
+val fault_cells : row -> string list
+
+val print_fault_table : title:string -> row list -> unit
+(** Robustness columns: crashes consumed, redone work, recovery time
+    (absolute and as % of busy), message retries and suppressed
+    duplicates.  {!print_table}/{!print_sweep} append this table
+    automatically whenever any row's fault counters are nonzero. *)
+
 val phase_tables : bool ref
 (** When true, {!print_table} and {!print_sweep} append the phase
     breakdown after every metrics table (default false). *)

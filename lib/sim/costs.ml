@@ -18,6 +18,7 @@ type t = {
   net_latency : int;
   ipc_latency : int;
   wakeup : int;
+  crash_reboot : int;
 }
 
 let default =
@@ -41,6 +42,7 @@ let default =
     net_latency = 10_000;
     ipc_latency = 2_000;
     wakeup = 200;
+    crash_reboot = 50_000;
   }
 
 let zero =
@@ -64,4 +66,5 @@ let zero =
     net_latency = 0;
     ipc_latency = 0;
     wakeup = 0;
+    crash_reboot = 0;
   }

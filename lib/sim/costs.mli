@@ -28,6 +28,8 @@ type t = {
   ipc_latency : int;     (** one-way cross-thread message-queue delay on a
                              single node (H-Store-style thread coordination) *)
   wakeup : int;          (** scheduler wakeup after blocking *)
+  crash_reboot : int;    (** fixed restart overhead after a simulated
+                             node crash, before queue replay begins *)
 }
 
 val default : t

@@ -58,7 +58,11 @@ type t = {
 }
 
 and thread = { tid : int; mutable clock : time; mutable phase : int }
-and entry = { at : time; ord : int; resume : unit -> unit }
+
+(* [phantom] entries are scheduler bookkeeping (e.g. receive timeouts)
+   that may never fire: they must not drag the horizon forward, or an
+   unused timeout would inflate the run's elapsed time. *)
+and entry = { at : time; ord : int; phantom : bool; resume : unit -> unit }
 
 type _ Effect.t +=
   | Suspend : (thread -> (unit, unit) Effect.Deep.continuation -> unit)
@@ -84,9 +88,9 @@ let create ?(wake_cost = 0) ?(tracer = Trace.null) () =
     tracer;
   }
 
-let schedule t ~at resume =
-  if at > t.horizon then t.horizon <- at;
-  Heap.push t.runq { at; ord = t.order; resume };
+let schedule ?(phantom = false) t ~at resume =
+  if (not phantom) && at > t.horizon then t.horizon <- at;
+  Heap.push t.runq { at; ord = t.order; phantom; resume };
   t.order <- t.order + 1
 
 let cur t =
@@ -131,7 +135,7 @@ let run t =
     match Heap.pop t.runq with
     | None -> ()
     | Some e ->
-        if e.at > t.horizon then t.horizon <- e.at;
+        if (not e.phantom) && e.at > t.horizon then t.horizon <- e.at;
         e.resume ();
         loop ()
   in
@@ -243,24 +247,65 @@ module Ivar = struct
 end
 
 module Chan = struct
-  type 'a ch = {
-    q : (time * 'a) Queue.t;
-    waiters : (thread * (unit -> unit)) Queue.t;
+  (* A parked receiver.  [wdeadline] is [max_int] for a plain [recv];
+     for [recv_timeout] a phantom scheduler entry fires at the deadline.
+     Whichever side (sender or timeout) runs first flips [cancelled] so
+     the other becomes a no-op; send skips cancelled waiters lazily. *)
+  type waiter = {
+    wth : thread;
+    wresume : unit -> unit;
+    wdeadline : time;
+    mutable cancelled : bool;
   }
+
+  type 'a ch = { q : (time * 'a) Queue.t; waiters : waiter Queue.t }
 
   let create () = { q = Queue.create (); waiters = Queue.create () }
 
   let send ?(delay = 0) t ch v =
     let arrival = now t + delay in
     Queue.push (arrival, v) ch.q;
-    if not (Queue.is_empty ch.waiters) then begin
-      let th, r = Queue.pop ch.waiters in
-      wake t ~cause:Cause_chan th arrival r
-    end
+    let rec wake_one () =
+      match Queue.take_opt ch.waiters with
+      | None -> ()
+      | Some w when w.cancelled -> wake_one ()
+      | Some w ->
+          w.cancelled <- true;
+          wake t ~cause:Cause_chan w.wth (min arrival w.wdeadline) w.wresume
+    in
+    wake_one ()
+
+  let park t ch ~deadline =
+    suspend t (fun th k ->
+        let w =
+          {
+            wth = th;
+            wresume = make_resume t th k;
+            wdeadline = deadline;
+            cancelled = false;
+          }
+        in
+        Queue.push w ch.waiters;
+        if deadline < max_int then begin
+          (* Timeout wake-up: phantom so an unfired (or cancelled)
+             timeout never advances the horizon; the firing closure
+             advances it itself via charge/clock update below. *)
+          let at = deadline + t.wake_cost in
+          schedule ~phantom:true t ~at (fun () ->
+              if not w.cancelled then begin
+                w.cancelled <- true;
+                if at > th.clock then begin
+                  charge_idle t th Cause_chan (at - th.clock);
+                  th.clock <- at;
+                  if th.clock > t.horizon then t.horizon <- th.clock
+                end;
+                w.wresume ()
+              end)
+        end)
 
   let rec recv t ch =
     if Queue.is_empty ch.q then begin
-      suspend t (fun th k -> Queue.push (th, make_resume t th k) ch.waiters);
+      park t ch ~deadline:max_int;
       recv t ch
     end
     else begin
@@ -268,6 +313,37 @@ module Chan = struct
       catch_up t (cur t) Cause_chan arrival;
       v
     end
+
+  (* Wait at most [timeout] ns of virtual time for a message.  Returns
+     [None] once the deadline passes with nothing delivered; a message
+     that arrived by the deadline (even while we were being woken) is
+     still returned. *)
+  let recv_timeout t ch ~timeout =
+    if timeout < 0 then invalid_arg "Sim.Chan.recv_timeout: negative timeout";
+    let deadline = (cur t).clock + timeout in
+    let rec go () =
+      let th = cur t in
+      match Queue.peek_opt ch.q with
+      | Some (arrival, _) when arrival <= deadline || arrival <= th.clock ->
+          let arrival, v = Queue.pop ch.q in
+          catch_up t th Cause_chan arrival;
+          Some v
+      | Some _ ->
+          (* Next delivery is beyond the deadline: time out in place. *)
+          if deadline > th.clock then begin
+            charge_idle t th Cause_chan (deadline - th.clock);
+            th.clock <- deadline;
+            if th.clock > t.horizon then t.horizon <- th.clock
+          end;
+          None
+      | None ->
+          if th.clock >= deadline then None
+          else begin
+            park t ch ~deadline;
+            go ()
+          end
+    in
+    go ()
 
   let try_recv t ch =
     match Queue.peek_opt ch.q with

@@ -118,6 +118,14 @@ module Chan : sig
   (** Block until a message is available; clock advances to at least the
       message's arrival time. *)
 
+  val recv_timeout : t -> 'a ch -> timeout:int -> 'a option
+  (** Block at most [timeout] ns of virtual time.  Returns [Some msg]
+      if a message arrives (or had arrived) by the deadline, [None]
+      otherwise — in which case the caller's clock stands at the
+      deadline and the wait was charged as chan idle time.  An unfired
+      timeout never advances the simulation horizon.  Raises
+      [Invalid_argument] on a negative timeout. *)
+
   val try_recv : t -> 'a ch -> 'a option
   (** Non-blocking: only returns a message already arrived by the caller's
       clock. *)

@@ -49,6 +49,10 @@ let publish t =
 
 let restore t saved = Array.blit saved 0 t.data 0 (Array.length t.data)
 
+let revert t =
+  Array.blit t.committed 0 t.data 0 (Array.length t.data);
+  t.dirty <- false
+
 let reset_batch_state t batch =
   if t.batch_tag <> batch then begin
     t.batch_tag <- batch;

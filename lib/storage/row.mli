@@ -57,6 +57,11 @@ val publish : t -> unit
 val restore : t -> int array -> unit
 (** Overwrite live data with a saved pre-image. *)
 
+val revert : t -> unit
+(** Discard uncommitted live data: copy the committed version back over
+    [data] and clear [dirty].  Crash recovery rolls a node's touched
+    rows back to the last published batch boundary with this. *)
+
 val reset_batch_state : t -> int -> unit
 (** [reset_batch_state row batch] lazily (re)initializes the QueCC
     per-batch fields when the row is first touched in [batch]. *)

@@ -25,6 +25,11 @@ type t = {
   mutable idle_ivar : int;
   mutable idle_chan : int;
   mutable idle_sleep : int;
+  (* Fault-injection / recovery counters; stay 0 on fault-free runs. *)
+  mutable crashes : int;
+  mutable redone : int;
+  mutable msg_retries : int;
+  mutable msg_dup_drops : int;
 }
 
 let create () =
@@ -50,6 +55,10 @@ let create () =
     idle_ivar = 0;
     idle_chan = 0;
     idle_sleep = 0;
+    crashes = 0;
+    redone = 0;
+    msg_retries = 0;
+    msg_dup_drops = 0;
   }
 
 let record_phases t ~plan ~execute ~recover ~publish ~other =
@@ -97,3 +106,11 @@ let pp_phases fmt t =
     t.plan_busy t.exec_busy t.recover_busy t.publish_busy t.other_busy
     (pct (phase_busy t) t.busy)
     t.idle_barrier t.idle_ivar t.idle_chan t.idle_sleep
+
+let faulted t =
+  t.crashes > 0 || t.redone > 0 || t.msg_retries > 0 || t.msg_dup_drops > 0
+
+let pp_faults fmt t =
+  Format.fprintf fmt
+    "crashes=%d redone=%d recover_busy=%dns retries=%d dup_drops=%d" t.crashes
+    t.redone t.recover_busy t.msg_retries t.msg_dup_drops

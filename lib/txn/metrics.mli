@@ -24,6 +24,12 @@ type t = {
   mutable idle_ivar : int;
   mutable idle_chan : int;
   mutable idle_sleep : int;     (** explicit sleeps (backoff) *)
+  mutable crashes : int;        (** node crashes consumed from the fault plan *)
+  mutable redone : int;
+      (** units of work re-executed during recovery (queue entries for
+          dist-quecc, sequencer-log transactions for dist-calvin) *)
+  mutable msg_retries : int;    (** retransmissions implied by dropped messages *)
+  mutable msg_dup_drops : int;  (** duplicate messages suppressed at receivers *)
 }
 
 val create : unit -> t
@@ -48,3 +54,9 @@ val pp : Format.formatter -> t -> unit
 
 val pp_phases : Format.formatter -> t -> unit
 (** One-line per-phase busy / per-cause idle breakdown. *)
+
+val faulted : t -> bool
+(** True when any fault/recovery counter is nonzero. *)
+
+val pp_faults : Format.formatter -> t -> unit
+(** One-line crash / redone-work / message-fault summary. *)

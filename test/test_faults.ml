@@ -1,0 +1,427 @@
+(* Fault plans and recovery: spec parsing, timeout-aware channels, the
+   faulted network (validation, duplicate suppression, retransmission),
+   determinism under faults, and crash-recovery state oracles. *)
+
+open Quill_storage
+open Quill_txn
+open Quill_workloads
+module Faults = Quill_faults.Faults
+module Sim = Quill_sim.Sim
+module Net = Quill_dist.Net
+module Dq = Quill_dist.Dist_quecc
+module Dc = Quill_dist.Dist_calvin
+
+(* ------------------------- spec parsing ------------------------- *)
+
+let parse_ok s =
+  match Faults.parse s with
+  | Ok sp -> sp
+  | Error e -> Alcotest.failf "parse %S failed: %s" s e
+
+let test_parse_full () =
+  let sp =
+    parse_ok
+      "crash@t=5ms:node=1:down=250us,part@t=1ms:a=0:b=2:until=3ms,drop=0.02,\
+       dup=0.01,delay=0.1:by=20us,seed=9,retries=4,rto=10us"
+  in
+  Tutil.check_int "seed" 9 sp.Faults.seed;
+  Tutil.check_int "retries" 4 sp.Faults.max_retries;
+  Tutil.check_int "rto" 10_000 sp.Faults.rto;
+  Tutil.check_bool "drop" true (sp.Faults.drop = 0.02);
+  Tutil.check_bool "dup" true (sp.Faults.dup = 0.01);
+  Tutil.check_bool "delay_p" true (sp.Faults.delay_p = 0.1);
+  Tutil.check_int "delay_by" 20_000 sp.Faults.delay_by;
+  (match sp.Faults.crashes with
+  | [ c ] ->
+      Tutil.check_int "crash node" 1 c.Faults.node;
+      Tutil.check_int "crash at" 5_000_000 c.Faults.at;
+      Tutil.check_int "crash down" 250_000 c.Faults.down
+  | l -> Alcotest.failf "expected 1 crash, got %d" (List.length l));
+  match sp.Faults.partitions with
+  | [ p ] ->
+      Tutil.check_int "part a" 0 p.Faults.a;
+      Tutil.check_int "part b" 2 p.Faults.b;
+      Tutil.check_int "part from" 1_000_000 p.Faults.from_t;
+      Tutil.check_int "part until" 3_000_000 p.Faults.until_t
+  | l -> Alcotest.failf "expected 1 partition, got %d" (List.length l)
+
+let test_parse_round_trip () =
+  let specs =
+    [
+      "crash@t=200us:node=1:down=200us,drop=0.01,dup=0.01,seed=7";
+      "drop=0.5,seed=3";
+      "crash@t=1ms,crash@t=2ms:node=2";
+      "part@t=1ms:a=0:b=1:until=2ms,delay=0.2:by=1ms";
+    ]
+  in
+  List.iter
+    (fun s ->
+      let sp = parse_ok s in
+      let sp2 = parse_ok (Faults.to_string sp) in
+      Tutil.check_bool
+        (Printf.sprintf "round-trip %S via %S" s (Faults.to_string sp))
+        true (sp = sp2))
+    specs
+
+let test_parse_errors () =
+  List.iter
+    (fun s ->
+      match Faults.parse s with
+      | Ok _ -> Alcotest.failf "expected %S to be rejected" s
+      | Error e ->
+          Tutil.check_bool "one-line diagnostic" true
+            (String.length e > 0 && not (String.contains e '\n')))
+    [
+      "crash@t=oops";
+      "drop=high";
+      "drop=1.5";
+      "part@t=1ms:a=0:b=1";
+      (* missing until *)
+      "bogus=3";
+      "crash";
+      "dup=0.1:by=3ms";
+      (* by only valid on delay *)
+    ]
+
+let test_active () =
+  Tutil.check_bool "none inactive" false (Faults.active Faults.none);
+  Tutil.check_bool "seed-only inactive" false
+    (Faults.active { Faults.none with Faults.seed = 99 });
+  Tutil.check_bool "drop active" true
+    (Faults.active { Faults.none with Faults.drop = 0.01 });
+  Tutil.check_bool "crash active" true
+    (Faults.active
+       { Faults.none with
+         Faults.crashes = [ { Faults.node = 0; at = 1; down = 1 } ] })
+
+let test_check_nodes () =
+  let sp = parse_ok "crash@t=1ms:node=5" in
+  Alcotest.check_raises "crash node out of range"
+    (Invalid_argument "boom: fault plan crashes node 5 of a 4-node cluster")
+    (fun () -> Faults.check_nodes sp ~nodes:4 ~name:"boom")
+
+(* ---------------------- Sim.Chan.recv_timeout ---------------------- *)
+
+let test_recv_timeout_delivery () =
+  let sim = Sim.create () in
+  let ch = Sim.Chan.create () in
+  let got = ref None in
+  Sim.spawn sim (fun () ->
+      got := Sim.Chan.recv_timeout sim ch ~timeout:10_000);
+  Sim.spawn sim (fun () ->
+      Sim.sleep sim 2_000;
+      Sim.Chan.send sim ch 42);
+  ignore (Sim.run sim);
+  Tutil.check_bool "delivered before deadline" true (!got = Some 42)
+
+let test_recv_timeout_expires () =
+  let sim = Sim.create () in
+  let ch : int Sim.Chan.ch = Sim.Chan.create () in
+  let got = ref (Some 0) in
+  let at = ref 0 in
+  Sim.spawn sim (fun () ->
+      got := Sim.Chan.recv_timeout sim ch ~timeout:5_000;
+      at := Sim.now sim);
+  ignore (Sim.run sim);
+  Tutil.check_bool "timed out" true (!got = None);
+  Tutil.check_bool "clock advanced to deadline" true (!at >= 5_000)
+
+let test_recv_timeout_late_message_kept () =
+  (* A message that arrives after the deadline times out the first
+     receiver but is still delivered to a later plain recv. *)
+  let sim = Sim.create () in
+  let ch = Sim.Chan.create () in
+  let first = ref (Some 0) and second = ref 0 in
+  Sim.spawn sim (fun () ->
+      first := Sim.Chan.recv_timeout sim ch ~timeout:1_000;
+      second := Sim.Chan.recv sim ch);
+  Sim.spawn sim (fun () -> Sim.Chan.send ~delay:8_000 sim ch 7);
+  ignore (Sim.run sim);
+  Tutil.check_bool "first timed out" true (!first = None);
+  Tutil.check_int "late message preserved" 7 !second
+
+let test_recv_timeout_negative_rejected () =
+  let sim = Sim.create () in
+  let ch : int Sim.Chan.ch = Sim.Chan.create () in
+  Sim.spawn sim (fun () ->
+      Alcotest.check_raises "negative timeout"
+        (Invalid_argument "Sim.Chan.recv_timeout: negative timeout")
+        (fun () -> ignore (Sim.Chan.recv_timeout sim ch ~timeout:(-1))));
+  ignore (Sim.run sim)
+
+(* ----------------------------- Net ----------------------------- *)
+
+let with_net ?faults ~nodes f =
+  let sim = Sim.create () in
+  let net = Net.create ?faults sim Quill_sim.Costs.zero ~nodes in
+  f sim net;
+  ignore (Sim.run sim)
+
+let test_net_validates_indices () =
+  with_net ~nodes:3 (fun sim net ->
+      Sim.spawn sim (fun () ->
+          Alcotest.check_raises "bad dst"
+            (Invalid_argument
+               "Net.send: destination node 3 out of range for a 3-node \
+                cluster")
+            (fun () -> Net.send net ~src:0 ~dst:3 ~bytes:8 ());
+          Alcotest.check_raises "bad src"
+            (Invalid_argument
+               "Net.send: source node -1 out of range for a 3-node cluster")
+            (fun () -> Net.send net ~src:(-1) ~dst:0 ~bytes:8 ());
+          Alcotest.check_raises "bad recv node"
+            (Invalid_argument
+               "Net.recv: receiving node 7 out of range for a 3-node cluster")
+            (fun () -> ignore (Net.recv net ~node:7))));
+  Alcotest.check_raises "bad node count"
+    (Invalid_argument "Net.create: node count must be positive") (fun () ->
+      let sim = Sim.create () in
+      ignore (Net.create sim Quill_sim.Costs.zero ~nodes:0))
+
+let test_net_dup_suppression () =
+  (* dup=1.0: every remote message is sent twice and delivered once. *)
+  let faults = Faults.make { Faults.none with Faults.dup = 1.0; seed = 5 } in
+  let n = 16 in
+  let received = ref 0 in
+  with_net ~faults ~nodes:2 (fun sim net ->
+      Sim.spawn sim (fun () ->
+          for i = 1 to n do
+            Net.send net ~src:0 ~dst:1 ~bytes:8 i
+          done);
+      Sim.spawn sim (fun () ->
+          for _ = 1 to n do
+            ignore (Net.recv net ~node:1)
+          done;
+          (* nothing fresh left: only suppressed duplicates remain *)
+          (match Net.recv_timeout net ~node:1 ~timeout:1_000_000 with
+          | None -> ()
+          | Some _ -> Alcotest.fail "duplicate escaped suppression");
+          received := n));
+  Tutil.check_int "all fresh messages received" n !received
+
+let test_net_drop_is_delay_not_loss () =
+  (* drop=0.9: heavy loss, yet every message is still delivered
+     (retransmission model), just later and with retries counted. *)
+  let faults =
+    Faults.make
+      { Faults.none with Faults.drop = 0.9; seed = 2; rto = 10_000 }
+  in
+  let n = 32 in
+  let sum = ref 0 in
+  let retries = ref 0 in
+  let sim = Sim.create () in
+  let net = Net.create ~faults sim Quill_sim.Costs.zero ~nodes:2 in
+  Sim.spawn sim (fun () ->
+      for i = 1 to n do
+        Net.send net ~src:0 ~dst:1 ~bytes:8 i
+      done);
+  Sim.spawn sim (fun () ->
+      for _ = 1 to n do
+        sum := !sum + Net.recv net ~node:1
+      done;
+      retries := Net.messages_retried net);
+  ignore (Sim.run sim);
+  Tutil.check_int "every message delivered exactly once" (n * (n + 1) / 2)
+    !sum;
+  Tutil.check_bool "losses surfaced as retries" true (!retries > 0)
+
+(* ------------------- determinism under faults ------------------- *)
+
+let dq_cfg ?(nodes = 2) ?(batch_size = 128) () =
+  { Dq.nodes; planners = 2; executors = 2; batch_size;
+    costs = Quill_sim.Costs.default }
+
+let dc_cfg ?(nodes = 2) ?(batch_size = 128) () =
+  { Dc.nodes; workers = 2; batch_size; costs = Quill_sim.Costs.default }
+
+let ycsb_for ?(seed = 11) () =
+  Tutil.small_ycsb ~table_size:4_000 ~nparts:4 ~theta:0.6 ~mp_ratio:0.3 ~seed
+    ()
+
+let fingerprint wl (m : Metrics.t) =
+  ( Db.checksum wl.Workload.db,
+    m.Metrics.elapsed,
+    m.Metrics.committed,
+    m.Metrics.msgs,
+    m.Metrics.crashes,
+    m.Metrics.redone,
+    m.Metrics.msg_retries,
+    m.Metrics.msg_dup_drops )
+
+let test_zero_rate_plan_is_fault_free () =
+  (* drop=0.0, no crashes: bit-identical to running with no plan. *)
+  let run faults =
+    let wl = Ycsb.make (ycsb_for ()) in
+    let m = Dq.run ~faults (dq_cfg ()) wl ~batches:3 in
+    fingerprint wl m
+  in
+  let zero = { Faults.none with Faults.seed = 123; max_retries = 3 } in
+  Tutil.check_bool "zero-rate plan == no plan" true
+    (run Faults.none = run zero)
+
+let prop_same_seed_same_run =
+  QCheck.Test.make ~name:"same fault seed => identical metrics" ~count:5
+    QCheck.(int_range 0 1000)
+    (fun fseed ->
+      let plan =
+        {
+          Faults.none with
+          Faults.seed = fseed;
+          drop = 0.05;
+          dup = 0.05;
+          crashes = [ { Faults.node = 1; at = 100_000; down = 30_000 } ];
+        }
+      in
+      let run () =
+        let wl = Ycsb.make (ycsb_for ~seed:(fseed + 1) ()) in
+        let m = Dq.run ~faults:plan (dq_cfg ()) wl ~batches:2 in
+        fingerprint wl m
+      in
+      run () = run ())
+
+(* ------------------------ crash recovery ------------------------ *)
+
+(* Probe the fault-free run's virtual duration, then crash node 1
+   mid-run and demand the exact fault-free Serial-oracle state. *)
+let probe_elapsed run =
+  let m = run Faults.none in
+  m.Metrics.elapsed
+
+let test_dq_crash_recovers_to_oracle () =
+  let cfg = ycsb_for () in
+  let run faults =
+    let wl = Ycsb.make cfg in
+    Dq.run ~faults (dq_cfg ()) wl ~batches:3
+  in
+  let elapsed = probe_elapsed run in
+  let plan =
+    {
+      Faults.none with
+      Faults.seed = 3;
+      crashes = [ { Faults.node = 1; at = elapsed / 3; down = 20_000 } ];
+    }
+  in
+  let wl = Ycsb.make cfg in
+  let wl_rec, logs = Tutil.record wl in
+  let m = Dq.run ~faults:plan (dq_cfg ()) wl_rec ~batches:3 in
+  Tutil.check_int "crash fired" 1 m.Metrics.crashes;
+  Tutil.check_bool "recovery visible in phase accounting" true
+    (m.Metrics.recover_busy > 0);
+  let wl2 = Ycsb.make cfg in
+  let txns = Tutil.epoch_order logs ~streams:4 ~batch_size:128 ~batches:3 in
+  let m2 = Quill_protocols.Serial.run_txns wl2 txns in
+  Tutil.check_int "commits match oracle" m2.Metrics.committed
+    m.Metrics.committed;
+  Tutil.check_bool "state matches fault-free oracle" true
+    (Db.checksum wl.Workload.db = Db.checksum wl2.Workload.db)
+
+let test_dc_crash_recovers_to_oracle () =
+  let cfg = ycsb_for () in
+  let run faults =
+    let wl = Ycsb.make cfg in
+    Dc.run ~faults (dc_cfg ()) wl ~batches:3
+  in
+  let elapsed = probe_elapsed run in
+  let plan =
+    {
+      Faults.none with
+      Faults.seed = 4;
+      crashes = [ { Faults.node = 1; at = elapsed / 2; down = 20_000 } ];
+    }
+  in
+  let wl = Ycsb.make cfg in
+  let wl_rec, logs = Tutil.record wl in
+  let m = Dc.run ~faults:plan (dc_cfg ()) wl_rec ~batches:3 in
+  Tutil.check_int "crash fired" 1 m.Metrics.crashes;
+  let wl2 = Ycsb.make cfg in
+  let txns = Tutil.epoch_order logs ~streams:2 ~batch_size:128 ~batches:3 in
+  let m2 = Quill_protocols.Serial.run_txns wl2 txns in
+  Tutil.check_int "commits match oracle" m2.Metrics.committed
+    m.Metrics.committed;
+  Tutil.check_bool "state matches fault-free oracle" true
+    (Db.checksum wl.Workload.db = Db.checksum wl2.Workload.db)
+
+let test_no_double_commit_under_duplication () =
+  (* Aggressive duplication + drops: sequence numbers must suppress the
+     copies, so every transaction still commits or aborts exactly once
+     and the final state matches the fault-free run. *)
+  let cfg = ycsb_for () in
+  let run faults =
+    let wl = Ycsb.make cfg in
+    let m = Dq.run ~faults (dq_cfg ()) wl ~batches:3 in
+    (Db.checksum wl.Workload.db, m)
+  in
+  let chk0, m0 = run Faults.none in
+  let plan =
+    { Faults.none with Faults.seed = 8; dup = 0.5; drop = 0.1 }
+  in
+  let chk, m = run plan in
+  Tutil.check_bool "duplicates actually injected" true
+    (m.Metrics.msg_dup_drops > 0);
+  Tutil.check_int "commit count unchanged" m0.Metrics.committed
+    m.Metrics.committed;
+  Tutil.check_int "every txn decided exactly once" (3 * 128)
+    (m.Metrics.committed + m.Metrics.logic_aborted);
+  Tutil.check_bool "state unchanged by dup/drop noise" true (chk0 = chk)
+
+let test_faults_rejected_on_centralized () =
+  let e =
+    Quill_harness.Experiment.make ~threads:2 ~txns:256 ~batch_size:128
+      ~faults:{ Faults.none with Faults.drop = 0.01 }
+      Quill_harness.Experiment.Silo
+      (Quill_harness.Experiment.Ycsb (ycsb_for ()))
+  in
+  Alcotest.check_raises "centralized engines reject fault plans"
+    (Invalid_argument
+       "Experiment.run: fault plans only apply to the distributed engines, \
+        not silo")
+    (fun () -> ignore (Quill_harness.Experiment.run e))
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "faults"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "full grammar" `Quick test_parse_full;
+          Alcotest.test_case "round-trip" `Quick test_parse_round_trip;
+          Alcotest.test_case "diagnostics" `Quick test_parse_errors;
+          Alcotest.test_case "active" `Quick test_active;
+          Alcotest.test_case "node validation" `Quick test_check_nodes;
+        ] );
+      ( "recv-timeout",
+        [
+          Alcotest.test_case "delivery" `Quick test_recv_timeout_delivery;
+          Alcotest.test_case "expiry" `Quick test_recv_timeout_expires;
+          Alcotest.test_case "late message kept" `Quick
+            test_recv_timeout_late_message_kept;
+          Alcotest.test_case "negative rejected" `Quick
+            test_recv_timeout_negative_rejected;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "index validation" `Quick
+            test_net_validates_indices;
+          Alcotest.test_case "duplicate suppression" `Quick
+            test_net_dup_suppression;
+          Alcotest.test_case "drop is delay, not loss" `Quick
+            test_net_drop_is_delay_not_loss;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "zero-rate plan == fault-free" `Quick
+            test_zero_rate_plan_is_fault_free;
+          qc prop_same_seed_same_run;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "dist-quecc crash -> oracle state" `Quick
+            test_dq_crash_recovers_to_oracle;
+          Alcotest.test_case "dist-calvin crash -> oracle state" `Quick
+            test_dc_crash_recovers_to_oracle;
+          Alcotest.test_case "no double commits under duplication" `Quick
+            test_no_double_commit_under_duplication;
+          Alcotest.test_case "centralized engines reject plans" `Quick
+            test_faults_rejected_on_centralized;
+        ] );
+    ]
