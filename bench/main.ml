@@ -127,29 +127,78 @@ let usage ?hint () =
   prerr_endline
     "usage: main.exe [table2-row1|table2-row2|table2-row3|fig-contention|\n\
     \                 fig-scalability|fig-modes|fig-latency|fig-batch|\n\
-    \                 fault-tolerance|micro|all]\n\
-    \                [scale] [--trace FILE] [--phase-table] [--faults SPEC]";
+    \                 fault-tolerance|overload|micro|all]\n\
+    \                [scale] [--trace FILE] [--phase-table] [--faults SPEC]\n\
+    \                [--arrival RATE] [--admission POLICY[:DEPTH]]\n\
+    \                [--deadline TIME] [--retries N[:BACKOFF]]";
   exit 2
 
 (* Pull the option flags out of argv; what remains is positional. *)
+type opts = {
+  mutable trace_file : string option;
+  mutable faults : Quill_faults.Faults.spec option;
+  mutable arrival : Quill_clients.Clients.arrival option;
+  mutable admission : (Quill_clients.Clients.policy * int) option;
+  mutable deadline : int option;
+  mutable retries : (int * int) option;
+}
+
 let parse_args () =
-  let trace_file = ref None in
-  let faults = ref None in
+  let o =
+    {
+      trace_file = None;
+      faults = None;
+      arrival = None;
+      admission = None;
+      deadline = None;
+      retries = None;
+    }
+  in
   let positional = ref [] in
-  let takes_value = function "--trace" | "--faults" -> true | _ -> false in
+  let takes_value = function
+    | "--trace" | "--faults" | "--arrival" | "--admission" | "--deadline"
+    | "--retries" ->
+        true
+    | _ -> false
+  in
+  let value flag i =
+    if i + 1 >= Array.length Sys.argv then
+      usage ~hint:(flag ^ " needs an argument") ();
+    Sys.argv.(i + 1)
+  in
+  let parsed flag parse s =
+    match parse s with
+    | Ok v -> v
+    | Error msg -> usage ~hint:(Printf.sprintf "bad %s: %s" flag msg) ()
+  in
   let rec go i =
     if i < Array.length Sys.argv then begin
       (match Sys.argv.(i) with
-      | "--trace" ->
-          if i + 1 >= Array.length Sys.argv then
-            usage ~hint:"--trace needs a FILE argument" ();
-          trace_file := Some Sys.argv.(i + 1)
-      | "--faults" -> (
-          if i + 1 >= Array.length Sys.argv then
-            usage ~hint:"--faults needs a SPEC argument" ();
-          match Quill_faults.Faults.parse Sys.argv.(i + 1) with
-          | Ok f -> faults := Some f
-          | Error msg -> usage ~hint:("bad --faults spec: " ^ msg) ())
+      | "--trace" -> o.trace_file <- Some (value "--trace" i)
+      | "--faults" ->
+          o.faults <-
+            Some (parsed "--faults" Quill_faults.Faults.parse (value "--faults" i))
+      | "--arrival" ->
+          o.arrival <-
+            Some
+              (parsed "--arrival" Quill_clients.Clients.parse_arrival
+                 (value "--arrival" i))
+      | "--admission" ->
+          o.admission <-
+            Some
+              (parsed "--admission" Quill_clients.Clients.parse_admission
+                 (value "--admission" i))
+      | "--deadline" -> (
+          let s = value "--deadline" i in
+          match Quill_clients.Clients.parse_time s with
+          | d -> o.deadline <- Some d
+          | exception _ ->
+              usage ~hint:("bad --deadline " ^ s ^ " (want NUM[ns|us|ms|s])") ())
+      | "--retries" ->
+          o.retries <-
+            Some
+              (parsed "--retries" Quill_clients.Clients.parse_retries
+                 (value "--retries" i))
       | "--phase-table" -> H.Report.phase_tables := true
       | a when String.length a > 0 && a.[0] = '-' ->
           usage ~hint:("unknown option " ^ a) ()
@@ -158,10 +207,11 @@ let parse_args () =
     end
   in
   go 1;
-  (!trace_file, !faults, List.rev !positional)
+  (o, List.rev !positional)
 
 let () =
-  let trace_file, faults, positional = parse_args () in
+  let o, positional = parse_args () in
+  let trace_file = o.trace_file and faults = o.faults in
   let arg = match positional with a :: _ -> a | [] -> "all" in
   let scale =
     match positional with
@@ -186,6 +236,9 @@ let () =
   | "fig-latency" -> H.Experiments.fig_latency ~scale ()
   | "fig-batch" -> H.Experiments.fig_batch ~scale ()
   | "fault-tolerance" -> H.Experiments.fault_tolerance ~scale ?plan:faults ()
+  | "overload" ->
+      H.Experiments.overload ~scale ?arrival:o.arrival ?admission:o.admission
+        ?deadline:o.deadline ?retries:o.retries ()
   | "micro" -> run_micro ()
   | "all" ->
       H.Experiments.all ~scale ();

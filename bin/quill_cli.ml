@@ -17,8 +17,57 @@ let engines =
     "calvin"; "dist-quecc"; "dist-calvin";
   ]
 
+module C = Quill_clients.Clients
+
+(* Any of the four client flags switches the run into open-loop mode:
+   seeded generators feed the engine through a bounded admission queue
+   instead of the engine pulling from the workload directly. *)
+let clients_cfg ~seed arrival admission deadline retries =
+  if arrival = None && admission = None && deadline = None && retries = None
+  then None
+  else begin
+    let get name parse = function
+      | None -> None
+      | Some s -> (
+          match parse s with
+          | Ok v -> Some v
+          | Error msg ->
+              Printf.eprintf "quill_cli: bad --%s: %s\n" name msg;
+              exit 2)
+    in
+    let cfg = { C.default with C.seed } in
+    let cfg =
+      match get "arrival" C.parse_arrival arrival with
+      | Some a -> { cfg with C.arrival = a }
+      | None -> cfg
+    in
+    let cfg =
+      match get "admission" C.parse_admission admission with
+      | Some (policy, depth) -> { cfg with C.policy; depth }
+      | None -> cfg
+    in
+    let cfg =
+      match deadline with
+      | Some s -> (
+          match C.parse_time s with
+          | d -> { cfg with C.deadline = d }
+          | exception _ ->
+              Printf.eprintf
+                "quill_cli: bad --deadline %S (want NUM[ns|us|ms|s])\n" s;
+              exit 2)
+      | None -> cfg
+    in
+    let cfg =
+      match get "retries" C.parse_retries retries with
+      | Some (max_retries, backoff) -> { cfg with C.max_retries; backoff }
+      | None -> cfg
+    in
+    Some cfg
+  end
+
 let run_cmd engine workload threads txns batch theta mp abort_ratio warehouses
-    table_size seed faults_spec trace_file phase_table =
+    table_size seed faults_spec arrival admission deadline retries trace_file
+    phase_table =
   let faults =
     match faults_spec with
     | None -> Quill_faults.Faults.none
@@ -34,6 +83,13 @@ let run_cmd engine workload threads txns batch theta mp abort_ratio warehouses
       Printf.eprintf "unknown engine %s; see list-engines\n" engine;
       exit 2
   | Some e ->
+      (match e with
+      | E.Dist_quecc _ | E.Dist_calvin _ -> ()
+      | _ when faults_spec <> None ->
+          Printf.eprintf "quill_cli: --faults requires a dist-* engine\n";
+          exit 2
+      | _ -> ());
+      let clients = clients_cfg ~seed arrival admission deadline retries in
       let spec =
         match workload with
         | "ycsb" ->
@@ -64,7 +120,7 @@ let run_cmd engine workload threads txns batch theta mp abort_ratio warehouses
             Printf.eprintf "unknown workload %s (ycsb|tpcc|tpcc-full)\n" w;
             exit 2
       in
-      let exp = E.make ~threads ~txns ~batch_size:batch ~faults e spec in
+      let exp = E.make ~threads ~txns ~batch_size:batch ~faults ?clients e spec in
       let tracer =
         match trace_file with
         | Some _ -> Quill_trace.Trace.create ()
@@ -73,6 +129,8 @@ let run_cmd engine workload threads txns batch theta mp abort_ratio warehouses
       let m = E.run ~tracer exp in
       Format.printf "%s on %s:@.  %a@." engine workload
         Quill_txn.Metrics.pp m;
+      if Quill_txn.Metrics.clients_active m then
+        Format.printf "  %a@." Quill_txn.Metrics.pp_clients m;
       Quill_harness.Report.print_table ~title:"result"
         [ { Quill_harness.Report.label = engine; metrics = m } ];
       if phase_table then
@@ -98,6 +156,7 @@ let experiments_cmd only scale =
   | Some "fig-latency" -> X.fig_latency ~scale ()
   | Some "fig-batch" -> X.fig_batch ~scale ()
   | Some "fault-tolerance" -> X.fault_tolerance ~scale ()
+  | Some "overload" -> X.overload ~scale ()
   | Some other ->
       Printf.eprintf "unknown experiment %s\n" other;
       exit 2
@@ -156,6 +215,46 @@ let faults_t =
            part@t=TIME:a=N:b=N:until=TIME, drop=P, dup=P, \
            delay=P[:by=TIME], seed=N, retries=N, rto=TIME.")
 
+let arrival_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "arrival" ] ~docv:"RATE"
+        ~doc:
+          "Open-loop client arrivals: a Poisson rate in txn/s (e.g. \
+           '250000') or 'burst:RATE:ON:OFF' for an on/off source (ON/OFF \
+           in NUM[ns|us|ms|s]).  Any client flag switches the run from \
+           closed-loop to open-loop.")
+
+let admission_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "admission" ] ~docv:"POLICY[:DEPTH]"
+        ~doc:
+          "Admission-queue policy when full: 'block' (backpressure), \
+           'shed' (drop oldest), 'shed-newest' (drop incoming), \
+           'deadline' (drop expired, else incoming).  DEPTH bounds the \
+           per-node queue (default 1024).")
+
+let deadline_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "deadline" ] ~docv:"TIME"
+        ~doc:
+          "Per-transaction deadline from first offer, NUM[ns|us|ms|s]; \
+           expired transactions are dropped and counted as misses.")
+
+let retries_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "retries" ] ~docv:"N[:BACKOFF]"
+        ~doc:
+          "Abort-retry budget per transaction with seeded exponential \
+           backoff starting at BACKOFF (NUM[ns|us|ms|s], default 2us).")
+
 let trace_t =
   Arg.(
     value
@@ -173,7 +272,8 @@ let run_term =
   Term.(
     const run_cmd $ engine_t $ workload_t $ threads_t $ txns_t $ batch_t
     $ theta_t $ mp_t $ abort_t $ warehouses_t $ table_size_t $ seed_t
-    $ faults_t $ trace_t $ phase_table_t)
+    $ faults_t $ arrival_t $ admission_t $ deadline_t $ retries_t $ trace_t
+    $ phase_table_t)
 
 let only_t =
   Arg.(

@@ -64,7 +64,7 @@ module Hist = struct
     end
 
   let add t v =
-    let v = if v < 0 then 0 else v in
+    if v < 0 then invalid_arg "Stats.Hist.add: negative value";
     let idx = index_of v in
     let idx = if idx >= Array.length t.buckets then Array.length t.buckets - 1 else idx in
     t.buckets.(idx) <- t.buckets.(idx) + 1;

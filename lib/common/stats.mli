@@ -22,7 +22,12 @@ module Hist : sig
   type t
 
   val create : unit -> t
+
   val add : t -> int -> unit
+  (** Record one value.  Raises [Invalid_argument] on negative input —
+      latency math that goes negative is a bug and must fail loudly,
+      not be silently clamped into bucket 0. *)
+
   val merge_into : dst:t -> t -> unit
   val count : t -> int
   val mean : t -> float

@@ -4,6 +4,7 @@ open Quill_storage
 open Quill_txn
 module Faults = Quill_faults.Faults
 module Trace = Quill_trace.Trace
+module Clients = Quill_clients.Clients
 
 type cfg = { nodes : int; workers : int; batch_size : int; costs : Costs.t }
 
@@ -20,6 +21,7 @@ type xrt = {
   aborted_local : bool array;
   mutable pending_aborters : int;
   mutable aborted : bool;
+  centry : Clients.entry option;     (* admission provenance *)
 }
 
 (* Node-local sub-transaction. *)
@@ -44,7 +46,9 @@ type msg =
   | Reads                               (* read-broadcast cost carrier *)
   | Resolve of { rt : xrt; aborted : bool }
   | Node_done
-  | Epoch_commit of int
+  | Epoch_commit of { epoch : int; stop : bool }
+      (* [stop] piggybacks the termination decision on the commit (see
+         Dist_quecc): epoch quota reached, or client layer exhausted. *)
   | Stop
 
 type nstate = {
@@ -70,11 +74,12 @@ type shared = {
   slices : (int * int * int, xrt array Sim.Ivar.iv) Hashtbl.t;
       (* (epoch, src, receiving node) *)
   epoch_rts : (int * int, xrt array) Hashtbl.t;          (* accounting *)
-  commits : (int * int, unit Sim.Ivar.iv) Hashtbl.t;     (* epoch, node *)
+  commits : (int * int, bool Sim.Ivar.iv) Hashtbl.t;     (* epoch, node *)
   metrics : Metrics.t;
   mutable done_count : int;
   mutable epochs_done : int;
   total_epochs : int;
+  clients : Clients.t option;
 }
 
 let node_of_part sh part = part * sh.cfg.nodes / Db.nparts sh.db
@@ -97,7 +102,7 @@ let get_commit sh epoch node = get_iv sh.commits (epoch, node)
 (* Sequencer                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let make_xrt sh txn =
+let make_xrt ?centry sh txn =
   let n = Array.length txn.Txn.frags in
   let inputs =
     Array.map
@@ -133,22 +138,22 @@ let make_xrt sh txn =
     aborted_local = Array.make sh.cfg.nodes false;
     pending_aborters = txn.Txn.n_abortable;
     aborted = false;
+    centry;
   }
 
 let sequencer_thread sh node stream epochs =
   let costs = sh.cfg.costs in
   let base = sh.cfg.batch_size / sh.cfg.nodes in
   let count = base + if node < sh.cfg.batch_size mod sh.cfg.nodes then 1 else 0 in
-  for e = 0 to epochs - 1 do
-    Sim.set_phase sh.sim Sim.Ph_plan;
-    let rts =
-      Array.init count (fun _ ->
-          Sim.tick sh.sim costs.Costs.txn_overhead;
-          let txn = stream () in
-          txn.Txn.submit_time <- Sim.now sh.sim;
-          txn.Txn.attempts <- 1;
-          make_xrt sh txn)
-    in
+  let seq_txn ?centry txn =
+    Sim.tick sh.sim costs.Costs.txn_overhead;
+    txn.Txn.submit_time <- Sim.now sh.sim;
+    txn.Txn.attempts <- txn.Txn.attempts + 1;
+    make_xrt ?centry sh txn
+  in
+  (* Sequence one epoch's slice and broadcast it; returns the epoch
+     commit's stop decision. *)
+  let seq_epoch e rts =
     let bytes =
       40 * Array.fold_left
              (fun acc rt -> acc + Array.length rt.txn.Txn.frags)
@@ -161,7 +166,29 @@ let sequencer_thread sh node stream epochs =
     done;
     Sim.set_phase sh.sim Sim.Ph_other;
     Sim.Ivar.read sh.sim (get_commit sh e node)
-  done
+  in
+  match sh.clients with
+  | None ->
+      for e = 0 to epochs - 1 do
+        Sim.set_phase sh.sim Sim.Ph_plan;
+        ignore (seq_epoch e (Array.init count (fun _ -> seq_txn (stream ()))))
+      done
+  | Some c ->
+      (* Client mode: each node's sequencer closes the epoch against its
+         local admission queue (up to the node's epoch share), blocking
+         until an arrival or local exhaustion — an empty slice once the
+         node's clients are done. *)
+      let rec loop e =
+        Sim.set_phase sh.sim Sim.Ph_plan;
+        let entries = Clients.drain c ~node ~max:count in
+        let rts =
+          Array.map
+            (fun (en : Clients.entry) -> seq_txn ~centry:en en.Clients.txn)
+            entries
+        in
+        if not (seq_epoch e rts) then loop (e + 1)
+      in
+      loop 0
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic lock manager (per node)                               *)
@@ -368,7 +395,9 @@ let check_node_done sh node =
 
 let scheduler_thread sh node epochs =
   let costs = sh.cfg.costs in
-  for e = 0 to epochs - 1 do
+  (* One epoch: request locks in sequencer order, wait for the epoch
+     commit, publish; returns the commit's stop decision. *)
+  let sched_epoch e =
     Sim.set_phase sh.sim Sim.Ph_plan;
     let count = ref 0 in
     for src = 0 to sh.cfg.nodes - 1 do
@@ -403,7 +432,7 @@ let scheduler_thread sh node epochs =
     sh.ns.(node).expected <- !count;
     check_node_done sh node;
     Sim.set_phase sh.sim Sim.Ph_other;
-    Sim.Ivar.read sh.sim (get_commit sh e node);
+    let stop = Sim.Ivar.read sh.sim (get_commit sh e node) in
     (* All local sub-transactions are done: publish committed state. *)
     Sim.set_phase sh.sim Sim.Ph_publish;
     Vec.iter
@@ -413,8 +442,14 @@ let scheduler_thread sh node epochs =
       sh.ns.(node).touched;
     Vec.clear sh.ns.(node).touched;
     Vec.clear sh.ns.(node).subs;
-    Sim.set_phase sh.sim Sim.Ph_other
-  done;
+    Sim.set_phase sh.sim Sim.Ph_other;
+    stop
+  in
+  (match sh.clients with
+  | None -> for e = 0 to epochs - 1 do ignore (sched_epoch e) done
+  | Some _ ->
+      let rec loop e = if not (sched_epoch e) then loop (e + 1) in
+      loop 0);
   (* Poison the worker pool after the final epoch. *)
   for _ = 1 to sh.cfg.workers do
     Sim.Chan.send sh.sim sh.ns.(node).work None
@@ -616,30 +651,44 @@ let demux_thread sh node =
                           sh.metrics.Metrics.committed + 1
                     | Txn.Pending -> assert false);
                     Stats.Hist.add sh.metrics.Metrics.lat
-                      (now - rt.txn.Txn.submit_time))
+                      (now - rt.txn.Txn.submit_time);
+                    match (sh.clients, rt.centry) with
+                    | Some c, Some ce ->
+                        Clients.complete c ce
+                          ~ok:(rt.txn.Txn.status = Txn.Committed)
+                    | _ -> ())
                   rts;
                 Hashtbl.remove sh.epoch_rts (e, src)
           done;
           sh.metrics.Metrics.batches <- sh.metrics.Metrics.batches + 1;
+          (* Stop decision after accounting, where client exhaustion is
+             monotone-stable (see Dist_quecc.demux_thread). *)
+          let stop =
+            match sh.clients with
+            | None -> sh.epochs_done = sh.total_epochs
+            | Some c -> Clients.exhausted c
+          in
           for dst = 0 to sh.cfg.nodes - 1 do
-            if dst = 0 then Sim.Ivar.fill sh.sim (get_commit sh e 0) ()
-            else Net.send sh.net ~src:0 ~dst ~bytes:8 (Epoch_commit e)
+            if dst = 0 then Sim.Ivar.fill sh.sim (get_commit sh e 0) stop
+            else
+              Net.send sh.net ~src:0 ~dst ~bytes:8
+                (Epoch_commit { epoch = e; stop })
           done;
-          if sh.epochs_done = sh.total_epochs then
+          if stop then
             for dst = 1 to sh.cfg.nodes - 1 do
               Net.send sh.net ~src:0 ~dst ~bytes:8 Stop
             done
           else loop ()
         end
         else loop ()
-    | Epoch_commit e ->
-        Sim.Ivar.fill sh.sim (get_commit sh e node) ();
+    | Epoch_commit { epoch = e; stop } ->
+        Sim.Ivar.fill sh.sim (get_commit sh e node) stop;
         loop ()
     | Stop -> ()
   in
   loop ()
 
-let run ?sim ?(faults = Faults.none) cfg wl ~batches =
+let run ?sim ?(faults = Faults.none) ?clients cfg wl ~batches =
   assert (cfg.nodes > 0 && cfg.workers > 0);
   let db = wl.Workload.db in
   if Db.nparts db mod cfg.nodes <> 0 then
@@ -678,10 +727,15 @@ let run ?sim ?(faults = Faults.none) cfg wl ~batches =
       done_count = 0;
       epochs_done = 0;
       total_epochs = batches;
+      clients;
     }
   in
   for node = 0 to cfg.nodes - 1 do
-    let stream = wl.Workload.new_stream node in
+    let stream =
+      match clients with
+      | Some _ -> fun () -> assert false (* arrivals come from clients *)
+      | None -> wl.Workload.new_stream node
+    in
     Sim.spawn sim (fun () -> sequencer_thread sh node stream batches);
     Sim.spawn sim (fun () -> scheduler_thread sh node batches);
     for _ = 1 to cfg.workers do

@@ -31,6 +31,7 @@ val default_cfg : cfg
 val run :
   ?sim:Quill_sim.Sim.t ->
   ?faults:Quill_faults.Faults.spec ->
+  ?clients:Quill_clients.Clients.t ->
   cfg ->
   Quill_txn.Workload.t ->
   batches:int ->
@@ -38,4 +39,7 @@ val run :
 (** Requires [Db.nparts db] to be a multiple of [nodes] (partition p is
     homed at node [p * nodes / nparts]).  [faults] attaches a
     deterministic fault plan; raises [Invalid_argument] if the plan
-    names a node outside the cluster. *)
+    names a node outside the cluster.  With [?clients] (created with
+    [~nodes:cfg.nodes]), each node's sequencer closes epochs against its
+    local admission queue and the run continues until the client layer
+    is exhausted ([batches] ignored). *)

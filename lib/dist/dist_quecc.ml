@@ -4,6 +4,7 @@ open Quill_storage
 open Quill_txn
 module Faults = Quill_faults.Faults
 module Trace = Quill_trace.Trace
+module Clients = Quill_clients.Clients
 
 type cfg = {
   nodes : int;
@@ -28,6 +29,7 @@ type drt = {
   participants : int list;
   mutable pending_aborters : int;
   mutable aborted : bool;                  (* authoritative (coordinator) *)
+  centry : Clients.entry option;           (* admission provenance *)
 }
 
 (* [voted] makes the abort-resolution vote idempotent: queue replay
@@ -41,7 +43,11 @@ type msg =
   | Fill of { iv : int Sim.Ivar.iv; v : int }
   | Resolve of { rt : drt; aborted : bool }
   | Exec_done
-  | Commit_batch of int
+  | Commit_batch of { batch : int; stop : bool }
+      (* [stop] piggybacks the run-termination decision on the commit
+         broadcast, so every node learns "no further batch" at a
+         deterministic point (client mode: the client layer is
+         exhausted; closed loop: the batch quota is reached). *)
   | Stop
 
 type shared = {
@@ -52,8 +58,8 @@ type shared = {
   net : msg Net.t;
   reg : (int * int * int, entry Vec.t Sim.Ivar.iv) Hashtbl.t;
       (* (batch, prio, executor gid) -> queue *)
-  commits : (int * int, unit Sim.Ivar.iv) Hashtbl.t;
-      (* (batch, node) -> commit signal *)
+  commits : (int * int, bool Sim.Ivar.iv) Hashtbl.t;
+      (* (batch, node) -> commit signal carrying the stop decision *)
   rts : drt option array;                  (* global batch slots *)
   touched : Row.t Vec.t array;             (* per executor gid *)
   crash_plan : Faults.crash array array;   (* per node, sorted by time *)
@@ -62,6 +68,7 @@ type shared = {
   mutable done_count : int;                (* node 0: Exec_done received *)
   mutable batches_done : int;
   total_batches : int;
+  clients : Clients.t option;
 }
 
 let p_global sh = sh.cfg.nodes * sh.cfg.planners
@@ -121,7 +128,7 @@ let do_abort sh ~self rt =
 (* Planning                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let make_drt sh txn bidx =
+let make_drt ?centry sh txn bidx =
   let n = Array.length txn.Txn.frags in
   let inputs =
     Array.map
@@ -160,6 +167,7 @@ let make_drt sh txn bidx =
     participants;
     pending_aborters = txn.Txn.n_abortable;
     aborted = false;
+    centry;
   }
 
 let slice_bounds sh gid =
@@ -171,28 +179,39 @@ let slice_bounds sh gid =
 
 let plan_order = Quill_quecc.Engine.plan_order_for_dist
 
+(* The contiguous [rts] slot range owned by a node (union of its
+   planners' slices; used whole by planner 0 in client mode). *)
+let node_slot_range sh node =
+  let start = fst (slice_bounds sh (node * sh.cfg.planners)) in
+  let stop =
+    if node = sh.cfg.nodes - 1 then sh.cfg.batch_size
+    else fst (slice_bounds sh ((node + 1) * sh.cfg.planners))
+  in
+  (start, stop - start)
+
 let planner_thread sh node p stream batches =
   let costs = sh.cfg.costs in
   let gid = (node * sh.cfg.planners) + p in
-  let start, count = slice_bounds sh gid in
   (* Staging area: queues destined for every executor gid. *)
   let out = Array.init (e_global sh) (fun _ -> Vec.create ()) in
-  for b = 0 to batches - 1 do
+  let plan_txn start j txn centry =
+    Sim.tick sh.sim costs.Costs.txn_overhead;
+    txn.Txn.submit_time <- Sim.now sh.sim;
+    txn.Txn.attempts <- txn.Txn.attempts + 1;
+    let rt = make_drt ?centry sh txn (start + j) in
+    sh.rts.(start + j) <- Some rt;
+    Array.iter
+      (fun (f : Fragment.t) ->
+        Sim.tick sh.sim costs.Costs.plan_fragment;
+        Vec.push out.(frag_part sh f) { rt; frag = f; voted = false })
+      (plan_order txn.Txn.frags)
+  in
+  (* Plan one batch via [fill], deliver the queues, and wait for the
+     global batch commit; returns the commit's stop decision. *)
+  let run_batch b fill =
     Sim.set_phase sh.sim Sim.Ph_plan;
     Array.iter Vec.clear out;
-    for j = 0 to count - 1 do
-      Sim.tick sh.sim costs.Costs.txn_overhead;
-      let txn = stream () in
-      txn.Txn.submit_time <- Sim.now sh.sim;
-      txn.Txn.attempts <- 1;
-      let rt = make_drt sh txn (start + j) in
-      sh.rts.(start + j) <- Some rt;
-      Array.iter
-        (fun (f : Fragment.t) ->
-          Sim.tick sh.sim costs.Costs.plan_fragment;
-          Vec.push out.(frag_part sh f) { rt; frag = f; voted = false })
-        (plan_order txn.Txn.frags)
-    done;
+    fill ();
     (* Deliver queues: local ones directly, remote ones as one shipped
        message per destination node (the Q-Store batching). *)
     for dst = 0 to sh.cfg.nodes - 1 do
@@ -216,10 +235,40 @@ let planner_thread sh node p stream batches =
           (Ship { batch = b; prio = gid; qs })
       end
     done;
-    (* Wait for the global batch commit before planning the next one. *)
     Sim.set_phase sh.sim Sim.Ph_other;
     Sim.Ivar.read sh.sim (get_commit sh b node)
-  done
+  in
+  match sh.clients with
+  | None ->
+      let start, count = slice_bounds sh gid in
+      for b = 0 to batches - 1 do
+        ignore
+          (run_batch b (fun () ->
+               for j = 0 to count - 1 do
+                 plan_txn start j (stream ()) None
+               done))
+      done
+  | Some c ->
+      (* Client mode: exactly one planner per node (p = 0) closes each
+         batch against the admission queue, owning the node's whole slot
+         range.  A second blocking drainer would deadlock: executors sit
+         on its unshipped queue ivars, so completions — the only thing
+         that can exhaust the client layer — could never happen.  The
+         other planners ship empty queues to keep the priority structure
+         (and message counts) intact. *)
+      let start, capacity = node_slot_range sh node in
+      let rec loop b =
+        let stop =
+          run_batch b (fun () ->
+              if p = 0 then
+                Array.iteri
+                  (fun j (e : Clients.entry) ->
+                    plan_txn start j e.Clients.txn (Some e))
+                  (Clients.drain c ~node ~max:capacity))
+        in
+        if not stop then loop (b + 1)
+      in
+      loop 0
 
 (* ------------------------------------------------------------------ *)
 (* Execution                                                           *)
@@ -391,7 +440,8 @@ let executor_thread sh node e batches =
       Sim.set_phase sh.sim Sim.Ph_execute
     done
   in
-  for b = 0 to batches - 1 do
+  (* One batch; returns the commit's stop decision. *)
+  let exec_batch b =
     Sim.set_phase sh.sim Sim.Ph_execute;
     Array.fill qs 0 nprio None;
     Array.fill done_ 0 nprio 0;
@@ -410,7 +460,7 @@ let executor_thread sh node e batches =
     (* Node-local rendezvous; the last executor reports to node 0. *)
     Sim.Barrier.await sh.sim sh.exec_done_b.(node);
     if e = 0 then Net.send sh.net ~src:node ~dst:0 ~bytes:8 Exec_done;
-    Sim.Ivar.read sh.sim (get_commit sh b node);
+    let stop = Sim.Ivar.read sh.sim (get_commit sh b node) in
     (* Publish committed state for this executor's rows. *)
     Sim.set_phase sh.sim Sim.Ph_publish;
     Vec.iter
@@ -419,8 +469,14 @@ let executor_thread sh node e batches =
         row.Row.dirty <- false)
       sh.touched.(egid);
     Vec.clear sh.touched.(egid);
-    Sim.set_phase sh.sim Sim.Ph_other
-  done
+    Sim.set_phase sh.sim Sim.Ph_other;
+    stop
+  in
+  match sh.clients with
+  | None -> for b = 0 to batches - 1 do ignore (exec_batch b) done
+  | Some _ ->
+      let rec loop b = if not (exec_batch b) then loop (b + 1) in
+      loop 0
 
 (* ------------------------------------------------------------------ *)
 (* Demultiplexer (per node): network thread                            *)
@@ -444,6 +500,10 @@ let account sh =
           | Txn.Pending -> assert false);
           Stats.Hist.add sh.metrics.Metrics.lat
             (now - rt.txn.Txn.submit_time);
+          (match (sh.clients, rt.centry) with
+          | Some c, Some ce ->
+              Clients.complete c ce ~ok:(rt.txn.Txn.status = Txn.Committed)
+          | _ -> ());
           sh.rts.(i) <- None)
     sh.rts;
   sh.metrics.Metrics.batches <- sh.metrics.Metrics.batches + 1
@@ -474,19 +534,30 @@ let demux_thread sh node =
           account sh;
           let b = sh.batches_done in
           sh.batches_done <- b + 1;
+          (* The stop decision is made here, after accounting, where it
+             is monotone-stable: client exhaustion means every offered
+             transaction is finally resolved (retries are scheduled
+             before [complete] returns), so no further batch can form. *)
+          let stop =
+            match sh.clients with
+            | None -> sh.batches_done = sh.total_batches
+            | Some c -> Clients.exhausted c
+          in
           for dst = 0 to sh.cfg.nodes - 1 do
-            if dst = 0 then Sim.Ivar.fill sh.sim (get_commit sh b 0) ()
-            else Net.send sh.net ~src:0 ~dst ~bytes:8 (Commit_batch b)
+            if dst = 0 then Sim.Ivar.fill sh.sim (get_commit sh b 0) stop
+            else
+              Net.send sh.net ~src:0 ~dst ~bytes:8
+                (Commit_batch { batch = b; stop })
           done;
-          if sh.batches_done = sh.total_batches then
+          if stop then
             for dst = 0 to sh.cfg.nodes - 1 do
               if dst = 0 then () else Net.send sh.net ~src:0 ~dst ~bytes:8 Stop
             done
           else loop ()
         end
         else loop ()
-    | Commit_batch b ->
-        Sim.Ivar.fill sh.sim (get_commit sh b node) ();
+    | Commit_batch { batch = b; stop } ->
+        Sim.Ivar.fill sh.sim (get_commit sh b node) stop;
         loop ()
     | Stop -> ()
   in
@@ -494,7 +565,7 @@ let demux_thread sh node =
 
 (* ------------------------------------------------------------------ *)
 
-let run ?sim ?(faults = Faults.none) cfg wl ~batches =
+let run ?sim ?(faults = Faults.none) ?clients cfg wl ~batches =
   assert (cfg.nodes > 0 && cfg.planners > 0 && cfg.executors > 0);
   let db = wl.Workload.db in
   if Db.nparts db <> cfg.nodes * cfg.executors then
@@ -525,11 +596,16 @@ let run ?sim ?(faults = Faults.none) cfg wl ~batches =
       done_count = 0;
       batches_done = 0;
       total_batches = batches;
+      clients;
     }
   in
   for node = 0 to cfg.nodes - 1 do
     for p = 0 to cfg.planners - 1 do
-      let stream = wl.Workload.new_stream ((node * cfg.planners) + p) in
+      let stream =
+        match clients with
+        | Some _ -> fun () -> assert false (* arrivals come from clients *)
+        | None -> wl.Workload.new_stream ((node * cfg.planners) + p)
+      in
       Sim.spawn sim (fun () -> planner_thread sh node p stream batches)
     done;
     for e = 0 to cfg.executors - 1 do

@@ -34,6 +34,7 @@ val default_cfg : cfg
 val run :
   ?sim:Quill_sim.Sim.t ->
   ?faults:Quill_faults.Faults.spec ->
+  ?clients:Quill_clients.Clients.t ->
   cfg ->
   Quill_txn.Workload.t ->
   batches:int ->
@@ -42,4 +43,8 @@ val run :
     [nparts = nodes * executors].  [faults] (default
     {!Quill_faults.Faults.none}) attaches a deterministic fault plan;
     raises [Invalid_argument] if the plan crashes a node index outside
-    the cluster. *)
+    the cluster.  With [?clients] (created with [~nodes:cfg.nodes]),
+    each node admits transactions at its local admission queue —
+    planner 0 of each node closes batches against it — and the run
+    continues until the client layer is exhausted ([batches] ignored);
+    the stop decision piggybacks on the per-batch commit broadcast. *)

@@ -4,6 +4,7 @@ module Qe = Quill_quecc.Engine
 module Trace = Quill_trace.Trace
 module Metrics = Quill_txn.Metrics
 module Faults = Quill_faults.Faults
+module Clients = Quill_clients.Clients
 
 type engine =
   | Serial
@@ -88,14 +89,15 @@ type t = {
   batch_size : int;
   costs : Costs.t;
   faults : Faults.spec;
+  clients : Clients.cfg option;
 }
 
 let make ?name ?(threads = 8) ?(txns = 20_000) ?(batch_size = 1024)
-    ?(costs = Costs.default) ?(faults = Faults.none) engine workload =
+    ?(costs = Costs.default) ?(faults = Faults.none) ?clients engine workload =
   let name =
     match name with Some n -> n | None -> engine_name engine
   in
-  { name; engine; workload; threads; txns; batch_size; costs; faults }
+  { name; engine; workload; threads; txns; batch_size; costs; faults; clients }
 
 let build_workload = function
   | Ycsb cfg -> Quill_workloads.Ycsb.make cfg
@@ -119,7 +121,6 @@ let effective_txns t = batches t * t.batch_size
 
 let run ?(tracer = Trace.null) t =
   Trace.begin_process tracer t.name;
-  let sim () = Sim.create ~wake_cost:t.costs.Costs.wakeup ~tracer () in
   let batches = batches t in
   let txns = batches * t.batch_size in
   (match t.engine with
@@ -131,13 +132,36 @@ let run ?(tracer = Trace.null) t =
              "Experiment.run: fault plans only apply to the distributed \
               engines, not %s"
              (engine_name t.engine)));
+  (match (t.engine, t.clients) with
+  | Serial, Some _ ->
+      invalid_arg
+        "Experiment.run: the serial baseline does not take an open-loop \
+         client layer"
+  | _ -> ());
+  (* The distributed engines need nparts tied to the cluster shape;
+     everything shares one workload instance so the open-loop client
+     generators draw from the same streams the engine would. *)
+  let spec, nodes =
+    match t.engine with
+    | Dist_quecc nodes ->
+        (respec_parts t.workload (nodes * max 1 (t.threads / 2)), nodes)
+    | Dist_calvin nodes -> (respec_parts t.workload (nodes * 4), nodes)
+    | _ -> (t.workload, 1)
+  in
+  let wl = build_workload spec in
+  let sim = Sim.create ~wake_cost:t.costs.Costs.wakeup ~tracer () in
+  (* The client layer owns the offered-transaction count: the experiment's
+     batch-rounded [txns] target overrides whatever the cfg carried so
+     that --txns means the same thing open- and closed-loop. *)
+  let clients =
+    Option.map
+      (fun ccfg -> Clients.create ~sim ~nodes wl { ccfg with Clients.total = txns })
+      t.clients
+  in
   let m =
     match t.engine with
-    | Serial ->
-        let wl = build_workload t.workload in
-        Quill_protocols.Serial.run ~sim:(sim ()) ~costs:t.costs wl ~txns
+    | Serial -> Quill_protocols.Serial.run ~sim ~costs:t.costs wl ~txns
     | Quecc (mode, isolation) ->
-        let wl = build_workload t.workload in
         let cfg =
           {
             Qe.planners = t.threads;
@@ -148,9 +172,8 @@ let run ?(tracer = Trace.null) t =
             costs = t.costs;
           }
         in
-        Qe.run ~sim:(sim ()) cfg wl ~batches
+        Qe.run ~sim ?clients cfg wl ~batches
     | Twopl_nowait | Twopl_waitdie | Silo | Tictoc | Mvto ->
-        let wl = build_workload t.workload in
         let cfg =
           { Quill_protocols.Nd_driver.default_cfg with
             Quill_protocols.Nd_driver.workers = t.threads; costs = t.costs }
@@ -164,15 +187,13 @@ let run ?(tracer = Trace.null) t =
           | Mvto -> (module Quill_protocols.Mvto)
           | _ -> assert false
         in
-        Quill_protocols.Nd_driver.run ~sim:(sim ()) m cfg wl ~txns
+        Quill_protocols.Nd_driver.run ~sim ?clients m cfg wl ~txns
     | Hstore ->
-        let wl = build_workload t.workload in
-        Quill_protocols.Hstore.run ~sim:(sim ())
+        Quill_protocols.Hstore.run ~sim ?clients
           { Quill_protocols.Hstore.workers = t.threads; costs = t.costs }
           wl ~txns
     | Calvin ->
-        let wl = build_workload t.workload in
-        Quill_protocols.Calvin.run ~sim:(sim ())
+        Quill_protocols.Calvin.run ~sim ?clients
           {
             Quill_protocols.Calvin.workers = max 1 (t.threads - 1);
             batch_size = t.batch_size;
@@ -181,8 +202,7 @@ let run ?(tracer = Trace.null) t =
           wl ~txns
     | Dist_quecc nodes ->
         let per_role = max 1 (t.threads / 2) in
-        let wl = build_workload (respec_parts t.workload (nodes * per_role)) in
-        Quill_dist.Dist_quecc.run ~sim:(sim ()) ~faults:t.faults
+        Quill_dist.Dist_quecc.run ~sim ~faults:t.faults ?clients
           {
             Quill_dist.Dist_quecc.nodes;
             planners = per_role;
@@ -192,8 +212,7 @@ let run ?(tracer = Trace.null) t =
           }
           wl ~batches
     | Dist_calvin nodes ->
-        let wl = build_workload (respec_parts t.workload (nodes * 4)) in
-        Quill_dist.Dist_calvin.run ~sim:(sim ()) ~faults:t.faults
+        Quill_dist.Dist_calvin.run ~sim ~faults:t.faults ?clients
           {
             Quill_dist.Dist_calvin.nodes;
             workers = t.threads;
@@ -202,5 +221,6 @@ let run ?(tracer = Trace.null) t =
           }
           wl ~batches
   in
+  Option.iter (fun c -> Clients.record c m) clients;
   m.Metrics.effective_txns <- txns;
   m

@@ -36,6 +36,14 @@ type t = {
       (** deterministic fault plan; {!Quill_faults.Faults.none} (the
           default) runs fault-free.  Only the distributed engines accept
           an active plan — {!run} raises [Invalid_argument] otherwise. *)
+  clients : Quill_clients.Clients.cfg option;
+      (** open-loop client layer: when set, seeded arrival generators
+          feed a bounded admission queue that the engine drains, instead
+          of the engine pulling from the workload closed-loop.  The
+          cfg's [total] is overridden with the experiment's batch-rounded
+          [txns] so [--txns] means the same thing in both modes.  Every
+          engine except [Serial] accepts it — {!run} raises
+          [Invalid_argument] for [Serial]. *)
 }
 
 val make :
@@ -45,6 +53,7 @@ val make :
   ?batch_size:int ->
   ?costs:Quill_sim.Costs.t ->
   ?faults:Quill_faults.Faults.spec ->
+  ?clients:Quill_clients.Clients.cfg ->
   engine ->
   workload_spec ->
   t

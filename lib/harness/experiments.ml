@@ -310,6 +310,112 @@ let fault_tolerance ?(scale = 1.0) ?(plan = default_fault_plan) () =
        replay) under an identical fault plan (4 nodes x 8 cores)"
     ~param:"fault plan" series
 
+(* ------------------------------------------------------------------ *)
+
+module C = Quill_clients.Clients
+
+(* The overload sweep (ISSUE 4 headline): open-loop clients offer
+   0.25x..4x of each engine's own closed-loop saturation throughput and
+   the table contrasts plateau (admission control sheds / deadlines
+   drop the excess, goodput holds) with collapse (Block bounds the
+   queue but stalls the offered stream).  Anchoring the multipliers on
+   a per-engine closed-loop probe keeps "2x saturation" meaningful for
+   engines an order of magnitude apart in peak throughput.
+
+   [arrival] pins an absolute arrival process for every row instead of
+   the multiplier sweep; [admission] collapses the per-policy QueCC
+   variants to a single policy for every engine; [deadline] / [retries]
+   override the deadline-row budget and the retry policy. *)
+let overload ?(scale = 1.0) ?arrival ?admission ?deadline ?retries () =
+  let txns = scaled scale 8_192 ~min_v:2048 in
+  let size = scaled scale 64_000 ~min_v:8_000 in
+  let spec =
+    E.Ycsb { Ycsb.default with Ycsb.table_size = size; nparts = 8; theta = 0.6 }
+  in
+  let threads = 8 and batch_size = 512 in
+  let engines =
+    [ E.Quecc (Qe.Speculative, Qe.Serializable); E.Calvin; E.Twopl_nowait ]
+  in
+  let probe =
+    List.map
+      (fun eng ->
+        let e = E.make ~threads ~txns ~batch_size eng spec in
+        (eng, E.run ~tracer:!tracer e))
+      engines
+  in
+  let sat eng =
+    Float.max 1.0 (Quill_txn.Metrics.throughput (List.assoc eng probe))
+  in
+  (* Deadline budget: the closed-loop QueCC p99 — the SLO a capacity
+     plan would set from the engine's profile at saturation.  Roomy
+     below saturation, but shorter than the residency of a full
+     admission queue, so overload shows up as deadline misses rather
+     than silently-late commits. *)
+  let dl =
+    match deadline with
+    | Some d -> d
+    | None ->
+        let quecc_m = List.assoc (List.hd engines) probe in
+        max 200_000
+          (Quill_common.Stats.Hist.percentile quecc_m.Quill_txn.Metrics.lat 99.0)
+  in
+  let max_retries, backoff =
+    match retries with Some r -> r | None -> (3, 2_000)
+  in
+  let depth = match admission with Some (_, d) -> d | None -> 1024 in
+  let variants =
+    match admission with
+    | Some (policy, _) -> List.map (fun eng -> (eng, policy)) engines
+    | None ->
+        [
+          (List.nth engines 0, C.Shed_oldest);
+          (List.nth engines 0, C.Deadline);
+          (List.nth engines 0, C.Block);
+          (List.nth engines 1, C.Shed_oldest);
+          (List.nth engines 2, C.Shed_oldest);
+        ]
+  in
+  let row ~mult (eng, policy) =
+    let arrival =
+      match arrival with
+      | Some a -> a
+      | None -> C.Poisson (mult *. sat eng)
+    in
+    let ccfg =
+      {
+        C.default with
+        C.arrival;
+        depth;
+        policy;
+        deadline = (if policy = C.Deadline then dl else 0);
+        max_retries;
+        backoff;
+      }
+    in
+    let label =
+      Printf.sprintf "%s+%s" (E.engine_name eng) (C.policy_name policy)
+    in
+    let e =
+      E.make ~name:label ~threads ~txns ~batch_size ~clients:ccfg eng spec
+    in
+    { Report.label; metrics = E.run ~tracer:!tracer e }
+  in
+  let series =
+    match arrival with
+    | Some a ->
+        [ (C.arrival_to_string a, List.map (row ~mult:1.0) variants) ]
+    | None ->
+        List.map
+          (fun mult ->
+            (Printf.sprintf "%.2fx" mult, List.map (row ~mult) variants))
+          [ 0.25; 0.5; 1.0; 2.0; 4.0 ]
+  in
+  Report.print_sweep
+    ~title:
+      "Overload: open-loop clients at a multiple of each engine's saturation \
+       throughput (YCSB theta=0.6, 8 cores)"
+    ~param:"offered load" series
+
 let all ?(scale = 1.0) () =
   table2_row1 ~scale ();
   table2_row2 ~scale ();
@@ -319,4 +425,5 @@ let all ?(scale = 1.0) () =
   fig_modes ~scale ();
   fig_latency ~scale ();
   fig_batch ~scale ();
-  fault_tolerance ~scale ()
+  fault_tolerance ~scale ();
+  overload ~scale ()

@@ -52,4 +52,22 @@ val fault_tolerance :
     ([plan] defaults to {!default_fault_plan}); the fault table rows
     report crashes, redone work and recovery time. *)
 
+val overload :
+  ?scale:float ->
+  ?arrival:Quill_clients.Clients.arrival ->
+  ?admission:Quill_clients.Clients.policy * int ->
+  ?deadline:int ->
+  ?retries:int * int ->
+  unit ->
+  unit
+(** Overload robustness headline (plateau vs collapse): a closed-loop
+    probe measures each engine's saturation throughput, then open-loop
+    clients offer 0.25x/0.5x/1x/2x/4x of it under Shed, Deadline and
+    Block admission (QueCC) and Shed (Calvin, 2PL-NoWait).  The client
+    table reports offered vs goodput, sheds, deadline misses, retries
+    and client-visible latency.  [arrival] pins one absolute arrival
+    process instead of the multiplier sweep; [admission] uses a single
+    [(policy, depth)] for every engine; [deadline] overrides the
+    deadline-row budget (ns); [retries] is [(max_retries, backoff_ns)]. *)
+
 val all : ?scale:float -> unit -> unit

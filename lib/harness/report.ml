@@ -97,6 +97,40 @@ let print_fault_table ~title rows =
 
 let any_faulted rows = List.exists (fun r -> Metrics.faulted r.metrics) rows
 
+(* Overload columns: offered vs goodput, admission-control drops and
+   client-visible latency.  Only meaningful (and only printed
+   automatically) when a run used the open-loop client layer. *)
+let client_header =
+  [
+    "engine"; "offered/s"; "goodput/s"; "shed"; "dl-miss"; "retries";
+    "retry-exh"; "qmax"; "c-p50"; "c-p95"; "c-p99";
+  ]
+
+let client_cells r =
+  let m = r.metrics in
+  let cpct p = fmt_lat (Stats.Hist.percentile m.Metrics.client_lat p) in
+  [
+    r.label;
+    Tablefmt.fmt_si (Metrics.offered_rate m);
+    Tablefmt.fmt_si (Metrics.goodput m);
+    string_of_int m.Metrics.shed;
+    string_of_int m.Metrics.deadline_miss;
+    string_of_int m.Metrics.client_retries;
+    string_of_int m.Metrics.retry_exhausted;
+    string_of_int m.Metrics.qmax;
+    cpct 50.0;
+    cpct 95.0;
+    cpct 99.0;
+  ]
+
+let print_client_table ~title rows =
+  Printf.printf "\n== %s: offered load vs goodput ==\n" title;
+  match rows with
+  | [] -> print_endline "(no rows)"
+  | rows -> Tablefmt.print ~header:client_header (List.map client_cells rows)
+
+let any_clients rows = List.exists (fun r -> Metrics.clients_active r.metrics) rows
+
 (* When set, [print_table] and [print_sweep] follow every metrics table
    with the phase breakdown (the CLI/bench --phase-table flag). *)
 let phase_tables = ref false
@@ -112,7 +146,9 @@ let print_table ~title rows =
   if !phase_tables && rows <> [] then
     Tablefmt.print ~header:phase_header (List.map phase_cells rows);
   if any_faulted rows then
-    Tablefmt.print ~header:fault_header (List.map fault_cells rows)
+    Tablefmt.print ~header:fault_header (List.map fault_cells rows);
+  if any_clients rows then
+    Tablefmt.print ~header:client_header (List.map client_cells rows)
 
 let print_sweep ~title ~param series =
   Printf.printf "\n== %s ==\n" title;
@@ -128,7 +164,9 @@ let print_sweep ~title ~param series =
           if !phase_tables then
             Tablefmt.print ~header:phase_header (List.map phase_cells rows);
           if any_faulted rows then
-            Tablefmt.print ~header:fault_header (List.map fault_cells rows))
+            Tablefmt.print ~header:fault_header (List.map fault_cells rows);
+          if any_clients rows then
+            Tablefmt.print ~header:client_header (List.map client_cells rows))
     series
 
 let best_throughput rows =

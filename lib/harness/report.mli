@@ -37,6 +37,17 @@ val print_fault_table : title:string -> row list -> unit
     duplicates.  {!print_table}/{!print_sweep} append this table
     automatically whenever any row's fault counters are nonzero. *)
 
+val client_header : string list
+val client_cells : row -> string list
+
+val print_client_table : title:string -> row list -> unit
+(** Overload columns: offered vs goodput rates, admission-queue sheds,
+    deadline misses, retry traffic and client-visible latency
+    percentiles (queueing + service + retries, from first offer to
+    commit).  {!print_table}/{!print_sweep} append this table
+    automatically whenever any row ran with the open-loop client
+    layer. *)
+
 val phase_tables : bool ref
 (** When true, {!print_table} and {!print_sweep} append the phase
     breakdown after every metrics table (default false). *)

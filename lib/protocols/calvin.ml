@@ -13,6 +13,7 @@ type crt = {
   txn : Txn.t;
   locks : (int * int * mode) list;   (* deduped (table, key, mode) *)
   mutable pending : int;
+  entry : Quill_clients.Clients.entry option;
 }
 
 type lockq = {
@@ -30,6 +31,7 @@ type state = {
   mutable completed : int;
   mutable total : int;
   nworkers : int;
+  clients : Quill_clients.Clients.t option;
 }
 
 (* Deduplicate the lock set: one request per key, X if any access
@@ -99,29 +101,48 @@ let release st crt key =
   in
   drain ()
 
+let sequence st txn entry =
+  Sim.tick st.sim st.costs.Costs.txn_overhead;
+  txn.Txn.submit_time <- Sim.now st.sim;
+  txn.Txn.status <- Txn.Active;
+  txn.Txn.attempts <- txn.Txn.attempts + 1;
+  let locks = lock_set txn in
+  let crt = { txn; locks; pending = List.length locks + 1; entry } in
+  (* The +1 guards against dispatching before all requests are issued. *)
+  List.iter
+    (fun (t, k, m) ->
+      Sim.tick st.sim st.costs.Costs.lock_mgr_op;
+      request st crt (t, k) m)
+    locks;
+  grant st crt
+
+let poison st =
+  for _ = 1 to st.nworkers do
+    Sim.Chan.send st.sim st.work None
+  done
+
 let scheduler st (wl : Workload.t) ~txns =
-  let stream = wl.Workload.new_stream 0 in
   Pcommon.in_phase st.sim Sim.Ph_plan (Sim.current_tid st.sim) @@ fun () ->
-  for _ = 1 to txns do
-    Sim.tick st.sim st.costs.Costs.txn_overhead;
-    let txn = stream () in
-    txn.Txn.submit_time <- Sim.now st.sim;
-    txn.Txn.status <- Txn.Active;
-    txn.Txn.attempts <- 1;
-    let locks = lock_set txn in
-    let crt = { txn; locks; pending = List.length locks + 1 } in
-    (* The +1 guards against dispatching before all requests are issued. *)
-    List.iter
-      (fun (t, k, m) ->
-        Sim.tick st.sim st.costs.Costs.lock_mgr_op;
-        request st crt (t, k) m)
-      locks;
-    grant st crt
-  done;
-  if txns = 0 then
-    for _ = 1 to st.nworkers do
-      Sim.Chan.send st.sim st.work None
-    done
+  match st.clients with
+  | None ->
+      let stream = wl.Workload.new_stream 0 in
+      for _ = 1 to txns do
+        sequence st (stream ()) None
+      done;
+      if txns = 0 then poison st
+  | Some c ->
+      (* Open loop: sequence admitted transactions in arrival order until
+         the client layer is exhausted, then poison the worker pool.
+         Lock-waiting and in-flight transactions keep the client layer
+         live, so exhaustion here really is the end. *)
+      let rec loop () =
+        match Quill_clients.Clients.take c ~node:0 with
+        | None -> poison st
+        | Some e ->
+            sequence st e.Quill_clients.Clients.txn (Some e);
+            loop ()
+      in
+      loop ()
 
 let worker st (wl : Workload.t) =
   let tid = Sim.current_tid st.sim in
@@ -151,17 +172,20 @@ let worker st (wl : Workload.t) =
         txn.Txn.finish_time <- Sim.now st.sim;
         Stats.Hist.add st.metrics.Metrics.lat
           (txn.Txn.finish_time - txn.Txn.submit_time);
+        (match (st.clients, crt.entry) with
+        | Some c, Some e ->
+            Quill_clients.Clients.complete c e ~ok:(outcome = Exec.Ok)
+        | _ -> ());
         st.completed <- st.completed + 1;
         if st.completed = st.total then
-          (* Poison the pool: everyone still blocked can exit. *)
-          for _ = 1 to st.nworkers do
-            Sim.Chan.send st.sim st.work None
-          done;
+          (* Poison the pool: everyone still blocked can exit.  (Client
+             mode poisons from the scheduler instead: total is max_int.) *)
+          poison st;
         loop ()
   in
   loop ()
 
-let run ?sim cfg wl ~txns =
+let run ?sim ?clients cfg wl ~txns =
   assert (cfg.workers > 0);
   let sim =
     match sim with
@@ -177,8 +201,9 @@ let run ?sim cfg wl ~txns =
       work = Sim.Chan.create ();
       metrics = Metrics.create ();
       completed = 0;
-      total = txns;
+      total = (match clients with None -> txns | Some _ -> max_int);
       nworkers = cfg.workers;
+      clients;
     }
   in
   Sim.spawn sim (fun () -> scheduler st wl ~txns);

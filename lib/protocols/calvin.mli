@@ -19,7 +19,11 @@ val default_cfg : cfg
 
 val run :
   ?sim:Quill_sim.Sim.t ->
+  ?clients:Quill_clients.Clients.t ->
   cfg ->
   Quill_txn.Workload.t ->
   txns:int ->
   Quill_txn.Metrics.t
+(** With [?clients], the scheduler sequences admitted transactions in
+    arrival order until the client layer is exhausted ([txns] ignored);
+    outcomes are reported back for client-level retry. *)

@@ -38,7 +38,7 @@ let coordination_round st k =
     st.metrics.Metrics.msgs <- st.metrics.Metrics.msgs + (2 * (k - 1))
   end
 
-let run ?sim cfg wl ~txns =
+let run ?sim ?clients cfg wl ~txns =
   assert (cfg.workers > 0);
   let sim =
     match sim with
@@ -59,13 +59,13 @@ let run ?sim cfg wl ~txns =
       (txns / cfg.workers) + if w < txns mod cfg.workers then 1 else 0
     in
     Sim.spawn sim (fun () ->
-        let stream = wl.Workload.new_stream w in
-        for _ = 1 to quota do
+        (* One admitted transaction: partition locks, two coordination
+           rounds, execute; true = committed. *)
+        let do_txn txn =
           Sim.tick sim cfg.costs.Costs.txn_overhead;
-          let txn = stream () in
           txn.Txn.submit_time <- Sim.now sim;
           txn.Txn.status <- Txn.Active;
-          txn.Txn.attempts <- 1;
+          txn.Txn.attempts <- txn.Txn.attempts + 1;
           let parts = txn_parts st cfg.workers txn in
           let k = List.length parts in
           (* Deterministic deadlock-free acquisition: ascending order. *)
@@ -96,8 +96,25 @@ let run ?sim cfg wl ~txns =
           | Exec.Blocked -> assert false);
           txn.Txn.finish_time <- Sim.now sim;
           Stats.Hist.add st.metrics.Metrics.lat
-            (txn.Txn.finish_time - txn.Txn.submit_time)
-        done)
+            (txn.Txn.finish_time - txn.Txn.submit_time);
+          outcome = Exec.Ok
+        in
+        match clients with
+        | None ->
+            let stream = wl.Workload.new_stream w in
+            for _ = 1 to quota do
+              ignore (do_txn (stream ()))
+            done
+        | Some c ->
+            let rec loop () =
+              match Quill_clients.Clients.take c ~node:0 with
+              | None -> ()
+              | Some e ->
+                  let ok = do_txn e.Quill_clients.Clients.txn in
+                  Quill_clients.Clients.complete c e ~ok;
+                  loop ()
+            in
+            loop ())
   done;
   let parked = Sim.run sim in
   if parked <> 0 then

@@ -20,7 +20,10 @@ val default_cfg : cfg
 
 val run :
   ?sim:Quill_sim.Sim.t ->
+  ?clients:Quill_clients.Clients.t ->
   cfg ->
   Quill_txn.Workload.t ->
   txns:int ->
   Quill_txn.Metrics.t
+(** With [?clients], workers pull from the admission queue until the
+    client layer is exhausted ([txns] ignored). *)

@@ -27,7 +27,7 @@ type cfg = {
 let default_cfg =
   { workers = 4; costs = Costs.default; backoff = 500; max_backoff = 200_000 }
 
-let run ?sim (module P : CC) cfg wl ~txns =
+let run ?sim ?clients (module P : CC) cfg wl ~txns =
   assert (cfg.workers > 0 && txns >= 0);
   let sim =
     match sim with
@@ -40,16 +40,11 @@ let run ?sim (module P : CC) cfg wl ~txns =
     let quota = (txns / cfg.workers) + if w < txns mod cfg.workers then 1 else 0 in
     Sim.spawn sim (fun () ->
         let tid = Sim.current_tid sim in
-        let stream = wl.Workload.new_stream w in
         let jitter = Rng.create ((w * 2654435761) + 17) in
-        for _ = 1 to quota do
-          let txn =
-            Pcommon.in_phase sim Sim.Ph_plan tid (fun () ->
-                Sim.tick sim cfg.costs.Costs.txn_overhead;
-                let txn = stream () in
-                txn.Txn.submit_time <- Sim.now sim;
-                txn)
-          in
+        (* One admitted transaction: attempt with internal CC backoff
+           until it commits or its own logic aborts; true = committed. *)
+        let exec_txn txn =
+          let committed = ref false in
           Pcommon.in_phase sim Sim.Ph_execute tid (fun () ->
               let rec attempt backoff =
                 txn.Txn.attempts <- txn.Txn.attempts + 1;
@@ -57,7 +52,8 @@ let run ?sim (module P : CC) cfg wl ~txns =
                 match P.run_txn state ~wid:w wl txn with
                 | Exec.Ok ->
                     txn.Txn.status <- Txn.Committed;
-                    metrics.Metrics.committed <- metrics.Metrics.committed + 1
+                    metrics.Metrics.committed <- metrics.Metrics.committed + 1;
+                    committed := true
                 | Exec.Abort ->
                     txn.Txn.status <- Txn.Aborted;
                     metrics.Metrics.logic_aborted <-
@@ -70,8 +66,39 @@ let run ?sim (module P : CC) cfg wl ~txns =
               attempt cfg.backoff);
           txn.Txn.finish_time <- Sim.now sim;
           Stats.Hist.add metrics.Metrics.lat
-            (txn.Txn.finish_time - txn.Txn.submit_time)
-        done)
+            (txn.Txn.finish_time - txn.Txn.submit_time);
+          !committed
+        in
+        match clients with
+        | None ->
+            let stream = wl.Workload.new_stream w in
+            for _ = 1 to quota do
+              let txn =
+                Pcommon.in_phase sim Sim.Ph_plan tid (fun () ->
+                    Sim.tick sim cfg.costs.Costs.txn_overhead;
+                    let txn = stream () in
+                    txn.Txn.submit_time <- Sim.now sim;
+                    txn)
+              in
+              ignore (exec_txn txn)
+            done
+        | Some c ->
+            (* Open loop: each worker pulls from the shared admission
+               queue until the client layer is exhausted; client-level
+               abort->retry goes back through the queue. *)
+            let rec loop () =
+              match Quill_clients.Clients.take c ~node:0 with
+              | None -> ()
+              | Some e ->
+                  let txn = e.Quill_clients.Clients.txn in
+                  Pcommon.in_phase sim Sim.Ph_plan tid (fun () ->
+                      Sim.tick sim cfg.costs.Costs.txn_overhead;
+                      txn.Txn.submit_time <- Sim.now sim);
+                  let ok = exec_txn txn in
+                  Quill_clients.Clients.complete c e ~ok;
+                  loop ()
+            in
+            loop ())
   done;
   let parked = Sim.run sim in
   if parked <> 0 then

@@ -30,9 +30,13 @@ val default_cfg : cfg
 
 val run :
   ?sim:Quill_sim.Sim.t ->
+  ?clients:Quill_clients.Clients.t ->
   (module CC) ->
   cfg ->
   Quill_txn.Workload.t ->
   txns:int ->
   Quill_txn.Metrics.t
-(** Run [txns] transactions split evenly across the workers. *)
+(** Run [txns] transactions split evenly across the workers.  With
+    [?clients], workers instead pull from the admission queue until the
+    client layer is exhausted ([txns] is ignored) and report outcomes
+    back for client-level retry. *)

@@ -3,6 +3,7 @@ open Quill_sim
 open Quill_storage
 open Quill_txn
 module Trace = Quill_trace.Trace
+module Clients = Quill_clients.Clients
 
 type exec_mode = Speculative | Conservative
 type isolation = Serializable | Read_committed
@@ -38,6 +39,8 @@ type rt = {
                                         or overwritten (speculative mode) *)
   mutable inserts : (int * int) list; (* (table, key) for undo *)
   mutable logic_abort : bool;
+  entry : Clients.entry option;      (* admission-queue provenance, for
+                                        client completion / retry *)
 }
 
 type qentry = { rt : rt; frag : Fragment.t }
@@ -58,7 +61,7 @@ type shared = {
 (* Transaction runtime                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let make_rt txn bidx =
+let make_rt ?entry txn bidx =
   let has_deps =
     Array.exists
       (fun f -> Array.length f.Fragment.data_deps > 0)
@@ -79,6 +82,7 @@ let make_rt txn bidx =
     deps_on = Vec.create ();
     inserts = [];
     logic_abort = false;
+    entry;
   }
 
 let fill_unfilled_slots sh rt =
@@ -127,6 +131,7 @@ let dummy_rt =
     deps_on = Vec.create ();
     inserts = [];
     logic_abort = false;
+    entry = None;
   }
 
 let mark_touched sh slot row =
@@ -340,11 +345,11 @@ let slice_bounds ~batch_size ~planners p =
   let count = base + if p < rem then 1 else 0 in
   (start, count)
 
-let plan_slice sh p stream rr =
+(* Plan the [count] transactions at [start..start+count-1] of the batch,
+   fetched one at a time via [get] (closed-loop: the workload stream;
+   client mode: the entries drained from the admission queue). *)
+let plan_txns sh p ~start ~count ~get rr =
   let costs = sh.cfg.costs in
-  let start, count = slice_bounds ~batch_size:sh.cfg.batch_size
-                       ~planners:sh.cfg.planners p
-  in
   Array.iter Vec.clear sh.queues.(p);
   (* Early (read-only, never-written-table) abortable fragments go to the
      head of their queues so abort decisions resolve before the gated
@@ -352,10 +357,10 @@ let plan_slice sh p stream rr =
   let front = Array.init sh.cfg.executors (fun _ -> Vec.create ()) in
   for j = 0 to count - 1 do
     Sim.tick sh.sim costs.Costs.txn_overhead;
-    let txn = stream () in
+    let txn, entry = get j in
     txn.Txn.submit_time <- Sim.now sh.sim;
-    txn.Txn.attempts <- 1;
-    let rt = make_rt txn (start + j) in
+    txn.Txn.attempts <- txn.Txn.attempts + 1;
+    let rt = make_rt ?entry txn (start + j) in
     sh.rts.(start + j) <- Some rt;
     let frags = plan_order txn.Txn.frags in
     Array.iter
@@ -387,6 +392,26 @@ let plan_slice sh p stream rr =
         Array.iter (fun x -> Vec.push sh.queues.(p).(e) x) main
       end)
     front
+
+let plan_slice sh p stream rr =
+  let start, count =
+    slice_bounds ~batch_size:sh.cfg.batch_size ~planners:sh.cfg.planners p
+  in
+  plan_txns sh p ~start ~count ~get:(fun _ -> (stream (), None)) rr
+
+(* Client mode: the batch is whatever [drain] returned at batch-close, so
+   its size varies; planners split it the same way they split a fixed
+   batch.  A planner whose slice is empty still clears its queues. *)
+let plan_slice_clients sh p entries rr =
+  let start, count =
+    slice_bounds ~batch_size:(Array.length entries)
+      ~planners:sh.cfg.planners p
+  in
+  plan_txns sh p ~start ~count
+    ~get:(fun j ->
+      let e = entries.(start + j) in
+      (e.Clients.txn, Some e))
+    rr
 
 (* ------------------------------------------------------------------ *)
 (* Speculative recovery: cascade closure, undo, serial re-execution     *)
@@ -576,7 +601,7 @@ let publish_slot sh slot =
     sh.touched.(slot);
   Vec.clear sh.touched.(slot)
 
-let account sh =
+let account ?clients sh =
   let now = Sim.now sh.sim in
   for b = 0 to sh.cfg.batch_size - 1 do
     match sh.rts.(b) with
@@ -589,6 +614,10 @@ let account sh =
         | Txn.Aborted -> m.Metrics.logic_aborted <- m.Metrics.logic_aborted + 1
         | Txn.Active | Txn.Pending -> assert false);
         Stats.Hist.add m.Metrics.lat (now - rt.txn.Txn.submit_time);
+        (match (clients, rt.entry) with
+        | Some c, Some e ->
+            Clients.complete c e ~ok:(rt.txn.Txn.status = Txn.Committed)
+        | _ -> ());
         sh.rts.(b) <- None
   done;
   sh.metrics.Metrics.batches <- sh.metrics.Metrics.batches + 1
@@ -621,7 +650,7 @@ let in_phase sim ph tid f =
       ~dur:(Sim.now sim - t0) ();
   Sim.set_phase sim Sim.Ph_other
 
-let run ?sim cfg wl ~batches =
+let run ?sim ?clients cfg wl ~batches =
   assert (cfg.planners > 0 && cfg.executors > 0 && cfg.batch_size > 0);
   let sim =
     match sim with
@@ -645,7 +674,19 @@ let run ?sim cfg wl ~batches =
   in
   let nthreads = max cfg.planners cfg.executors in
   let barrier = Sim.Barrier.create nthreads in
-  let streams = Array.init cfg.planners wl.Workload.new_stream in
+  let streams =
+    match clients with
+    | Some _ -> [||]
+    | None -> Array.init cfg.planners wl.Workload.new_stream
+  in
+  (* Client mode: thread 0 closes each batch by draining the admission
+     queue; the resulting (variable-size) batch is shared through
+     [pending].  [continue_] flips when the drain comes back empty —
+     every client transaction is finally resolved, so no batch can ever
+     form again.  All threads read it after the same barrier, keeping
+     barrier counts uniform. *)
+  let continue_ = ref true in
+  let pending = ref [||] in
   for t = 0 to nthreads - 1 do
     Sim.spawn sim (fun () ->
         let st = { eid = t; cur_rt = dummy_rt; cur_row = dummy_row;
@@ -665,11 +706,8 @@ let run ?sim cfg wl ~batches =
               ~value:!depth
           end
         in
-        for b = 0 to batches - 1 do
-          if t = 0 then sh.batch_no <- b;
-          if t < cfg.planners then
-            in_phase sim Sim.Ph_plan t (fun () ->
-                plan_slice sh t streams.(t) rr);
+        let run_batch plan_fn account_fn =
+          if t < cfg.planners then in_phase sim Sim.Ph_plan t plan_fn;
           Sim.Barrier.await sim barrier;
           if t < cfg.executors then begin
             queue_depth_counter ();
@@ -689,14 +727,44 @@ let run ?sim cfg wl ~batches =
                         rt.txn.Txn.status <- Txn.Committed
                     | Some _ | None -> ()
                   done;
-                account sh);
+                account_fn ());
           Sim.Barrier.await sim barrier;
           if t < cfg.executors || t = 0 then
             in_phase sim Sim.Ph_publish t (fun () ->
                 if t < cfg.executors then publish_slot sh t;
                 if t = 0 then publish_slot sh cfg.executors);
           Sim.Barrier.await sim barrier
-        done)
+        in
+        match clients with
+        | None ->
+            for b = 0 to batches - 1 do
+              if t = 0 then sh.batch_no <- b;
+              run_batch
+                (fun () -> plan_slice sh t streams.(t) rr)
+                (fun () -> account sh)
+            done
+        | Some c ->
+            (* Every thread runs the same barrier sequence per round:
+               thread 0 decides [continue_] strictly before the round
+               barrier and everyone reads it strictly after, so the
+               decision can never race a thread's loop check (a bare
+               [while !continue_] here deadlocks: late checkers exit
+               while early checkers park on the round barrier). *)
+            let rec loop () =
+              if t = 0 then begin
+                pending := Clients.drain c ~node:0 ~max:cfg.batch_size;
+                continue_ := Array.length !pending > 0;
+                if !continue_ then sh.batch_no <- sh.batch_no + 1
+              end;
+              Sim.Barrier.await sim barrier;
+              if !continue_ then begin
+                run_batch
+                  (fun () -> plan_slice_clients sh t !pending rr)
+                  (fun () -> account ~clients:c sh);
+                loop ()
+              end
+            in
+            loop ())
   done;
   let parked = Sim.run sim in
   if parked <> 0 then

@@ -44,10 +44,18 @@ val default_cfg : cfg
 
 val run :
   ?sim:Quill_sim.Sim.t ->
+  ?clients:Quill_clients.Clients.t ->
   cfg ->
   Quill_txn.Workload.t ->
   batches:int ->
   Quill_txn.Metrics.t
+(** Closed-loop by default: [batches] fixed-size batches cut from the
+    workload stream.  With [?clients], batches are formed from whatever
+    the admission queue holds at batch-close (variable sizes, capped at
+    [cfg.batch_size]) and the engine runs until the client layer is
+    exhausted; [batches] is ignored.  Commit/abort outcomes are reported
+    back through {!Quill_clients.Clients.complete}, so aborted
+    transactions return in a later batch after their backoff. *)
 
 val record_sim_breakdown : Quill_txn.Metrics.t -> Quill_sim.Sim.t -> unit
 (** Copy the simulator's per-phase busy and per-cause idle attribution

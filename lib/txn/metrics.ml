@@ -30,6 +30,14 @@ type t = {
   mutable redone : int;
   mutable msg_retries : int;
   mutable msg_dup_drops : int;
+  (* Open-loop client / admission counters; stay 0 on closed-loop runs. *)
+  mutable offered : int;
+  mutable shed : int;
+  mutable deadline_miss : int;
+  mutable client_retries : int;
+  mutable retry_exhausted : int;
+  mutable qmax : int;
+  client_lat : Stats.Hist.t;
 }
 
 let create () =
@@ -59,6 +67,13 @@ let create () =
     redone = 0;
     msg_retries = 0;
     msg_dup_drops = 0;
+    offered = 0;
+    shed = 0;
+    deadline_miss = 0;
+    client_retries = 0;
+    retry_exhausted = 0;
+    qmax = 0;
+    client_lat = Stats.Hist.create ();
   }
 
 let record_phases t ~plan ~execute ~recover ~publish ~other =
@@ -114,3 +129,22 @@ let pp_faults fmt t =
   Format.fprintf fmt
     "crashes=%d redone=%d recover_busy=%dns retries=%d dup_drops=%d" t.crashes
     t.redone t.recover_busy t.msg_retries t.msg_dup_drops
+
+let clients_active t = t.offered > 0
+
+let goodput t =
+  if t.elapsed <= 0 then 0.0
+  else float_of_int t.committed /. (float_of_int t.elapsed /. 1e9)
+
+let offered_rate t =
+  if t.elapsed <= 0 then 0.0
+  else float_of_int t.offered /. (float_of_int t.elapsed /. 1e9)
+
+let pp_clients fmt t =
+  Format.fprintf fmt
+    "offered=%d (%.0f/s) goodput=%.0f/s shed=%d dl_miss=%d retries=%d \
+     retry_exh=%d qmax=%d c-p50=%dns c-p99=%dns"
+    t.offered (offered_rate t) (goodput t) t.shed t.deadline_miss
+    t.client_retries t.retry_exhausted t.qmax
+    (Stats.Hist.percentile t.client_lat 50.0)
+    (Stats.Hist.percentile t.client_lat 99.0)

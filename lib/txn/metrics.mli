@@ -30,6 +30,14 @@ type t = {
           dist-quecc, sequencer-log transactions for dist-calvin) *)
   mutable msg_retries : int;    (** retransmissions implied by dropped messages *)
   mutable msg_dup_drops : int;  (** duplicate messages suppressed at receivers *)
+  mutable offered : int;        (** transactions offered by open-loop clients *)
+  mutable shed : int;           (** admissions dropped by the overload policy *)
+  mutable deadline_miss : int;  (** transactions dropped past their deadline *)
+  mutable client_retries : int; (** abort->retry resubmissions *)
+  mutable retry_exhausted : int;(** transactions dropped after the retry budget *)
+  mutable qmax : int;           (** peak admission-queue depth observed *)
+  client_lat : Quill_common.Stats.Hist.t;
+      (** client-observed latency: first offer -> commit, virtual ns *)
 }
 
 val create : unit -> t
@@ -60,3 +68,16 @@ val faulted : t -> bool
 
 val pp_faults : Format.formatter -> t -> unit
 (** One-line crash / redone-work / message-fault summary. *)
+
+val clients_active : t -> bool
+(** True when the run was driven by open-loop clients (offered > 0). *)
+
+val goodput : t -> float
+(** Committed transactions per virtual second (same as throughput; the
+    client tables use the offered-vs-goodput framing). *)
+
+val offered_rate : t -> float
+(** Offered transactions per virtual second. *)
+
+val pp_clients : Format.formatter -> t -> unit
+(** One-line offered/goodput/shed/deadline/retry/latency summary. *)

@@ -250,6 +250,17 @@ let test_hist_percentile_bounds () =
   Tutil.check_int "max" 1_000_000 (Stats.Hist.max_value h);
   Tutil.check_int "count" 5 (Stats.Hist.count h)
 
+let test_hist_zero_and_negative () =
+  let h = Stats.Hist.create () in
+  Stats.Hist.add h 0;
+  Tutil.check_int "zero counted" 1 (Stats.Hist.count h);
+  Tutil.check_int "p100 of {0}" 0 (Stats.Hist.percentile h 100.0);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Stats.Hist.add: negative value") (fun () ->
+      Stats.Hist.add h (-1));
+  (* the rejected value must not have perturbed the histogram *)
+  Tutil.check_int "count unchanged" 1 (Stats.Hist.count h)
+
 let test_hist_merge () =
   let a = Stats.Hist.create () and b = Stats.Hist.create () in
   Stats.Hist.add a 10;
@@ -331,6 +342,8 @@ let () =
           Alcotest.test_case "hist exact small" `Quick test_hist_exact_small;
           Alcotest.test_case "hist percentile bounds" `Quick
             test_hist_percentile_bounds;
+          Alcotest.test_case "hist zero and negative" `Quick
+            test_hist_zero_and_negative;
           Alcotest.test_case "hist merge" `Quick test_hist_merge;
           qc prop_hist_percentile_ge_median;
         ] );
