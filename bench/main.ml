@@ -127,10 +127,11 @@ let usage ?hint () =
   prerr_endline
     "usage: main.exe [table2-row1|table2-row2|table2-row3|fig-contention|\n\
     \                 fig-scalability|fig-modes|fig-latency|fig-batch|\n\
-    \                 fault-tolerance|overload|micro|all]\n\
+    \                 pipeline|fault-tolerance|overload|micro|all]\n\
     \                [scale] [--trace FILE] [--phase-table] [--faults SPEC]\n\
     \                [--arrival RATE] [--admission POLICY[:DEPTH]]\n\
-    \                [--deadline TIME] [--retries N[:BACKOFF]]";
+    \                [--deadline TIME] [--retries N[:BACKOFF]]\n\
+    \                [--json FILE  (pipeline: machine-readable results)]";
   exit 2
 
 (* Pull the option flags out of argv; what remains is positional. *)
@@ -141,6 +142,7 @@ type opts = {
   mutable admission : (Quill_clients.Clients.policy * int) option;
   mutable deadline : int option;
   mutable retries : (int * int) option;
+  mutable json : string option;
 }
 
 let parse_args () =
@@ -152,12 +154,13 @@ let parse_args () =
       admission = None;
       deadline = None;
       retries = None;
+      json = None;
     }
   in
   let positional = ref [] in
   let takes_value = function
     | "--trace" | "--faults" | "--arrival" | "--admission" | "--deadline"
-    | "--retries" ->
+    | "--retries" | "--json" ->
         true
     | _ -> false
   in
@@ -199,6 +202,7 @@ let parse_args () =
             Some
               (parsed "--retries" Quill_clients.Clients.parse_retries
                  (value "--retries" i))
+      | "--json" -> o.json <- Some (value "--json" i)
       | "--phase-table" -> H.Report.phase_tables := true
       | a when String.length a > 0 && a.[0] = '-' ->
           usage ~hint:("unknown option " ^ a) ()
@@ -235,6 +239,7 @@ let () =
   | "fig-modes" -> H.Experiments.fig_modes ~scale ()
   | "fig-latency" -> H.Experiments.fig_latency ~scale ()
   | "fig-batch" -> H.Experiments.fig_batch ~scale ()
+  | "pipeline" -> H.Experiments.pipeline ~scale ?json:o.json ()
   | "fault-tolerance" -> H.Experiments.fault_tolerance ~scale ?plan:faults ()
   | "overload" ->
       H.Experiments.overload ~scale ?arrival:o.arrival ?admission:o.admission

@@ -9,13 +9,7 @@
 open Cmdliner
 open Quill_workloads
 module E = Quill_harness.Experiment
-
-let engines =
-  [
-    "serial"; "quecc"; "quecc-cons"; "quecc-rc"; "quecc-cons-rc";
-    "2pl-nowait"; "2pl-waitdie"; "silo"; "tictoc"; "mvto"; "hstore";
-    "calvin"; "dist-quecc"; "dist-calvin";
-  ]
+module R = Quill_harness.Engine_registry
 
 module C = Quill_clients.Clients
 
@@ -66,8 +60,8 @@ let clients_cfg ~seed arrival admission deadline retries =
   end
 
 let run_cmd engine workload threads txns batch theta mp abort_ratio warehouses
-    table_size seed faults_spec arrival admission deadline retries trace_file
-    phase_table =
+    table_size seed faults_spec arrival admission deadline retries pipeline
+    steal trace_file phase_table =
   let faults =
     match faults_spec with
     | None -> Quill_faults.Faults.none
@@ -80,15 +74,18 @@ let run_cmd engine workload threads txns batch theta mp abort_ratio warehouses
   in
   match E.engine_of_string engine with
   | None ->
-      Printf.eprintf "unknown engine %s; see list-engines\n" engine;
+      Printf.eprintf "unknown engine %s; known engines: %s\n" engine
+        (String.concat ", " (R.names ()));
       exit 2
   | Some e ->
-      (match e with
-      | E.Dist_quecc _ | E.Dist_calvin _ -> ()
-      | _ when faults_spec <> None ->
-          Printf.eprintf "quill_cli: --faults requires a dist-* engine\n";
-          exit 2
-      | _ -> ());
+      let (module M : Quill_harness.Engine_intf.S) = R.resolve e in
+      if faults_spec <> None && not M.supports_faults then begin
+        Printf.eprintf
+          "quill_cli: --faults requires an engine with fault support \
+           (a dist-* engine), not %s\n"
+          M.name;
+        exit 2
+      end;
       let clients = clients_cfg ~seed arrival admission deadline retries in
       let spec =
         match workload with
@@ -120,7 +117,10 @@ let run_cmd engine workload threads txns batch theta mp abort_ratio warehouses
             Printf.eprintf "unknown workload %s (ycsb|tpcc|tpcc-full)\n" w;
             exit 2
       in
-      let exp = E.make ~threads ~txns ~batch_size:batch ~faults ?clients e spec in
+      let exp =
+        E.make ~threads ~txns ~batch_size:batch ~faults ?clients ~pipeline
+          ~steal e spec
+      in
       let tracer =
         match trace_file with
         | Some _ -> Quill_trace.Trace.create ()
@@ -155,18 +155,24 @@ let experiments_cmd only scale =
   | Some "fig-modes" -> X.fig_modes ~scale ()
   | Some "fig-latency" -> X.fig_latency ~scale ()
   | Some "fig-batch" -> X.fig_batch ~scale ()
+  | Some "pipeline" -> X.pipeline ~scale ()
   | Some "fault-tolerance" -> X.fault_tolerance ~scale ()
   | Some "overload" -> X.overload ~scale ()
   | Some other ->
       Printf.eprintf "unknown experiment %s\n" other;
       exit 2
 
-let list_engines_cmd () = List.iter print_endline engines
+let list_engines_cmd () = List.iter print_endline (R.names ())
 
 (* -- cmdliner wiring -- *)
 
 let engine_t =
-  Arg.(value & opt string "quecc" & info [ "engine"; "e" ] ~doc:"Engine name.")
+  Arg.(
+    value & opt string "quecc"
+    & info [ "engine"; "e" ]
+        ~doc:
+          (Printf.sprintf "Engine name: %s."
+             (String.concat ", " (R.names ()))))
 
 let workload_t =
   Arg.(
@@ -255,6 +261,24 @@ let retries_t =
           "Abort-retry budget per transaction with seeded exponential \
            backoff starting at BACKOFF (NUM[ns|us|ms|s], default 2us).")
 
+let pipeline_t =
+  Arg.(
+    value & flag
+    & info [ "pipeline" ]
+        ~doc:
+          "QueCC engines: overlap planning of batch N+1 with execution of \
+           batch N (committed state stays bit-identical per seed).  \
+           Ignored by engines without a planning phase.")
+
+let steal_t =
+  Arg.(
+    value & flag
+    & info [ "steal" ]
+        ~doc:
+          "QueCC: let drained executors steal whole queues whose key \
+           signatures are disjoint from every unfinished queue of the \
+           victim (deterministic outcome preserved).")
+
 let trace_t =
   Arg.(
     value
@@ -272,8 +296,8 @@ let run_term =
   Term.(
     const run_cmd $ engine_t $ workload_t $ threads_t $ txns_t $ batch_t
     $ theta_t $ mp_t $ abort_t $ warehouses_t $ table_size_t $ seed_t
-    $ faults_t $ arrival_t $ admission_t $ deadline_t $ retries_t $ trace_t
-    $ phase_table_t)
+    $ faults_t $ arrival_t $ admission_t $ deadline_t $ retries_t
+    $ pipeline_t $ steal_t $ trace_t $ phase_table_t)
 
 let only_t =
   Arg.(

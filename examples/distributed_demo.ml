@@ -27,15 +27,13 @@ let () =
       let wl1 = Ycsb.make (cfg 16) in
       let m1 =
         Dq.run
-          { Dq.nodes = 4; planners = 4; executors = 4; batch_size = 2048;
-            costs = Quill_sim.Costs.default }
+          { Dq.default_cfg with Dq.planners = 4; executors = 4 }
           wl1 ~batches:5
       in
       let wl2 = Ycsb.make (cfg 16) in
       let m2 =
         Dc.run
-          { Dc.nodes = 4; workers = 8; batch_size = 2048;
-            costs = Quill_sim.Costs.default }
+          { Dc.default_cfg with Dc.workers = 8 }
           wl2 ~batches:5
       in
       Printf.printf

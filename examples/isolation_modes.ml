@@ -33,12 +33,12 @@ let () =
           let m =
             Engine.run
               {
+                Engine.default_cfg with
                 Engine.planners = 8;
                 executors = 8;
                 batch_size = 1024;
                 mode;
                 isolation;
-                costs = Quill_sim.Costs.default;
               }
               wl ~batches:8
           in

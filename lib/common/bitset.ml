@@ -39,6 +39,14 @@ let clear t =
 
 let cardinal t = t.card
 
+let disjoint a b =
+  let n = min (Array.length a.words) (Array.length b.words) in
+  let ok = ref true in
+  for w = 0 to n - 1 do
+    if a.words.(w) land b.words.(w) <> 0 then ok := false
+  done;
+  !ok
+
 let iter f t =
   for i = 0 to t.n - 1 do
     if t.words.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0 then f i

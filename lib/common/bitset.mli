@@ -11,5 +11,8 @@ val add : t -> int -> unit
 val remove : t -> int -> unit
 val clear : t -> unit
 val cardinal : t -> int
+
+(** [disjoint a b] is true when the sets share no member. *)
+val disjoint : t -> t -> bool
 val iter : (int -> unit) -> t -> unit
 val to_list : t -> int list

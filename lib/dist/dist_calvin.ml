@@ -6,10 +6,17 @@ module Faults = Quill_faults.Faults
 module Trace = Quill_trace.Trace
 module Clients = Quill_clients.Clients
 
-type cfg = { nodes : int; workers : int; batch_size : int; costs : Costs.t }
+type cfg = {
+  nodes : int;
+  workers : int;
+  batch_size : int;
+  costs : Costs.t;
+  pipeline : bool;
+}
 
 let default_cfg =
-  { nodes = 4; workers = 4; batch_size = 2048; costs = Costs.default }
+  { nodes = 4; workers = 4; batch_size = 2048; costs = Costs.default;
+    pipeline = false }
 
 (* Shared (cross-node) transaction runtime, built by the sequencer. *)
 type xrt = {
@@ -151,8 +158,8 @@ let sequencer_thread sh node stream epochs =
     txn.Txn.attempts <- txn.Txn.attempts + 1;
     make_xrt ?centry sh txn
   in
-  (* Sequence one epoch's slice and broadcast it; returns the epoch
-     commit's stop decision. *)
+  (* Sequence one epoch's slice and broadcast it (no commit await —
+     the caller decides how far ahead to run). *)
   let seq_epoch e rts =
     let bytes =
       40 * Array.fold_left
@@ -164,20 +171,41 @@ let sequencer_thread sh node stream epochs =
       if dst = node then Sim.Ivar.fill sh.sim (get_slice sh e node node) rts
       else Net.send sh.net ~src:node ~dst ~bytes (Slice { epoch = e; src = node; rts })
     done;
-    Sim.set_phase sh.sim Sim.Ph_other;
-    Sim.Ivar.read sh.sim (get_commit sh e node)
+    Sim.set_phase sh.sim Sim.Ph_other
   in
+  let await_commit e = Sim.Ivar.read sh.sim (get_commit sh e node) in
   match sh.clients with
   | None ->
-      for e = 0 to epochs - 1 do
-        Sim.set_phase sh.sim Sim.Ph_plan;
-        ignore (seq_epoch e (Array.init count (fun _ -> seq_txn (stream ()))))
-      done
+      if sh.cfg.pipeline then
+        (* Lag-1 pipelining: sequence epoch [e] once epoch [e-2] has
+           committed, so sequencing (and the slice broadcast) of the
+           next epoch overlaps scheduling and execution of the current
+           one.  All cross-epoch state is epoch-keyed (slices,
+           epoch_rts, commits), so no double-buffering is needed — the
+           lag only bounds how many epochs are in flight. *)
+        for e = 0 to epochs - 1 do
+          if e >= 2 then begin
+            let t0 = Sim.now sh.sim in
+            ignore (await_commit (e - 2));
+            sh.metrics.Metrics.pipe_drain_stall <-
+              sh.metrics.Metrics.pipe_drain_stall + (Sim.now sh.sim - t0)
+          end;
+          Sim.set_phase sh.sim Sim.Ph_plan;
+          seq_epoch e (Array.init count (fun _ -> seq_txn (stream ())))
+        done
+      else
+        for e = 0 to epochs - 1 do
+          Sim.set_phase sh.sim Sim.Ph_plan;
+          seq_epoch e (Array.init count (fun _ -> seq_txn (stream ())));
+          ignore (await_commit e)
+        done
   | Some c ->
       (* Client mode: each node's sequencer closes the epoch against its
          local admission queue (up to the node's epoch share), blocking
          until an arrival or local exhaustion — an empty slice once the
-         node's clients are done. *)
+         node's clients are done.  Stays sequential under [pipeline]:
+         epoch contents depend on the previous epoch's completions, and
+         the stop decision rides on its commit. *)
       let rec loop e =
         Sim.set_phase sh.sim Sim.Ph_plan;
         let entries = Clients.drain c ~node ~max:count in
@@ -186,7 +214,8 @@ let sequencer_thread sh node stream epochs =
             (fun (en : Clients.entry) -> seq_txn ~centry:en en.Clients.txn)
             entries
         in
-        if not (seq_epoch e rts) then loop (e + 1)
+        seq_epoch e rts;
+        if not (await_commit e) then loop (e + 1)
       in
       loop 0
 
@@ -401,7 +430,13 @@ let scheduler_thread sh node epochs =
     Sim.set_phase sh.sim Sim.Ph_plan;
     let count = ref 0 in
     for src = 0 to sh.cfg.nodes - 1 do
+      let t0 = Sim.now sh.sim in
       let rts = Sim.Ivar.read sh.sim (get_slice sh e src node) in
+      (* In a pipelined run, waiting on a slice means the pipeline ran
+         dry (sequencing/shipping slower than execution). *)
+      if sh.cfg.pipeline then
+        sh.metrics.Metrics.pipe_fill_stall <-
+          sh.metrics.Metrics.pipe_fill_stall + (Sim.now sh.sim - t0);
       Array.iter
         (fun rt ->
           if List.mem node rt.participants then begin

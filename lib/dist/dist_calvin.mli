@@ -24,9 +24,15 @@ type cfg = {
   workers : int;         (** execution threads per node *)
   batch_size : int;      (** global transactions per epoch *)
   costs : Quill_sim.Costs.t;
+  pipeline : bool;
+      (** sequence epoch [N+1] while epoch [N] executes (lag-1: epoch
+          [N] is sequenced once [N-2] committed).  All cross-epoch state
+          is epoch-keyed, so the committed state per seed is identical
+          to the sequential schedule.  Ignored in client mode. *)
 }
 
 val default_cfg : cfg
+(** 4 nodes, 4 workers per node, epoch 2048, [pipeline] off. *)
 
 val run :
   ?sim:Quill_sim.Sim.t ->

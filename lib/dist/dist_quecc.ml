@@ -12,11 +12,12 @@ type cfg = {
   executors : int;
   batch_size : int;
   costs : Costs.t;
+  pipeline : bool;
 }
 
 let default_cfg =
   { nodes = 4; planners = 2; executors = 2; batch_size = 2048;
-    costs = Costs.default }
+    costs = Costs.default; pipeline = false }
 
 (* Distributed per-batch transaction runtime. *)
 type drt = {
@@ -60,7 +61,12 @@ type shared = {
       (* (batch, prio, executor gid) -> queue *)
   commits : (int * int, bool Sim.Ivar.iv) Hashtbl.t;
       (* (batch, node) -> commit signal carrying the stop decision *)
-  rts : drt option array;                  (* global batch slots *)
+  rts : drt option array array;            (* [batch parity].[slot] *)
+      (* Two buffers of global batch slots: with [pipeline], planners
+         fill batch [b+1]'s slots while the demux still owns batch
+         [b]'s for accounting; the parity index keeps them apart.
+         Planning of [b] is gated on the commit of [b-2], so at most
+         two batches of runtimes are ever live. *)
   touched : Row.t Vec.t array;             (* per executor gid *)
   crash_plan : Faults.crash array array;   (* per node, sorted by time *)
   metrics : Metrics.t;
@@ -192,26 +198,28 @@ let node_slot_range sh node =
 let planner_thread sh node p stream batches =
   let costs = sh.cfg.costs in
   let gid = (node * sh.cfg.planners) + p in
-  (* Staging area: queues destined for every executor gid. *)
-  let out = Array.init (e_global sh) (fun _ -> Vec.create ()) in
-  let plan_txn start j txn centry =
+  let plan_txn out parity start j txn centry =
     Sim.tick sh.sim costs.Costs.txn_overhead;
     txn.Txn.submit_time <- Sim.now sh.sim;
     txn.Txn.attempts <- txn.Txn.attempts + 1;
     let rt = make_drt ?centry sh txn (start + j) in
-    sh.rts.(start + j) <- Some rt;
+    sh.rts.(parity).(start + j) <- Some rt;
     Array.iter
       (fun (f : Fragment.t) ->
         Sim.tick sh.sim costs.Costs.plan_fragment;
         Vec.push out.(frag_part sh f) { rt; frag = f; voted = false })
       (plan_order txn.Txn.frags)
   in
-  (* Plan one batch via [fill], deliver the queues, and wait for the
-     global batch commit; returns the commit's stop decision. *)
-  let run_batch b fill =
+  (* Plan one batch via [fill] and deliver the queues.  The staging
+     array (queues destined for every executor gid) is allocated fresh
+     per batch: local executors receive their queues by reference and
+     keep them as the crash-replay log until the batch commits, so a
+     pipelined planner must not reuse (or clear) a previous batch's
+     vectors. *)
+  let plan_batch b fill =
     Sim.set_phase sh.sim Sim.Ph_plan;
-    Array.iter Vec.clear out;
-    fill ();
+    let out = Array.init (e_global sh) (fun _ -> Vec.create ()) in
+    fill out (b land 1);
     (* Deliver queues: local ones directly, remote ones as one shipped
        message per destination node (the Q-Store batching). *)
     for dst = 0 to sh.cfg.nodes - 1 do
@@ -235,19 +243,38 @@ let planner_thread sh node p stream batches =
           (Ship { batch = b; prio = gid; qs })
       end
     done;
-    Sim.set_phase sh.sim Sim.Ph_other;
-    Sim.Ivar.read sh.sim (get_commit sh b node)
+    Sim.set_phase sh.sim Sim.Ph_other
   in
+  let await_commit b = Sim.Ivar.read sh.sim (get_commit sh b node) in
   match sh.clients with
   | None ->
       let start, count = slice_bounds sh gid in
-      for b = 0 to batches - 1 do
-        ignore
-          (run_batch b (fun () ->
-               for j = 0 to count - 1 do
-                 plan_txn start j (stream ()) None
-               done))
-      done
+      let fill out parity =
+        for j = 0 to count - 1 do
+          plan_txn out parity start j (stream ()) None
+        done
+      in
+      if sh.cfg.pipeline then
+        (* Lag-1 pipelining: plan batch [b] as soon as batch [b-2]
+           committed, overlapping planning of [b] with execution of
+           [b-1].  Exactly two batches of runtimes are live at once —
+           what the parity-indexed [rts] buffers hold.  The time spent
+           blocked on that lagged commit is the pipeline backing up
+           (execution slower than planning). *)
+        for b = 0 to batches - 1 do
+          if b >= 2 then begin
+            let t0 = Sim.now sh.sim in
+            ignore (await_commit (b - 2));
+            sh.metrics.Metrics.pipe_drain_stall <-
+              sh.metrics.Metrics.pipe_drain_stall + (Sim.now sh.sim - t0)
+          end;
+          plan_batch b fill
+        done
+      else
+        for b = 0 to batches - 1 do
+          plan_batch b fill;
+          ignore (await_commit b)
+        done
   | Some c ->
       (* Client mode: exactly one planner per node (p = 0) closes each
          batch against the admission queue, owning the node's whole slot
@@ -255,18 +282,21 @@ let planner_thread sh node p stream batches =
          on its unshipped queue ivars, so completions — the only thing
          that can exhaust the client layer — could never happen.  The
          other planners ship empty queues to keep the priority structure
-         (and message counts) intact. *)
+         (and message counts) intact.
+
+         The loop stays sequential even with [pipeline] set: a batch can
+         only close against arrivals admitted after the previous batch's
+         completions ran, and the stop decision rides on that batch's
+         commit — planning ahead would change admission order. *)
       let start, capacity = node_slot_range sh node in
       let rec loop b =
-        let stop =
-          run_batch b (fun () ->
-              if p = 0 then
-                Array.iteri
-                  (fun j (e : Clients.entry) ->
-                    plan_txn start j e.Clients.txn (Some e))
-                  (Clients.drain c ~node ~max:capacity))
-        in
-        if not stop then loop (b + 1)
+        plan_batch b (fun out parity ->
+            if p = 0 then
+              Array.iteri
+                (fun j (e : Clients.entry) ->
+                  plan_txn out parity start j e.Clients.txn (Some e))
+                (Clients.drain c ~node ~max:capacity));
+        if not (await_commit b) then loop (b + 1)
       in
       loop 0
 
@@ -447,7 +477,13 @@ let executor_thread sh node e batches =
     Array.fill done_ 0 nprio 0;
     for prio = 0 to nprio - 1 do
       check_crash ();
+      let t0 = Sim.now sh.sim in
       let q = Sim.Ivar.read sh.sim (get_reg sh b prio egid) in
+      (* In a pipelined run, waiting on a queue ivar means the pipeline
+         ran dry (planning/shipping slower than execution). *)
+      if sh.cfg.pipeline then
+        sh.metrics.Metrics.pipe_fill_stall <-
+          sh.metrics.Metrics.pipe_fill_stall + (Sim.now sh.sim - t0);
       qs.(prio) <- Some q;
       for i = 0 to Vec.length q - 1 do
         check_crash ();
@@ -482,8 +518,9 @@ let executor_thread sh node e batches =
 (* Demultiplexer (per node): network thread                            *)
 (* ------------------------------------------------------------------ *)
 
-let account sh =
+let account sh ~parity =
   let now = Sim.now sh.sim in
+  let rts = sh.rts.(parity) in
   Array.iteri
     (fun i slot ->
       match slot with
@@ -504,8 +541,8 @@ let account sh =
           | Some c, Some ce ->
               Clients.complete c ce ~ok:(rt.txn.Txn.status = Txn.Committed)
           | _ -> ());
-          sh.rts.(i) <- None)
-    sh.rts;
+          rts.(i) <- None)
+    rts;
   sh.metrics.Metrics.batches <- sh.metrics.Metrics.batches + 1
 
 let demux_thread sh node =
@@ -531,8 +568,8 @@ let demux_thread sh node =
         sh.done_count <- sh.done_count + 1;
         if sh.done_count = sh.cfg.nodes then begin
           sh.done_count <- 0;
-          account sh;
           let b = sh.batches_done in
+          account sh ~parity:(b land 1);
           sh.batches_done <- b + 1;
           (* The stop decision is made here, after accounting, where it
              is monotone-stable: client exhaustion means every offered
@@ -586,7 +623,7 @@ let run ?sim ?(faults = Faults.none) ?clients cfg wl ~batches =
       net = Net.create ?faults:frt sim cfg.costs ~nodes:cfg.nodes;
       reg = Hashtbl.create 1024;
       commits = Hashtbl.create 64;
-      rts = Array.make cfg.batch_size None;
+      rts = Array.init 2 (fun _ -> Array.make cfg.batch_size None);
       touched =
         Array.init (cfg.nodes * cfg.executors) (fun _ -> Vec.create ());
       crash_plan =

@@ -27,9 +27,19 @@ type cfg = {
   executors : int;       (** per node *)
   batch_size : int;      (** global, per batch *)
   costs : Quill_sim.Costs.t;
+  pipeline : bool;
+      (** overlap planning of batch [N+1] with execution of batch [N]
+          (lag-1: planning of [N] is gated on the commit of [N-2], so at
+          most two batches are in flight).  Planning touches no rows and
+          batch runtimes are double-buffered by batch parity, so the
+          committed state per seed is identical to the sequential
+          schedule.  Ignored in client mode, where a batch can only
+          close against the previous batch's completions. *)
 }
 
 val default_cfg : cfg
+(** 4 nodes, 2 planners and 2 executors per node, batch 2048,
+    [pipeline] off. *)
 
 val run :
   ?sim:Quill_sim.Sim.t ->

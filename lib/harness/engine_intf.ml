@@ -1,0 +1,41 @@
+(* First-class-module engine API: every engine family exposes the same
+   [run] shape plus capability flags, so the harness, the CLI and the
+   bench dispatch generically instead of growing per-engine match arms
+   (see Engine_registry). *)
+
+type run_cfg = {
+  threads : int;
+  txns : int;
+  batches : int;
+  batch_size : int;
+  costs : Quill_sim.Costs.t;
+  pipeline : bool;
+  steal : bool;
+}
+
+module type S = sig
+  val name : string
+  (* Canonical registry name ([engine_name] of the resolved engine). *)
+
+  val supports_faults : bool
+  val supports_clients : bool
+  val supports_dist : bool
+
+  val nodes : int
+  (* Cluster size (1 for centralized engines); sizes the client layer's
+     per-node admission queues. *)
+
+  val nparts : run_cfg -> int option
+  (* Partition count the workload must be rebuilt with when the engine
+     pins it to the cluster shape; None = run on the workload as given. *)
+
+  val run :
+    ?sim:Quill_sim.Sim.t ->
+    ?clients:Quill_clients.Clients.t ->
+    ?faults:Quill_faults.Faults.spec ->
+    cfg:run_cfg ->
+    Quill_txn.Workload.t ->
+    Quill_txn.Metrics.t
+end
+
+type t = (module S)

@@ -1,0 +1,50 @@
+(** First-class-module engine API.
+
+    Every engine family adapts its native [run] to this shape and
+    registers with {!Engine_registry}; the harness ({!Experiment.run}),
+    the CLI and the bench driver dispatch through the registry instead
+    of per-engine [match] arms. *)
+
+type run_cfg = {
+  threads : int;       (** virtual cores (per node for distributed) *)
+  txns : int;          (** effective transaction count (whole batches) *)
+  batches : int;       (** [txns / batch_size] *)
+  batch_size : int;
+  costs : Quill_sim.Costs.t;
+  pipeline : bool;     (** overlap planning and execution (QueCC family) *)
+  steal : bool;        (** executor work stealing (QueCC family) *)
+}
+
+module type S = sig
+  val name : string
+  (** Canonical registry name. *)
+
+  val supports_faults : bool
+  (** Accepts an active fault plan ([?faults]). *)
+
+  val supports_clients : bool
+  (** Accepts the open-loop client layer ([?clients]). *)
+
+  val supports_dist : bool
+  (** A multi-node engine ([nodes] > 1 possible). *)
+
+  val nodes : int
+  (** Cluster size (1 for centralized engines); sizes the client
+      layer's per-node admission queues. *)
+
+  val nparts : run_cfg -> int option
+  (** Partition count the workload must be rebuilt with when the engine
+      pins it to the cluster shape; [None] runs the workload as given. *)
+
+  val run :
+    ?sim:Quill_sim.Sim.t ->
+    ?clients:Quill_clients.Clients.t ->
+    ?faults:Quill_faults.Faults.spec ->
+    cfg:run_cfg ->
+    Quill_txn.Workload.t ->
+    Quill_txn.Metrics.t
+  (** Callers must check the capability flags first: an engine ignores
+      [?clients] / [?faults] it does not support. *)
+end
+
+type t = (module S)

@@ -1,14 +1,15 @@
 open Quill_sim
 open Quill_workloads
-module Qe = Quill_quecc.Engine
 module Trace = Quill_trace.Trace
 module Metrics = Quill_txn.Metrics
 module Faults = Quill_faults.Faults
 module Clients = Quill_clients.Clients
 
-type engine =
+(* The engine variant and its name maps live in Engine_registry; the
+   historical API is re-exported here for callers. *)
+type engine = Engine_registry.engine =
   | Serial
-  | Quecc of Qe.exec_mode * Qe.isolation
+  | Quecc of Quill_quecc.Engine.exec_mode * Quill_quecc.Engine.isolation
   | Twopl_nowait
   | Twopl_waitdie
   | Silo
@@ -19,64 +20,9 @@ type engine =
   | Dist_quecc of int
   | Dist_calvin of int
 
-let engine_name = function
-  | Serial -> "serial"
-  | Quecc (Qe.Speculative, Qe.Serializable) -> "quecc"
-  | Quecc (Qe.Conservative, Qe.Serializable) -> "quecc-cons"
-  | Quecc (Qe.Speculative, Qe.Read_committed) -> "quecc-rc"
-  | Quecc (Qe.Conservative, Qe.Read_committed) -> "quecc-cons-rc"
-  | Twopl_nowait -> "2pl-nowait"
-  | Twopl_waitdie -> "2pl-waitdie"
-  | Silo -> "silo"
-  | Tictoc -> "tictoc"
-  | Mvto -> "mvto"
-  | Hstore -> "hstore"
-  | Calvin -> "calvin"
-  | Dist_quecc n -> Printf.sprintf "dist-quecc-%dn" n
-  | Dist_calvin n -> Printf.sprintf "dist-calvin-%dn" n
-
-(* "dist-quecc-8n" -> Some 8: the node-count suffix [engine_name] prints
-   for distributed engines, accepted back on parse for round-tripping. *)
-let nodes_suffix ~prefix s =
-  let lp = String.length prefix and ls = String.length s in
-  if ls > lp && String.sub s 0 lp = prefix && s.[ls - 1] = 'n' then
-    int_of_string_opt (String.sub s lp (ls - lp - 1))
-  else None
-
-let engine_of_string = function
-  | "serial" -> Some Serial
-  | "quecc" -> Some (Quecc (Qe.Speculative, Qe.Serializable))
-  | "quecc-cons" -> Some (Quecc (Qe.Conservative, Qe.Serializable))
-  | "quecc-rc" -> Some (Quecc (Qe.Speculative, Qe.Read_committed))
-  | "quecc-cons-rc" -> Some (Quecc (Qe.Conservative, Qe.Read_committed))
-  | "2pl-nowait" -> Some Twopl_nowait
-  | "2pl-waitdie" -> Some Twopl_waitdie
-  | "silo" -> Some Silo
-  | "tictoc" -> Some Tictoc
-  | "mvto" -> Some Mvto
-  | "hstore" -> Some Hstore
-  | "calvin" -> Some Calvin
-  | "dist-quecc" -> Some (Dist_quecc 4)
-  | "dist-calvin" -> Some (Dist_calvin 4)
-  | s -> (
-      match nodes_suffix ~prefix:"dist-quecc-" s with
-      | Some n when n > 0 -> Some (Dist_quecc n)
-      | Some _ | None -> (
-          match nodes_suffix ~prefix:"dist-calvin-" s with
-          | Some n when n > 0 -> Some (Dist_calvin n)
-          | Some _ | None -> None))
-
-let all_centralized =
-  [
-    Quecc (Qe.Speculative, Qe.Serializable);
-    Twopl_nowait;
-    Twopl_waitdie;
-    Silo;
-    Tictoc;
-    Mvto;
-    Hstore;
-    Calvin;
-  ]
+let engine_name = Engine_registry.engine_name
+let engine_of_string = Engine_registry.engine_of_string
+let all_centralized = Engine_registry.all_centralized
 
 type workload_spec = Ycsb of Ycsb.cfg | Tpcc of Tpcc.cfg
 
@@ -90,20 +36,35 @@ type t = {
   costs : Costs.t;
   faults : Faults.spec;
   clients : Clients.cfg option;
+  pipeline : bool;
+  steal : bool;
 }
 
 let make ?name ?(threads = 8) ?(txns = 20_000) ?(batch_size = 1024)
-    ?(costs = Costs.default) ?(faults = Faults.none) ?clients engine workload =
+    ?(costs = Costs.default) ?(faults = Faults.none) ?clients
+    ?(pipeline = false) ?(steal = false) engine workload =
   let name =
     match name with Some n -> n | None -> engine_name engine
   in
-  { name; engine; workload; threads; txns; batch_size; costs; faults; clients }
+  {
+    name;
+    engine;
+    workload;
+    threads;
+    txns;
+    batch_size;
+    costs;
+    faults;
+    clients;
+    pipeline;
+    steal;
+  }
 
 let build_workload = function
   | Ycsb cfg -> Quill_workloads.Ycsb.make cfg
   | Tpcc cfg -> Quill_workloads.Tpcc.make cfg
 
-(* Distributed engines need nparts = nodes * executors; rebuild the
+(* Distributed engines need nparts tied to the cluster shape; rebuild the
    workload spec with the right partitioning. *)
 let respec_parts spec nparts =
   match spec with
@@ -123,30 +84,37 @@ let run ?(tracer = Trace.null) t =
   Trace.begin_process tracer t.name;
   let batches = batches t in
   let txns = batches * t.batch_size in
-  (match t.engine with
-  | Dist_quecc _ | Dist_calvin _ -> ()
-  | _ ->
-      if Faults.active t.faults then
-        invalid_arg
-          (Printf.sprintf
-             "Experiment.run: fault plans only apply to the distributed \
-              engines, not %s"
-             (engine_name t.engine)));
-  (match (t.engine, t.clients) with
-  | Serial, Some _ ->
-      invalid_arg
-        "Experiment.run: the serial baseline does not take an open-loop \
-         client layer"
-  | _ -> ());
-  (* The distributed engines need nparts tied to the cluster shape;
-     everything shares one workload instance so the open-loop client
-     generators draw from the same streams the engine would. *)
-  let spec, nodes =
-    match t.engine with
-    | Dist_quecc nodes ->
-        (respec_parts t.workload (nodes * max 1 (t.threads / 2)), nodes)
-    | Dist_calvin nodes -> (respec_parts t.workload (nodes * 4), nodes)
-    | _ -> (t.workload, 1)
+  let (module M : Engine_intf.S) = Engine_registry.resolve t.engine in
+  if Faults.active t.faults && not M.supports_faults then
+    invalid_arg
+      (Printf.sprintf
+         "Experiment.run: fault plans only apply to the distributed \
+          engines, not %s"
+         M.name);
+  if t.clients <> None && not M.supports_clients then
+    invalid_arg
+      (Printf.sprintf
+         "Experiment.run: the %s baseline does not take an open-loop \
+          client layer"
+         M.name);
+  let rcfg =
+    {
+      Engine_intf.threads = t.threads;
+      txns;
+      batches;
+      batch_size = t.batch_size;
+      costs = t.costs;
+      pipeline = t.pipeline;
+      steal = t.steal;
+    }
+  in
+  (* Engines that pin nparts to the cluster shape get the workload
+     rebuilt; everything shares one workload instance so the open-loop
+     client generators draw from the same streams the engine would. *)
+  let spec =
+    match M.nparts rcfg with
+    | Some nparts -> respec_parts t.workload nparts
+    | None -> t.workload
   in
   let wl = build_workload spec in
   let sim = Sim.create ~wake_cost:t.costs.Costs.wakeup ~tracer () in
@@ -155,72 +123,12 @@ let run ?(tracer = Trace.null) t =
      that --txns means the same thing open- and closed-loop. *)
   let clients =
     Option.map
-      (fun ccfg -> Clients.create ~sim ~nodes wl { ccfg with Clients.total = txns })
+      (fun ccfg ->
+        Clients.create ~sim ~nodes:M.nodes wl
+          { ccfg with Clients.total = txns })
       t.clients
   in
-  let m =
-    match t.engine with
-    | Serial -> Quill_protocols.Serial.run ~sim ~costs:t.costs wl ~txns
-    | Quecc (mode, isolation) ->
-        let cfg =
-          {
-            Qe.planners = t.threads;
-            executors = t.threads;
-            batch_size = t.batch_size;
-            mode;
-            isolation;
-            costs = t.costs;
-          }
-        in
-        Qe.run ~sim ?clients cfg wl ~batches
-    | Twopl_nowait | Twopl_waitdie | Silo | Tictoc | Mvto ->
-        let cfg =
-          { Quill_protocols.Nd_driver.default_cfg with
-            Quill_protocols.Nd_driver.workers = t.threads; costs = t.costs }
-        in
-        let m : (module Quill_protocols.Nd_driver.CC) =
-          match t.engine with
-          | Twopl_nowait -> (module Quill_protocols.Twopl.No_wait_cc)
-          | Twopl_waitdie -> (module Quill_protocols.Twopl.Wait_die_cc)
-          | Silo -> (module Quill_protocols.Silo)
-          | Tictoc -> (module Quill_protocols.Tictoc)
-          | Mvto -> (module Quill_protocols.Mvto)
-          | _ -> assert false
-        in
-        Quill_protocols.Nd_driver.run ~sim ?clients m cfg wl ~txns
-    | Hstore ->
-        Quill_protocols.Hstore.run ~sim ?clients
-          { Quill_protocols.Hstore.workers = t.threads; costs = t.costs }
-          wl ~txns
-    | Calvin ->
-        Quill_protocols.Calvin.run ~sim ?clients
-          {
-            Quill_protocols.Calvin.workers = max 1 (t.threads - 1);
-            batch_size = t.batch_size;
-            costs = t.costs;
-          }
-          wl ~txns
-    | Dist_quecc nodes ->
-        let per_role = max 1 (t.threads / 2) in
-        Quill_dist.Dist_quecc.run ~sim ~faults:t.faults ?clients
-          {
-            Quill_dist.Dist_quecc.nodes;
-            planners = per_role;
-            executors = per_role;
-            batch_size = t.batch_size;
-            costs = t.costs;
-          }
-          wl ~batches
-    | Dist_calvin nodes ->
-        Quill_dist.Dist_calvin.run ~sim ~faults:t.faults ?clients
-          {
-            Quill_dist.Dist_calvin.nodes;
-            workers = t.threads;
-            batch_size = t.batch_size;
-            costs = t.costs;
-          }
-          wl ~batches
-  in
+  let m = M.run ~sim ?clients ~faults:t.faults ~cfg:rcfg wl in
   Option.iter (fun c -> Clients.record c m) clients;
   m.Metrics.effective_txns <- txns;
   m

@@ -1,8 +1,11 @@
 (** One-stop experiment runner: pick an engine, a workload and a scale,
     get metrics.  Used by the CLI, the examples and the benchmark
-    harness so that every consumer measures the same way. *)
+    harness so that every consumer measures the same way.
 
-type engine =
+    Engine naming and dispatch live in {!Engine_registry}; the aliases
+    here are re-exports. *)
+
+type engine = Engine_registry.engine =
   | Serial
   | Quecc of Quill_quecc.Engine.exec_mode * Quill_quecc.Engine.isolation
   | Twopl_nowait
@@ -34,16 +37,24 @@ type t = {
   costs : Quill_sim.Costs.t;
   faults : Quill_faults.Faults.spec;
       (** deterministic fault plan; {!Quill_faults.Faults.none} (the
-          default) runs fault-free.  Only the distributed engines accept
-          an active plan — {!run} raises [Invalid_argument] otherwise. *)
+          default) runs fault-free.  Only engines whose registry module
+          has [supports_faults] accept an active plan — {!run} raises
+          [Invalid_argument] otherwise. *)
   clients : Quill_clients.Clients.cfg option;
       (** open-loop client layer: when set, seeded arrival generators
           feed a bounded admission queue that the engine drains, instead
           of the engine pulling from the workload closed-loop.  The
           cfg's [total] is overridden with the experiment's batch-rounded
           [txns] so [--txns] means the same thing in both modes.  Every
-          engine except [Serial] accepts it — {!run} raises
-          [Invalid_argument] for [Serial]. *)
+          engine with [supports_clients] accepts it — {!run} raises
+          [Invalid_argument] otherwise (the serial baseline). *)
+  pipeline : bool;
+      (** QueCC: overlap planning of batch [N+1] with execution of
+          batch [N] (see {!Quill_quecc.Engine.cfg}); ignored by engines
+          without a planning phase. *)
+  steal : bool;
+      (** QueCC: executor work stealing on queue imbalance; implies
+          nothing without [pipeline] but composes with either path. *)
 }
 
 val make :
@@ -54,6 +65,8 @@ val make :
   ?costs:Quill_sim.Costs.t ->
   ?faults:Quill_faults.Faults.spec ->
   ?clients:Quill_clients.Clients.cfg ->
+  ?pipeline:bool ->
+  ?steal:bool ->
   engine ->
   workload_spec ->
   t

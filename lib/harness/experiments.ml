@@ -260,6 +260,106 @@ let fig_batch ?(scale = 1.0) () =
       "Batch-size sensitivity: larger batches amortize planning but pay        latency (YCSB theta=0.9, 8 cores)"
     rows
 
+(* Pipelined batch execution: the PR's headline experiment.  Each theta
+   runs QueCC with the pipeline off, on, and on-with-stealing on the
+   same workload spec, so the off row is the oracle both for state
+   (bit-identical per seed, covered by the test suite) and for the
+   speedup the sweep table shows.  The distributed engines get the
+   lag-1 variant at low contention.  [json] additionally dumps every
+   row as machine-readable JSON — the CI perf-trajectory artifact. *)
+let pipeline ?(scale = 1.0) ?json () =
+  let module M = Quill_txn.Metrics in
+  let txns = scaled scale 16_384 ~min_v:4096 in
+  let size = scaled scale 200_000 ~min_v:20_000 in
+  let results = ref [] in
+  let row engine label ~theta ~pipeline ~steal ~threads ~batch_size spec =
+    let e = E.make ~threads ~txns ~batch_size ~pipeline ~steal engine spec in
+    let m = E.run ~tracer:!tracer e in
+    results := (E.engine_name engine, theta, pipeline, steal, m) :: !results;
+    { Report.label; metrics = m }
+  in
+  let series =
+    List.map
+      (fun theta ->
+        let spec =
+          E.Ycsb
+            { Ycsb.default with Ycsb.table_size = size; nparts = 8; theta }
+        in
+        let quecc = E.Quecc (Qe.Speculative, Qe.Serializable) in
+        let r = row quecc ~theta ~threads:8 ~batch_size:1024 in
+        let rows =
+          [
+            r "quecc" ~pipeline:false ~steal:false spec;
+            r "quecc+pipe" ~pipeline:true ~steal:false spec;
+            r "quecc+pipe+steal" ~pipeline:true ~steal:true spec;
+          ]
+        in
+        (Printf.sprintf "theta=%.2f" theta, rows))
+      [ 0.0; 0.6; 0.9 ]
+  in
+  Report.print_sweep
+    ~title:
+      "Pipelined batches: planning of batch N+1 overlapped with execution \
+       of batch N (YCSB, 8 cores, committed state identical per seed)"
+    ~param:"contention" series;
+  let dspec =
+    E.Ycsb
+      {
+        Ycsb.default with
+        Ycsb.table_size = size;
+        nparts = 16;
+        theta = 0.0;
+        mp_ratio = 0.2;
+        parts_per_txn = 2;
+      }
+  in
+  let drows =
+    let r = row ~theta:0.0 ~steal:false ~threads:8 ~batch_size:2048 in
+    [
+      r (E.Dist_quecc 4) "dist-quecc" ~pipeline:false dspec;
+      r (E.Dist_quecc 4) "dist-quecc+pipe" ~pipeline:true dspec;
+      r (E.Dist_calvin 4) "dist-calvin" ~pipeline:false dspec;
+      r (E.Dist_calvin 4) "dist-calvin+pipe" ~pipeline:true dspec;
+    ]
+  in
+  Report.print_table
+    ~title:
+      "Distributed lag-1 pipelining: plan/sequence batch N+1 during batch \
+       N (YCSB theta=0, 20% multi-node, 4 nodes)"
+    drows;
+  match json with
+  | None -> ()
+  | Some path ->
+      (* OCaml evaluates list elements right-to-left, so [results]
+         accumulates in a surprising order; sort on the identifying
+         fields for a stable artifact. *)
+      let rows =
+        List.sort
+          (fun (n1, t1, p1, s1, _) (n2, t2, p2, s2, _) ->
+            compare (n1, t1, p1, s1) (n2, t2, p2, s2))
+          !results
+      in
+      let n = List.length rows in
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\n  \"experiment\": \"pipeline\",\n  \"scale\": %g,\n  \"rows\": [\n"
+        scale;
+      List.iteri
+        (fun i (name, theta, pipe, steal, m) ->
+          Printf.fprintf oc
+            "    {\"engine\": %S, \"theta\": %g, \"pipeline\": %b, \
+             \"steal\": %b, \"tput\": %.1f, \"committed\": %d, \
+             \"fill_stall\": %d, \"drain_stall\": %d, \
+             \"stolen_queues\": %d}%s\n"
+            name theta pipe steal (M.throughput m) m.M.committed
+            m.M.pipe_fill_stall m.M.pipe_drain_stall m.M.stolen_queues
+            (if i = n - 1 then "" else ",");
+          )
+        rows;
+      Printf.fprintf oc "  ]\n}\n";
+      close_out oc;
+      Printf.printf "pipeline: wrote %s\n" path
+
 (* One crash mid-run on node 1 plus 1% drop and 1% duplication: the
    EXPERIMENTS.md robustness headline.  The crash time is tuned to land
    inside the execution window of BOTH engines even at the minimum
@@ -425,5 +525,6 @@ let all ?(scale = 1.0) () =
   fig_modes ~scale ();
   fig_latency ~scale ();
   fig_batch ~scale ();
+  pipeline ~scale ();
   fault_tolerance ~scale ();
   overload ~scale ()

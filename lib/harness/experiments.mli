@@ -42,6 +42,15 @@ val fig_batch : ?scale:float -> unit -> unit
 (** Supplementary: QueCC batch-size sensitivity — larger batches amortize
     planning/coordination but add commit latency. *)
 
+val pipeline : ?scale:float -> ?json:string -> unit -> unit
+(** Pipelined batch execution: QueCC with the double-buffered pipeline
+    off / on / on-with-work-stealing across zipfian theta, plus the
+    distributed engines' lag-1 variant — the off rows are the oracle
+    for the speedup shown (committed state is bit-identical per seed;
+    the test suite asserts it).  [json] also writes every row to a
+    machine-readable JSON file (the CI [BENCH_pipeline.json]
+    perf-trajectory artifact). *)
+
 val default_fault_plan : Quill_faults.Faults.spec
 (** One node-1 crash mid-run, 1% drop, 1% duplication, seed 7. *)
 

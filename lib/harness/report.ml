@@ -35,10 +35,14 @@ let to_cells ?baseline r =
 
 (* Per-phase breakdown: where each engine's CPU time went (plan /
    execute / recover / publish) and what its idle time waited on. *)
+(* The pipeline columns ride at the END of the row so downstream parsers
+   keyed on the leading column indices (the chaos-smoke CI job) keep
+   working. *)
 let phase_header =
   [
     "engine"; "plan"; "execute"; "recover"; "publish"; "other"; "busy%";
-    "idle:barrier"; "idle:ivar"; "idle:chan"; "idle:sleep";
+    "idle:barrier"; "idle:ivar"; "idle:chan"; "idle:sleep"; "fill-stall";
+    "drain-stall"; "stolen";
   ]
 
 let pct part whole =
@@ -60,6 +64,9 @@ let phase_cells r =
     pct m.Metrics.idle_ivar span;
     pct m.Metrics.idle_chan span;
     pct m.Metrics.idle_sleep span;
+    pct m.Metrics.pipe_fill_stall span;
+    pct m.Metrics.pipe_drain_stall span;
+    string_of_int m.Metrics.stolen_queues;
   ]
 
 let print_phase_table ~title rows =

@@ -15,6 +15,12 @@ type cfg = {
   mode : exec_mode;
   isolation : isolation;
   costs : Costs.t;
+  pipeline : bool;
+      (* overlap planning of batch N+1 with execution of batch N via a
+         double-buffered queue matrix; off = the lockstep oracle path *)
+  steal : bool;
+      (* drained executors steal whole queues from the most-loaded peer
+         when the steal is provably record-disjoint *)
 }
 
 let default_cfg =
@@ -25,6 +31,8 @@ let default_cfg =
     mode = Speculative;
     isolation = Serializable;
     costs = Costs.default;
+    pipeline = false;
+    steal = false;
   }
 
 (* Per-batch runtime state of one transaction. *)
@@ -45,17 +53,41 @@ type rt = {
 
 type qentry = { rt : rt; frag : Fragment.t }
 
+(* The queue matrix and the per-slot runtimes are double-buffered by
+   batch parity so a pipelined run can plan batch N+1 while batch N is
+   still executing.  The non-pipelined path only ever uses parity 0.
+   [qstate]/[qsig] exist only under [cfg.steal]: per-(planner, executor)
+   claim state (0 unclaimed / 1 claimed / 2 done) and an exact
+   key-signature set used to prove a candidate steal record-disjoint
+   (a Bloom filter is the wrong tool here: certifying DISJOINTNESS of
+   n-entry sets needs ~n^2 bits, so real queues would never steal). *)
 type shared = {
   cfg : cfg;
   sim : Sim.t;
   wl : Workload.t;
   db : Db.t;
-  queues : qentry Vec.t array array;   (* [planner].[executor] *)
-  rts : rt option array;               (* batch slot -> runtime *)
+  queues : qentry Vec.t array array array;
+      (* [parity].[planner].[executor] *)
+  rts : rt option array array;         (* [parity].[slot] -> runtime *)
   touched : Row.t Vec.t array;         (* per executor + one recovery slot *)
+  qstate : int array array array;      (* [parity].[planner].[executor] *)
+  qsig : (int, unit) Hashtbl.t array array array;
+      (* [parity].[planner].[executor] *)
   metrics : Metrics.t;
   mutable batch_no : int;
 }
+
+(* Pack (table, key) into one int; tables are small. *)
+let sig_key table key = (key lsl 6) lor table
+
+let sig_disjoint a b =
+  let small, big =
+    if Hashtbl.length a <= Hashtbl.length b then (a, b) else (b, a)
+  in
+  try
+    Hashtbl.iter (fun k () -> if Hashtbl.mem big k then raise Exit) small;
+    true
+  with Exit -> false
 
 (* ------------------------------------------------------------------ *)
 (* Transaction runtime                                                 *)
@@ -306,6 +338,103 @@ let exec_entry sh st ctx { rt; frag } =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Queue draining and work stealing                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A steal of queue [cand] from victim [v] is safe iff its key signature
+   is disjoint from every other not-yet-finished queue of [v]: then no
+   record of [cand] can appear in any queue still in flight on [v]'s
+   core, so per-record FIFO order is preserved even though [v] proceeds
+   past the stolen priority.  (Queues of other executors never share
+   records: home-partition routing pins a record to one executor, and
+   round-robined read-committed reads are excluded from signatures
+   because they only read committed state.) *)
+let steal_safe sh parity v cand =
+  let ok = ref true in
+  for p' = 0 to sh.cfg.planners - 1 do
+    if
+      p' <> cand
+      && sh.qstate.(parity).(p').(v) <> 2
+      && not
+           (sig_disjoint sh.qsig.(parity).(cand).(v)
+              sh.qsig.(parity).(p').(v))
+    then ok := false
+  done;
+  !ok
+
+(* Pick a queue for an idle executor to steal: the victim with the most
+   unclaimed work, then its tail-most (lowest-priority) unclaimed queue
+   that passes the disjointness check.  Runs without any Sim call, so
+   the find + claim pair is atomic under the cooperative scheduler. *)
+let find_steal sh ~parity ~thief =
+  let pn = sh.cfg.planners and en = sh.cfg.executors in
+  let qs = sh.queues.(parity) and qstate = sh.qstate.(parity) in
+  let load = Array.make en 0 in
+  for v = 0 to en - 1 do
+    if v <> thief then
+      for p = 0 to pn - 1 do
+        if qstate.(p).(v) = 0 then
+          load.(v) <- load.(v) + Vec.length qs.(p).(v)
+      done
+  done;
+  let found = ref None in
+  let more = ref true in
+  while !more do
+    let v = ref (-1) in
+    for u = 0 to en - 1 do
+      if load.(u) > 0 && (!v < 0 || load.(u) > load.(!v)) then v := u
+    done;
+    if !v < 0 then more := false
+    else begin
+      let v = !v in
+      let p = ref (pn - 1) in
+      while !found = None && !p >= 0 do
+        if
+          qstate.(!p).(v) = 0
+          && Vec.length qs.(!p).(v) > 0
+          && steal_safe sh parity v !p
+        then found := Some (!p, v);
+        decr p
+      done;
+      if !found <> None then more := false else load.(v) <- 0
+    end
+  done;
+  !found
+
+(* Execute every queue destined for executor [st.eid] in priority order.
+   Without [cfg.steal] this is the oracle drain loop; with it, queues
+   are claimed (so a peer can steal ahead of a slow owner) and an
+   executor that runs dry turns thief. *)
+let drain_queues sh st ctx ~parity =
+  let e = st.eid in
+  if not sh.cfg.steal then
+    for p = 0 to sh.cfg.planners - 1 do
+      Vec.iter (exec_entry sh st ctx) sh.queues.(parity).(p).(e)
+    done
+  else begin
+    let qstate = sh.qstate.(parity) in
+    for p = 0 to sh.cfg.planners - 1 do
+      if qstate.(p).(e) = 0 then begin
+        qstate.(p).(e) <- 1;
+        Vec.iter (exec_entry sh st ctx) sh.queues.(parity).(p).(e);
+        qstate.(p).(e) <- 2
+      end
+    done;
+    let more = ref true in
+    while !more do
+      match find_steal sh ~parity ~thief:e with
+      | None -> more := false
+      | Some (p, v) ->
+          qstate.(p).(v) <- 1;
+          sh.metrics.Metrics.stolen_queues <-
+            sh.metrics.Metrics.stolen_queues + 1;
+          Sim.tick sh.sim sh.cfg.costs.Costs.queue_op;
+          Vec.iter (exec_entry sh st ctx) sh.queues.(parity).(p).(v);
+          qstate.(p).(v) <- 2
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Planning                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -348,9 +477,14 @@ let slice_bounds ~batch_size ~planners p =
 (* Plan the [count] transactions at [start..start+count-1] of the batch,
    fetched one at a time via [get] (closed-loop: the workload stream;
    client mode: the entries drained from the admission queue). *)
-let plan_txns sh p ~start ~count ~get rr =
+let plan_txns sh ~parity p ~start ~count ~get rr =
   let costs = sh.cfg.costs in
-  Array.iter Vec.clear sh.queues.(p);
+  let queues = sh.queues.(parity).(p) in
+  Array.iter Vec.clear queues;
+  if sh.cfg.steal then begin
+    Array.iter Hashtbl.reset sh.qsig.(parity).(p);
+    Array.fill sh.qstate.(parity).(p) 0 sh.cfg.executors 0
+  end;
   (* Early (read-only, never-written-table) abortable fragments go to the
      head of their queues so abort decisions resolve before the gated
      updates arrive. *)
@@ -361,16 +495,16 @@ let plan_txns sh p ~start ~count ~get rr =
     txn.Txn.submit_time <- Sim.now sh.sim;
     txn.Txn.attempts <- txn.Txn.attempts + 1;
     let rt = make_rt ?entry txn (start + j) in
-    sh.rts.(start + j) <- Some rt;
+    sh.rts.(parity).(start + j) <- Some rt;
     let frags = plan_order txn.Txn.frags in
     Array.iter
       (fun (f : Fragment.t) ->
         Sim.tick sh.sim costs.Costs.plan_fragment;
+        let rc_read =
+          sh.cfg.isolation = Read_committed && f.Fragment.mode = Fragment.Read
+        in
         let e =
-          if
-            sh.cfg.isolation = Read_committed
-            && f.Fragment.mode = Fragment.Read
-          then begin
+          if rc_read then begin
             (* Read-committed reads are safe on any core: spread them. *)
             rr := (!rr + 1) mod sh.cfg.executors;
             !rr
@@ -378,36 +512,41 @@ let plan_txns sh p ~start ~count ~get rr =
           else Db.home sh.db f.Fragment.table f.Fragment.key
                mod sh.cfg.executors
         in
+        (* RC reads stay out of the signature: they only read committed
+           state, so they commute with any steal. *)
+        if sh.cfg.steal && not rc_read then
+          Hashtbl.replace sh.qsig.(parity).(p).(e)
+            (sig_key f.Fragment.table f.Fragment.key) ();
         if f.Fragment.early && Array.length f.Fragment.data_deps = 0 then
           Vec.push front.(e) { rt; frag = f }
-        else Vec.push sh.queues.(p).(e) { rt; frag = f })
+        else Vec.push queues.(e) { rt; frag = f })
       frags
   done;
   Array.iteri
     (fun e fv ->
       if not (Vec.is_empty fv) then begin
-        let main = Vec.to_array sh.queues.(p).(e) in
-        Vec.clear sh.queues.(p).(e);
-        Vec.iter (fun x -> Vec.push sh.queues.(p).(e) x) fv;
-        Array.iter (fun x -> Vec.push sh.queues.(p).(e) x) main
+        let main = Vec.to_array queues.(e) in
+        Vec.clear queues.(e);
+        Vec.iter (fun x -> Vec.push queues.(e) x) fv;
+        Array.iter (fun x -> Vec.push queues.(e) x) main
       end)
     front
 
-let plan_slice sh p stream rr =
+let plan_slice sh ~parity p stream rr =
   let start, count =
     slice_bounds ~batch_size:sh.cfg.batch_size ~planners:sh.cfg.planners p
   in
-  plan_txns sh p ~start ~count ~get:(fun _ -> (stream (), None)) rr
+  plan_txns sh ~parity p ~start ~count ~get:(fun _ -> (stream (), None)) rr
 
 (* Client mode: the batch is whatever [drain] returned at batch-close, so
    its size varies; planners split it the same way they split a fixed
    batch.  A planner whose slice is empty still clears its queues. *)
-let plan_slice_clients sh p entries rr =
+let plan_slice_clients sh ~parity p entries rr =
   let start, count =
     slice_bounds ~batch_size:(Array.length entries)
       ~planners:sh.cfg.planners p
   in
-  plan_txns sh p ~start ~count
+  plan_txns sh ~parity p ~start ~count
     ~get:(fun j ->
       let e = entries.(start + j) in
       (e.Clients.txn, Some e))
@@ -509,12 +648,13 @@ let reexec_txn sh recovery_slot rt =
         !insert_log;
       rt.txn.Txn.status <- Txn.Aborted
 
-let recover sh =
+let recover sh ~parity =
+  let rts = sh.rts.(parity) in
   let n = sh.cfg.batch_size in
   let in_a = Array.make n false in
   let any = ref false in
   for b = 0 to n - 1 do
-    match sh.rts.(b) with
+    match rts.(b) with
     | None -> ()
     | Some rt ->
         if rt.logic_abort then begin
@@ -558,7 +698,7 @@ let recover sh =
     (* Remove inserts made by cascaded transactions. *)
     for b = 0 to n - 1 do
       if in_a.(b) then
-        match sh.rts.(b) with
+        match rts.(b) with
         | None -> ()
         | Some rt ->
             List.iter
@@ -572,7 +712,7 @@ let recover sh =
     let recovery_slot = sh.cfg.executors in
     for b = 0 to n - 1 do
       if in_a.(b) then
-        match sh.rts.(b) with
+        match rts.(b) with
         | None -> ()
         | Some rt ->
             sh.metrics.Metrics.cascades <- sh.metrics.Metrics.cascades + 1;
@@ -581,10 +721,19 @@ let recover sh =
   end;
   (* Finalize statuses. *)
   for b = 0 to n - 1 do
-    match sh.rts.(b) with
+    match rts.(b) with
     | None -> ()
     | Some rt ->
         if rt.txn.Txn.status = Txn.Active then rt.txn.Txn.status <- Txn.Committed
+  done
+
+(* Conservative mode: every surviving transaction commits. *)
+let finalize_statuses sh ~parity =
+  for i = 0 to sh.cfg.batch_size - 1 do
+    match sh.rts.(parity).(i) with
+    | Some rt when rt.txn.Txn.status = Txn.Active ->
+        rt.txn.Txn.status <- Txn.Committed
+    | Some _ | None -> ()
   done
 
 (* ------------------------------------------------------------------ *)
@@ -601,10 +750,11 @@ let publish_slot sh slot =
     sh.touched.(slot);
   Vec.clear sh.touched.(slot)
 
-let account ?clients sh =
+let account ?clients sh ~parity =
   let now = Sim.now sh.sim in
+  let rts = sh.rts.(parity) in
   for b = 0 to sh.cfg.batch_size - 1 do
-    match sh.rts.(b) with
+    match rts.(b) with
     | None -> ()
     | Some rt ->
         rt.txn.Txn.finish_time <- now;
@@ -618,7 +768,7 @@ let account ?clients sh =
         | Some c, Some e ->
             Clients.complete c e ~ok:(rt.txn.Txn.status = Txn.Committed)
         | _ -> ());
-        sh.rts.(b) <- None
+        rts.(b) <- None
   done;
   sh.metrics.Metrics.batches <- sh.metrics.Metrics.batches + 1
 
@@ -650,35 +800,15 @@ let in_phase sim ph tid f =
       ~dur:(Sim.now sim - t0) ();
   Sim.set_phase sim Sim.Ph_other
 
-let run ?sim ?clients cfg wl ~batches =
-  assert (cfg.planners > 0 && cfg.executors > 0 && cfg.batch_size > 0);
-  let sim =
-    match sim with
-    | Some s -> s
-    | None -> Sim.create ~wake_cost:cfg.costs.Costs.wakeup ()
-  in
-  let sh =
-    {
-      cfg;
-      sim;
-      wl;
-      db = wl.Workload.db;
-      queues =
-        Array.init cfg.planners (fun _ ->
-            Array.init cfg.executors (fun _ -> Vec.create ()));
-      rts = Array.make cfg.batch_size None;
-      touched = Array.init (cfg.executors + 1) (fun _ -> Vec.create ());
-      metrics = Metrics.create ();
-      batch_no = 0;
-    }
-  in
+(* ------------------------------------------------------------------ *)
+(* Lockstep execution (the oracle): plan | execute | recover | publish  *)
+(* separated by full barriers, every batch.                             *)
+(* ------------------------------------------------------------------ *)
+
+let spawn_lockstep sim sh ?clients ~batches ~streams () =
+  let cfg = sh.cfg in
   let nthreads = max cfg.planners cfg.executors in
   let barrier = Sim.Barrier.create nthreads in
-  let streams =
-    match clients with
-    | Some _ -> [||]
-    | None -> Array.init cfg.planners wl.Workload.new_stream
-  in
   (* Client mode: thread 0 closes each batch by draining the admission
      queue; the resulting (variable-size) batch is shared through
      [pending].  [continue_] flips when the drain comes back empty —
@@ -699,7 +829,7 @@ let run ?sim ?clients cfg wl ~batches =
           if Trace.enabled tr then begin
             let depth = ref 0 in
             for p = 0 to cfg.planners - 1 do
-              depth := !depth + Vec.length sh.queues.(p).(t)
+              depth := !depth + Vec.length sh.queues.(0).(p).(t)
             done;
             Trace.counter tr ~tid:t ~name:"queue_depth"
               ~series:("exec" ^ string_of_int t) ~ts:(Sim.now sim)
@@ -712,21 +842,13 @@ let run ?sim ?clients cfg wl ~batches =
           if t < cfg.executors then begin
             queue_depth_counter ();
             in_phase sim Sim.Ph_execute t (fun () ->
-                for p = 0 to cfg.planners - 1 do
-                  Vec.iter (exec_entry sh st ctx) sh.queues.(p).(t)
-                done)
+                drain_queues sh st ctx ~parity:0)
           end;
           Sim.Barrier.await sim barrier;
           if t = 0 then
             in_phase sim Sim.Ph_recover t (fun () ->
-                if cfg.mode = Speculative then recover sh
-                else
-                  for i = 0 to cfg.batch_size - 1 do
-                    match sh.rts.(i) with
-                    | Some rt when rt.txn.Txn.status = Txn.Active ->
-                        rt.txn.Txn.status <- Txn.Committed
-                    | Some _ | None -> ()
-                  done;
+                if cfg.mode = Speculative then recover sh ~parity:0
+                else finalize_statuses sh ~parity:0;
                 account_fn ());
           Sim.Barrier.await sim barrier;
           if t < cfg.executors || t = 0 then
@@ -740,8 +862,8 @@ let run ?sim ?clients cfg wl ~batches =
             for b = 0 to batches - 1 do
               if t = 0 then sh.batch_no <- b;
               run_batch
-                (fun () -> plan_slice sh t streams.(t) rr)
-                (fun () -> account sh)
+                (fun () -> plan_slice sh ~parity:0 t streams.(t) rr)
+                (fun () -> account sh ~parity:0)
             done
         | Some c ->
             (* Every thread runs the same barrier sequence per round:
@@ -759,13 +881,254 @@ let run ?sim ?clients cfg wl ~batches =
               Sim.Barrier.await sim barrier;
               if !continue_ then begin
                 run_batch
-                  (fun () -> plan_slice_clients sh t !pending rr)
-                  (fun () -> account ~clients:c sh);
+                  (fun () -> plan_slice_clients sh ~parity:0 t !pending rr)
+                  (fun () -> account ~clients:c sh ~parity:0);
                 loop ()
               end
             in
             loop ())
   done;
+  nthreads
+
+(* ------------------------------------------------------------------ *)
+(* Pipelined execution: dedicated planner and executor threads,        *)
+(* double-buffered queues, one hand-off per batch.                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-batch one-shot synchronisation, lazily created on first access
+   (any thread may get there first; creation never yields, so the
+   check-then-add pair is atomic under the cooperative scheduler):
+     planned(b)    gate(planners)   planners arrive after planning b
+     start(b)      bool ivar        executor 0 opens batch b (false = stop)
+     exec_done(b)  gate(executors)  executors arrive after draining b
+     recovered(b)  unit ivar        recovery + accounting of b is done
+     published(b)  gate(executors)  all slots of b are published
+     pending(b)    entries ivar     client mode: the drained batch b
+   Batch b for an executor: await start(b) -> drain parity (b land 1) ->
+   arrive exec_done(b) -> [e0: recover/account, fill recovered(b)] ->
+   publish own slot -> arrive published(b) -> [e0: await published(b),
+   await planned(b+1), advance batch_no, fill start(b+1)].  A planner
+   plans b as soon as recovered(b-2) is filled — the parity buffer is
+   guaranteed drained — so planning b overlaps execution of b-1 and
+   publish/recovery of b-2 overlaps planning of b.  Publish of b
+   completing before start(b+1) is what keeps read-committed reads and
+   cross-slot recovery exact: committed images only ever change between
+   batches, exactly as in the lockstep path. *)
+let spawn_pipelined sim sh ?clients ~batches ~streams () =
+  let cfg = sh.cfg in
+  let m = sh.metrics in
+  let planned_g : (int, Sim.Gate.g) Hashtbl.t = Hashtbl.create 16 in
+  let exec_done_g : (int, Sim.Gate.g) Hashtbl.t = Hashtbl.create 16 in
+  let published_g : (int, Sim.Gate.g) Hashtbl.t = Hashtbl.create 16 in
+  let start_iv : (int, bool Sim.Ivar.iv) Hashtbl.t = Hashtbl.create 16 in
+  let recovered_iv : (int, unit Sim.Ivar.iv) Hashtbl.t = Hashtbl.create 16 in
+  let pending_iv : (int, Clients.entry array Sim.Ivar.iv) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let gate tbl ~parties b =
+    match Hashtbl.find_opt tbl b with
+    | Some g -> g
+    | None ->
+        let g = Sim.Gate.create parties in
+        Hashtbl.add tbl b g;
+        g
+  in
+  let ivar : 'a. (int, 'a Sim.Ivar.iv) Hashtbl.t -> int -> 'a Sim.Ivar.iv =
+   fun tbl b ->
+    match Hashtbl.find_opt tbl b with
+    | Some iv -> iv
+    | None ->
+        let iv = Sim.Ivar.create () in
+        Hashtbl.add tbl b iv;
+        iv
+  in
+  let fill_stall t0 =
+    m.Metrics.pipe_fill_stall <-
+      m.Metrics.pipe_fill_stall + (Sim.now sim - t0)
+  in
+  (* Planner threads (trace tids above the executor range). *)
+  for p = 0 to cfg.planners - 1 do
+    Sim.spawn sim (fun () ->
+        let tid = cfg.executors + p in
+        let rr = ref p in
+        let await_drained b =
+          (* The parity buffer for b is reusable once batch b-2 has been
+             recovered and accounted. *)
+          if b >= 2 then begin
+            let t0 = Sim.now sim in
+            Sim.Ivar.read sim (ivar recovered_iv (b - 2));
+            m.Metrics.pipe_drain_stall <-
+              m.Metrics.pipe_drain_stall + (Sim.now sim - t0)
+          end
+        in
+        match clients with
+        | None ->
+            for b = 0 to batches - 1 do
+              await_drained b;
+              in_phase sim Sim.Ph_plan tid (fun () ->
+                  plan_slice sh ~parity:(b land 1) p streams.(p) rr);
+              Sim.Gate.arrive sim (gate planned_g ~parties:cfg.planners b)
+            done
+        | Some c ->
+            (* Planner 0 closes each batch by draining the admission
+               queue and shares it through pending(b); an empty drain
+               means every client transaction is finally resolved (the
+               executors' accounting wakes the drain), so batch b never
+               forms and everyone unwinds. *)
+            let rec loop b =
+              await_drained b;
+              if p = 0 then
+                Sim.Ivar.fill sim (ivar pending_iv b)
+                  (Clients.drain c ~node:0 ~max:cfg.batch_size);
+              let entries = Sim.Ivar.read sim (ivar pending_iv b) in
+              if Array.length entries = 0 then
+                Sim.Gate.arrive sim (gate planned_g ~parties:cfg.planners b)
+              else begin
+                in_phase sim Sim.Ph_plan tid (fun () ->
+                    plan_slice_clients sh ~parity:(b land 1) p entries rr);
+                Sim.Gate.arrive sim (gate planned_g ~parties:cfg.planners b);
+                loop (b + 1)
+              end
+            in
+            loop 0)
+  done;
+  (* Executor threads. *)
+  for e = 0 to cfg.executors - 1 do
+    Sim.spawn sim (fun () ->
+        let st = { eid = e; cur_rt = dummy_rt; cur_row = dummy_row;
+                   cur_found = false }
+        in
+        let ctx = make_exec_ctx sh st in
+        let tr = Sim.tracer sim in
+        let queue_depth_counter parity =
+          if Trace.enabled tr then begin
+            let depth = ref 0 in
+            for p = 0 to cfg.planners - 1 do
+              depth := !depth + Vec.length sh.queues.(parity).(p).(e)
+            done;
+            Trace.counter tr ~tid:e ~name:"queue_depth"
+              ~series:("exec" ^ string_of_int e) ~ts:(Sim.now sim)
+              ~value:!depth
+          end
+        in
+        let rec loop b =
+          let go =
+            if e = 0 then begin
+              let go =
+                match clients with
+                | None ->
+                    b < batches
+                    && begin
+                         let t0 = Sim.now sim in
+                         Sim.Gate.await sim
+                           (gate planned_g ~parties:cfg.planners b);
+                         fill_stall t0;
+                         true
+                       end
+                | Some _ ->
+                    let t0 = Sim.now sim in
+                    Sim.Gate.await sim
+                      (gate planned_g ~parties:cfg.planners b);
+                    fill_stall t0;
+                    Array.length (Sim.Ivar.read sim (ivar pending_iv b)) > 0
+              in
+              (* batch_no is only read between start(b) and the end of
+                 publish(b), so advancing it here cannot race the
+                 planners: they never touch rows. *)
+              if go then sh.batch_no <- b;
+              Sim.Ivar.fill sim (ivar start_iv b) go;
+              go
+            end
+            else begin
+              let t0 = Sim.now sim in
+              let go = Sim.Ivar.read sim (ivar start_iv b) in
+              fill_stall t0;
+              go
+            end
+          in
+          if go then begin
+            let parity = b land 1 in
+            queue_depth_counter parity;
+            in_phase sim Sim.Ph_execute e (fun () ->
+                drain_queues sh st ctx ~parity);
+            Sim.Gate.arrive sim (gate exec_done_g ~parties:cfg.executors b);
+            if e = 0 then begin
+              Sim.Gate.await sim (gate exec_done_g ~parties:cfg.executors b);
+              in_phase sim Sim.Ph_recover e (fun () ->
+                  if cfg.mode = Speculative then recover sh ~parity
+                  else finalize_statuses sh ~parity;
+                  account ?clients sh ~parity);
+              Sim.Ivar.fill sim (ivar recovered_iv b) ()
+            end
+            else ignore (Sim.Ivar.read sim (ivar recovered_iv b));
+            in_phase sim Sim.Ph_publish e (fun () ->
+                publish_slot sh e;
+                if e = 0 then publish_slot sh cfg.executors);
+            Sim.Gate.arrive sim (gate published_g ~parties:cfg.executors b);
+            if e = 0 then begin
+              Sim.Gate.await sim (gate published_g ~parties:cfg.executors b);
+              (* Drop sync state no thread can reach again: everything
+                 of batch b except recovered(b), which planners of batch
+                 b+2 still await. *)
+              Hashtbl.remove planned_g b;
+              Hashtbl.remove exec_done_g b;
+              Hashtbl.remove published_g b;
+              Hashtbl.remove start_iv b;
+              Hashtbl.remove pending_iv b;
+              if b >= 2 then Hashtbl.remove recovered_iv (b - 2)
+            end;
+            loop (b + 1)
+          end
+        in
+        loop 0)
+  done;
+  cfg.planners + cfg.executors
+
+let run ?sim ?clients cfg wl ~batches =
+  assert (cfg.planners > 0 && cfg.executors > 0 && cfg.batch_size > 0);
+  let sim =
+    match sim with
+    | Some s -> s
+    | None -> Sim.create ~wake_cost:cfg.costs.Costs.wakeup ()
+  in
+  let nbuf = if cfg.pipeline then 2 else 1 in
+  let sh =
+    {
+      cfg;
+      sim;
+      wl;
+      db = wl.Workload.db;
+      queues =
+        Array.init nbuf (fun _ ->
+            Array.init cfg.planners (fun _ ->
+                Array.init cfg.executors (fun _ -> Vec.create ())));
+      rts = Array.init nbuf (fun _ -> Array.make cfg.batch_size None);
+      touched = Array.init (cfg.executors + 1) (fun _ -> Vec.create ());
+      qstate =
+        (if cfg.steal then
+           Array.init nbuf (fun _ ->
+               Array.init cfg.planners (fun _ ->
+                   Array.make cfg.executors 0))
+         else [||]);
+      qsig =
+        (if cfg.steal then
+           Array.init nbuf (fun _ ->
+               Array.init cfg.planners (fun _ ->
+                   Array.init cfg.executors (fun _ -> Hashtbl.create 64)))
+         else [||]);
+      metrics = Metrics.create ();
+      batch_no = 0;
+    }
+  in
+  let streams =
+    match clients with
+    | Some _ -> [||]
+    | None -> Array.init cfg.planners wl.Workload.new_stream
+  in
+  let nthreads =
+    if cfg.pipeline then spawn_pipelined sim sh ?clients ~batches ~streams ()
+    else spawn_lockstep sim sh ?clients ~batches ~streams ()
+  in
   let parked = Sim.run sim in
   if parked <> 0 then
     failwith (Printf.sprintf "Quecc.Engine.run: %d threads deadlocked" parked);

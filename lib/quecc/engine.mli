@@ -36,11 +36,22 @@ type cfg = {
   mode : exec_mode;
   isolation : isolation;
   costs : Quill_sim.Costs.t;
+  pipeline : bool;
+      (** overlap planning of batch [N+1] with execution of batch [N]
+          through a double-buffered queue matrix, with a single hand-off
+          per batch.  Dedicated planner and executor threads
+          ([planners + executors] cores).  Committed DB state is
+          bit-identical to the non-pipelined path for the same seed. *)
+  steal : bool;
+      (** executors that drain their queues early steal whole queues
+          from the most-loaded peer when a key-signature check proves
+          the steal record-disjoint from the victim's remaining work
+          (per-record FIFO order survives) *)
 }
 
 val default_cfg : cfg
 (** 4 planners, 4 executors, 1024-txn batches, speculative,
-    serializable, default costs. *)
+    serializable, default costs, pipeline and steal off. *)
 
 val run :
   ?sim:Quill_sim.Sim.t ->

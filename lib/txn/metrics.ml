@@ -30,6 +30,14 @@ type t = {
   mutable redone : int;
   mutable msg_retries : int;
   mutable msg_dup_drops : int;
+  (* Pipelined-execution counters; stay 0 on non-pipelined runs.  Fill
+     stalls: executor idle waiting for the next planned batch (pipeline
+     starved); drain stalls: planner idle waiting for a queue buffer to
+     drain (pipeline backed up).  [stolen_queues] counts whole execution
+     queues stolen by idle executors (cfg.steal). *)
+  mutable pipe_fill_stall : int;
+  mutable pipe_drain_stall : int;
+  mutable stolen_queues : int;
   (* Open-loop client / admission counters; stay 0 on closed-loop runs. *)
   mutable offered : int;
   mutable shed : int;
@@ -67,6 +75,9 @@ let create () =
     redone = 0;
     msg_retries = 0;
     msg_dup_drops = 0;
+    pipe_fill_stall = 0;
+    pipe_drain_stall = 0;
+    stolen_queues = 0;
     offered = 0;
     shed = 0;
     deadline_miss = 0;
@@ -129,6 +140,13 @@ let pp_faults fmt t =
   Format.fprintf fmt
     "crashes=%d redone=%d recover_busy=%dns retries=%d dup_drops=%d" t.crashes
     t.redone t.recover_busy t.msg_retries t.msg_dup_drops
+
+let pipelined t =
+  t.pipe_fill_stall > 0 || t.pipe_drain_stall > 0 || t.stolen_queues > 0
+
+let pp_pipeline fmt t =
+  Format.fprintf fmt "fill_stall=%dns drain_stall=%dns stolen=%d"
+    t.pipe_fill_stall t.pipe_drain_stall t.stolen_queues
 
 let clients_active t = t.offered > 0
 

@@ -30,6 +30,13 @@ type t = {
           dist-quecc, sequencer-log transactions for dist-calvin) *)
   mutable msg_retries : int;    (** retransmissions implied by dropped messages *)
   mutable msg_dup_drops : int;  (** duplicate messages suppressed at receivers *)
+  mutable pipe_fill_stall : int;
+      (** executor idle ns waiting for the next planned batch (pipelined
+          runs only; the pipeline ran dry) *)
+  mutable pipe_drain_stall : int;
+      (** planner idle ns waiting for a queue buffer to free up
+          (pipelined runs only; the pipeline backed up) *)
+  mutable stolen_queues : int;  (** whole queues stolen by idle executors *)
   mutable offered : int;        (** transactions offered by open-loop clients *)
   mutable shed : int;           (** admissions dropped by the overload policy *)
   mutable deadline_miss : int;  (** transactions dropped past their deadline *)
@@ -68,6 +75,13 @@ val faulted : t -> bool
 
 val pp_faults : Format.formatter -> t -> unit
 (** One-line crash / redone-work / message-fault summary. *)
+
+val pipelined : t -> bool
+(** True when any pipeline counter is nonzero (the run overlapped
+    planning and execution, or stole queues). *)
+
+val pp_pipeline : Format.formatter -> t -> unit
+(** One-line fill-stall / drain-stall / stolen-queue summary. *)
 
 val clients_active : t -> bool
 (** True when the run was driven by open-loop clients (offered > 0). *)

@@ -277,6 +277,8 @@ let test_retry_commits_exactly_once () =
         mode = Qe.Conservative;
         isolation = Qe.Serializable;
         costs = Quill_sim.Costs.default;
+        pipeline = false;
+        steal = false;
       }
       wl ~batches:0
   in
@@ -341,6 +343,8 @@ let quecc_overloaded seed =
         mode = Qe.Speculative;
         isolation = Qe.Serializable;
         costs = Quill_sim.Costs.default;
+        pipeline = false;
+        steal = false;
       }
       wl ~batches:0
   in
@@ -352,6 +356,49 @@ let prop_same_seed_same_overloaded_run =
     ~count:5
     QCheck.(int_range 0 1000)
     (fun seed -> quecc_overloaded seed = quecc_overloaded seed)
+
+(* Pipelined client mode falls back to sequential batch handling (the
+   next batch's admission depends on the previous batch's completions),
+   but the flag must still be accepted and leave the run bit-identical:
+   with Block admission deep enough never to shed, no deadline and no
+   aborts, the committed state is the serial execution of the admission
+   order however the batches are cut. *)
+let test_pipeline_clients_identical () =
+  let run pipeline =
+    let wl = Ycsb.make (Tutil.small_ycsb ~table_size:2_000 ()) in
+    let sim = Sim.create () in
+    let c =
+      C.create ~sim ~nodes:1 wl
+        {
+          C.default with
+          C.arrival = C.Poisson 1e7;
+          depth = 1024;
+          policy = C.Block;
+          total = 512;
+        }
+    in
+    let m =
+      Qe.run ~sim ~clients:c
+        {
+          Qe.planners = 2;
+          executors = 2;
+          batch_size = 64;
+          mode = Qe.Speculative;
+          isolation = Qe.Serializable;
+          costs = Quill_sim.Costs.default;
+          pipeline;
+          steal = false;
+        }
+        wl ~batches:0
+    in
+    C.record c m;
+    (Db.checksum wl.Workload.db, m.Metrics.committed, m.Metrics.offered)
+  in
+  let c0, n0, o0 = run false in
+  let c1, n1, o1 = run true in
+  Tutil.check_int "same commits" n0 n1;
+  Tutil.check_int "same offered" o0 o1;
+  Tutil.check_bool "same committed state" true (c0 = c1)
 
 let test_dist_same_seed_identical () =
   let run () =
@@ -378,6 +425,7 @@ let test_dist_same_seed_identical () =
           executors = 2;
           batch_size = 128;
           costs = Quill_sim.Costs.default;
+          pipeline = false;
         }
         wl ~batches:0
     in
@@ -459,6 +507,8 @@ let () =
       ( "determinism",
         [
           qc prop_same_seed_same_overloaded_run;
+          Alcotest.test_case "pipelined clients identical" `Quick
+            test_pipeline_clients_identical;
           Alcotest.test_case "dist-quecc same seed identical" `Quick
             test_dist_same_seed_identical;
         ] );

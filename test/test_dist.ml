@@ -8,13 +8,14 @@ open Quill_workloads
 module Dq = Quill_dist.Dist_quecc
 module Dc = Quill_dist.Dist_calvin
 
-let dq_cfg ?(nodes = 2) ?(planners = 2) ?(executors = 2) ?(batch_size = 128) ()
-    =
+let dq_cfg ?(nodes = 2) ?(planners = 2) ?(executors = 2) ?(batch_size = 128)
+    ?(pipeline = false) () =
   { Dq.nodes; planners; executors; batch_size;
-    costs = Quill_sim.Costs.default }
+    costs = Quill_sim.Costs.default; pipeline }
 
-let dc_cfg ?(nodes = 2) ?(workers = 2) ?(batch_size = 128) () =
-  { Dc.nodes; workers; batch_size; costs = Quill_sim.Costs.default }
+let dc_cfg ?(nodes = 2) ?(workers = 2) ?(batch_size = 128)
+    ?(pipeline = false) () =
+  { Dc.nodes; workers; batch_size; costs = Quill_sim.Costs.default; pipeline }
 
 let ycsb_for ~nparts ?(mp = 0.3) ?(theta = 0.6) ?(abort_ratio = 0.0)
     ?(chain_deps = false) ?(seed = 11) () =
@@ -91,6 +92,51 @@ let test_dq_tpcc () =
   Tutil.check_int "commits" m2.Metrics.committed m.Metrics.committed;
   Tutil.check_bool "state" true
     (Db.checksum wl.Workload.db = Db.checksum wl2.Workload.db)
+
+(* ------------------------- pipelining ------------------------- *)
+
+(* The lag-1 pipeline (planners/sequencer run one batch ahead of the
+   commit they would otherwise block on) only changes virtual-time
+   interleaving, never the committed state: planning touches no rows,
+   so pipelined and lockstep runs of the same seed are bit-identical
+   in state and counts, and the overlap must not slow the run down. *)
+let test_dq_pipeline_identical () =
+  let cfg = ycsb_for ~nparts:4 ~chain_deps:true ~abort_ratio:0.1 () in
+  let run pipeline =
+    let wl = Ycsb.make cfg in
+    let m = Dq.run (dq_cfg ~pipeline ()) wl ~batches:4 in
+    ( Db.checksum wl.Workload.db,
+      m.Metrics.committed,
+      m.Metrics.logic_aborted,
+      m.Metrics.elapsed )
+  in
+  let c0, n0, a0, e0 = run false in
+  let c1, n1, a1, e1 = run true in
+  Tutil.check_int "commits" n0 n1;
+  Tutil.check_int "aborts" a0 a1;
+  Tutil.check_bool "state" true (c0 = c1);
+  Tutil.check_bool
+    (Printf.sprintf "pipelined (%d) not slower than lockstep (%d)" e1 e0)
+    true (e1 <= e0)
+
+let test_dc_pipeline_identical () =
+  let cfg = ycsb_for ~nparts:4 ~mp:0.5 ~abort_ratio:0.1 () in
+  let run pipeline =
+    let wl = Ycsb.make cfg in
+    let m = Dc.run (dc_cfg ~pipeline ()) wl ~batches:4 in
+    ( Db.checksum wl.Workload.db,
+      m.Metrics.committed,
+      m.Metrics.logic_aborted,
+      m.Metrics.elapsed )
+  in
+  let c0, n0, a0, e0 = run false in
+  let c1, n1, a1, e1 = run true in
+  Tutil.check_int "commits" n0 n1;
+  Tutil.check_int "aborts" a0 a1;
+  Tutil.check_bool "state" true (c0 = c1);
+  Tutil.check_bool
+    (Printf.sprintf "pipelined (%d) not slower than lockstep (%d)" e1 e0)
+    true (e1 <= e0)
 
 (* ------------------------- dist-calvin ------------------------- *)
 
@@ -178,5 +224,12 @@ let () =
             test_dc_per_txn_messaging;
           Alcotest.test_case "quecc ships fewer messages" `Quick
             test_dq_beats_dc_on_messages;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "dist-quecc pipelined identical" `Quick
+            test_dq_pipeline_identical;
+          Alcotest.test_case "dist-calvin pipelined identical" `Quick
+            test_dc_pipeline_identical;
         ] );
     ]

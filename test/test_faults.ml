@@ -228,11 +228,12 @@ let test_net_drop_is_delay_not_loss () =
 (* ------------------- determinism under faults ------------------- *)
 
 let dq_cfg ?(nodes = 2) ?(batch_size = 128) () =
-  { Dq.nodes; planners = 2; executors = 2; batch_size;
+  { Dq.nodes; planners = 2; executors = 2; batch_size; pipeline = false;
     costs = Quill_sim.Costs.default }
 
 let dc_cfg ?(nodes = 2) ?(batch_size = 128) () =
-  { Dc.nodes; workers = 2; batch_size; costs = Quill_sim.Costs.default }
+  { Dc.nodes; workers = 2; batch_size; costs = Quill_sim.Costs.default;
+    pipeline = false }
 
 let ycsb_for ?(seed = 11) () =
   Tutil.small_ycsb ~table_size:4_000 ~nparts:4 ~theta:0.6 ~mp_ratio:0.3 ~seed

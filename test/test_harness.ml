@@ -20,6 +20,39 @@ let test_engine_names_roundtrip () =
       | None -> Alcotest.failf "no parse for %s" (E.engine_name e))
     (E.Serial :: E.Dist_quecc 2 :: E.Dist_calvin 8 :: E.all_centralized)
 
+(* The registry is the one source of truth for names: everything it
+   advertises (bar the <n> patterns, which stand for a family) must
+   parse, resolve to a runnable module, and round-trip through its
+   canonical name; capability flags must match the family. *)
+let test_registry_names_resolve () =
+  let module R = Quill_harness.Engine_registry in
+  let advertised = R.names () in
+  Tutil.check_bool "registry advertises engines" true
+    (List.length advertised >= 10);
+  List.iter
+    (fun n ->
+      if not (String.contains n '<') then
+        match R.engine_of_string n with
+        | None -> Alcotest.failf "advertised name %s does not parse" n
+        | Some e -> (
+            let (module M : Quill_harness.Engine_intf.S) = R.resolve e in
+            Tutil.check_bool (n ^ " resolves to a named module") true
+              (String.length M.name > 0);
+            let canonical = R.engine_name e in
+            match R.engine_of_string canonical with
+            | Some e' ->
+                Tutil.check_bool (n ^ " canonical round-trips") true (e = e')
+            | None ->
+                Alcotest.failf "canonical %s of %s does not parse" canonical n))
+    advertised;
+  List.iter
+    (fun e ->
+      let (module M : Quill_harness.Engine_intf.S) = R.resolve e in
+      Tutil.check_bool
+        (R.engine_name e ^ " fault support iff distributed")
+        M.supports_dist M.supports_faults)
+    (R.Dist_quecc 4 :: R.Dist_calvin 2 :: R.all_centralized)
+
 let test_dist_suffix_parse () =
   let check_parse s expect =
     match E.engine_of_string s with
@@ -167,6 +200,8 @@ let () =
         [
           Alcotest.test_case "engine names roundtrip" `Quick
             test_engine_names_roundtrip;
+          Alcotest.test_case "registry names resolve" `Quick
+            test_registry_names_resolve;
           Alcotest.test_case "dist suffix parse" `Quick test_dist_suffix_parse;
           Alcotest.test_case "all engines run ycsb" `Quick
             test_all_engines_run_ycsb;

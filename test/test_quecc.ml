@@ -14,13 +14,14 @@ open Quill_workloads
 module Engine = Quill_quecc.Engine
 
 let run_engine ?(mode = Engine.Speculative) ?(isolation = Engine.Serializable)
-    ?(planners = 4) ?(executors = 4) ?(batch_size = 128) ?(batches = 4) cfg =
+    ?(planners = 4) ?(executors = 4) ?(batch_size = 128) ?(batches = 4)
+    ?(pipeline = false) ?(steal = false) cfg =
   let wl = Ycsb.make cfg in
   let wl_rec, logs = Tutil.record wl in
   let m =
     Engine.run
       { Engine.planners; executors; batch_size; mode; isolation;
-        costs = Quill_sim.Costs.default }
+        costs = Quill_sim.Costs.default; pipeline; steal }
       wl_rec ~batches
   in
   (wl, logs, m)
@@ -32,9 +33,11 @@ let serial_state cfg logs ~streams ~batch_size ~batches =
   (Db.checksum wl.Workload.db, m, txns)
 
 let check_against_oracle ?mode ?isolation ?(planners = 4) ?(executors = 4)
-    ?(batch_size = 128) ?(batches = 4) name cfg =
+    ?(batch_size = 128) ?(batches = 4) ?(pipeline = false) ?(steal = false)
+    name cfg =
   let wl, logs, m =
-    run_engine ?mode ?isolation ~planners ~executors ~batch_size ~batches cfg
+    run_engine ?mode ?isolation ~planners ~executors ~batch_size ~batches
+      ~pipeline ~steal cfg
   in
   let oracle, m_serial, _ =
     serial_state cfg logs ~streams:planners ~batch_size ~batches
@@ -258,9 +261,9 @@ let test_conservative_abort_purity () =
   in
   let m =
     Engine.run
-      { Engine.planners = streams; executors = 4; batch_size;
-        mode = Engine.Conservative; isolation = Engine.Serializable;
-        costs = Quill_sim.Costs.default }
+      { Engine.default_cfg with
+        Engine.planners = streams; executors = 4; batch_size;
+        mode = Engine.Conservative; isolation = Engine.Serializable }
       wl ~batches
   in
   let expected_aborts = ref 0 in
@@ -292,6 +295,107 @@ let test_conservative_abort_purity () =
     m.Metrics.committed;
   Tutil.check_int "conservative never speculates" 0 m.Metrics.cascades
 
+(* ------------------------- pipelined batches ------------------------- *)
+
+(* The pipelined schedule must be invisible in the committed state:
+   the serial oracle holds for the double-buffered path exactly as it
+   does for the lockstep one. *)
+let test_pipeline_oracle () =
+  check_against_oracle ~pipeline:true "pipelined uniform"
+    (Tutil.small_ycsb ~theta:0.0 ());
+  check_against_oracle ~pipeline:true "pipelined aborts+deps"
+    (Tutil.small_ycsb ~abort_ratio:0.15 ~chain_deps:true ~theta:0.8
+       ~mp_ratio:0.5 ());
+  check_against_oracle ~pipeline:true ~mode:Engine.Conservative
+    "pipelined conservative"
+    (Tutil.small_ycsb ~abort_ratio:0.2 ~chain_deps:true ~theta:0.9 ());
+  check_against_oracle ~pipeline:true ~steal:true ~planners:3 ~executors:5
+    "pipelined+steal asymmetric"
+    (Tutil.small_ycsb ~theta:0.7 ~abort_ratio:0.1 ())
+
+(* Overlap buys real virtual time on a planning-heavy schedule; the
+   bench pipeline sweep documents ~1.25x at full scale, the test
+   guards a conservative floor at its smaller scale. *)
+let test_pipeline_faster () =
+  let cfg = Tutil.small_ycsb ~table_size:20_000 ~nparts:8 ~theta:0.0 () in
+  let tput pipeline =
+    let wl = Ycsb.make cfg in
+    let m =
+      Engine.run
+        { Engine.default_cfg with Engine.planners = 4; executors = 4;
+          batch_size = 512; pipeline }
+        wl ~batches:6
+    in
+    Metrics.throughput m
+  in
+  let t0 = tput false and t1 = tput true in
+  Tutil.check_bool
+    (Printf.sprintf "pipelined (%.0f) beats lockstep (%.0f) by 1.1x+" t1 t0)
+    true
+    (t1 > 1.1 *. t0)
+
+(* Work stealing needs genuine imbalance with sparse key overlap to
+   fire: a single-partition workload homes every queue on executor 0,
+   leaving the rest idle, and small batches over a 10k-row uniform
+   keyspace keep queue signatures disjoint.  The steal must be
+   invisible: serial-oracle state, and (write-only RMW workload) every
+   committed delta applied exactly once — nothing lost or doubled. *)
+let test_steal_conservation () =
+  let cfg =
+    Tutil.small_ycsb ~table_size:10_000 ~nparts:1 ~theta:0.0
+      ~read_ratio:0.0 ()
+  in
+  let wl = Ycsb.make cfg in
+  let initial = Tutil.sum_field0 wl.Workload.db "usertable" in
+  let wl_rec, logs = Tutil.record wl in
+  let m =
+    Engine.run
+      { Engine.default_cfg with Engine.planners = 4; executors = 4;
+        batch_size = 32; steal = true }
+      wl_rec ~batches:4
+  in
+  Tutil.check_bool "steals fired" true (m.Metrics.stolen_queues > 0);
+  let oracle, m_serial, txns =
+    serial_state cfg logs ~streams:4 ~batch_size:32 ~batches:4
+  in
+  Tutil.check_int "commits match serial" m_serial.Metrics.committed
+    m.Metrics.committed;
+  Tutil.check_bool "state equals serial" true
+    (Db.checksum wl.Workload.db = oracle);
+  let delta = Tutil.ycsb_committed_delta txns in
+  Tutil.check_int "sum conserved" (initial + delta)
+    (Tutil.sum_field0 wl.Workload.db "usertable")
+
+let prop_pipeline_bit_identical =
+  QCheck.Test.make
+    ~name:"pipelined == lockstep committed state on random configs" ~count:10
+    QCheck.(
+      quad (int_range 0 1000) (int_range 0 99) (int_range 0 30) bool)
+    (fun (seed, theta_pct, abort_pct, steal) ->
+      let cfg =
+        Tutil.small_ycsb ~table_size:512 ~nparts:4
+          ~theta:(float_of_int theta_pct /. 100.0)
+          ~abort_ratio:(float_of_int abort_pct /. 100.0)
+          ~chain_deps:(seed mod 2 = 0) ~seed ()
+      in
+      let mode =
+        if seed mod 3 = 0 then Engine.Conservative else Engine.Speculative
+      in
+      let isolation =
+        if seed mod 2 = 0 then Engine.Read_committed
+        else Engine.Serializable
+      in
+      let fp pipeline =
+        let wl, _, m =
+          run_engine ~mode ~isolation ~batch_size:64 ~batches:3 ~pipeline
+            ~steal cfg
+        in
+        ( Db.checksum wl.Workload.db,
+          m.Metrics.committed,
+          m.Metrics.logic_aborted )
+      in
+      fp false = fp true)
+
 (* ------------------------- property tests ------------------------- *)
 
 let prop_oracle_random_configs =
@@ -309,11 +413,11 @@ let prop_oracle_random_configs =
       let wl_rec, logs = Tutil.record wl in
       let _ =
         Engine.run
-          { Engine.planners; executors = 4; batch_size = 64;
+          { Engine.default_cfg with
+            Engine.planners; executors = 4; batch_size = 64;
             mode = (if seed mod 3 = 0 then Engine.Conservative
                     else Engine.Speculative);
-            isolation = Engine.Serializable;
-            costs = Quill_sim.Costs.default }
+            isolation = Engine.Serializable }
           wl_rec ~batches:3
       in
       let wl_oracle = Ycsb.make cfg in
@@ -351,6 +455,14 @@ let () =
           Alcotest.test_case "run-to-run" `Quick test_run_to_run_determinism;
           Alcotest.test_case "speculative == conservative" `Quick
             test_speculative_equals_conservative;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "pipelined oracle" `Quick test_pipeline_oracle;
+          Alcotest.test_case "pipelined faster" `Quick test_pipeline_faster;
+          Alcotest.test_case "steal conservation" `Quick
+            test_steal_conservation;
+          qc prop_pipeline_bit_identical;
         ] );
       ( "behaviour",
         [
