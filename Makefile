@@ -1,6 +1,6 @@
 SMOKE_TRACE := /tmp/quill-smoke-trace.json
 
-.PHONY: all build test check clean
+.PHONY: all build test lint check clean
 
 all: build
 
@@ -10,11 +10,17 @@ build:
 test:
 	dune runtest
 
-# Full verification: build, test suite, then a CLI smoke run that exports
-# a trace and validates the Chrome trace-event JSON actually parses.
-check: build test
+# quill-check determinism lint: exits 1 on any unwaived finding.
+lint:
+	dune exec bin/quill_lint.exe
+
+# Full verification: build, test suite, determinism lint, then a CLI
+# smoke run that exports a trace, validates the Chrome trace-event JSON
+# actually parses, and replays the planned-order conflict check.
+check: build test lint
 	dune exec bin/quill_cli.exe -- run --engine quecc --workload ycsb \
-	  --txns 2048 --batch 512 --trace $(SMOKE_TRACE) --phase-table
+	  --txns 2048 --batch 512 --trace $(SMOKE_TRACE) --phase-table \
+	  --pipeline --steal --check-conflicts
 	python3 -c "import json; d = json.load(open('$(SMOKE_TRACE)')); \
 	  assert d['traceEvents'], 'empty trace'; \
 	  print('trace ok: %d events' % len(d['traceEvents']))"

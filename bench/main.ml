@@ -100,10 +100,12 @@ let run_micro () =
   in
   let results = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:false
                                  ~predictors:[| Measure.run |]) instances results in
+  (* lint: order-insensitive — rows are List.sort-ed before printing *)
   Hashtbl.iter
     (fun measure tbl ->
       ignore measure;
       let rows =
+        (* lint: order-insensitive — same: accumulated rows sorted below *)
         Hashtbl.fold
           (fun name ols acc ->
             let est =
@@ -131,7 +133,8 @@ let usage ?hint () =
     \                [scale] [--trace FILE] [--phase-table] [--faults SPEC]\n\
     \                [--arrival RATE] [--admission POLICY[:DEPTH]]\n\
     \                [--deadline TIME] [--retries N[:BACKOFF]]\n\
-    \                [--json FILE  (pipeline: machine-readable results)]";
+    \                [--json FILE  (pipeline: machine-readable results)]\n\
+    \                [--check-conflicts  (QueCC runs: verify planned order)]";
   exit 2
 
 (* Pull the option flags out of argv; what remains is positional. *)
@@ -203,6 +206,7 @@ let parse_args () =
               (parsed "--retries" Quill_clients.Clients.parse_retries
                  (value "--retries" i))
       | "--json" -> o.json <- Some (value "--json" i)
+      | "--check-conflicts" -> H.Experiments.check_conflicts := true
       | "--phase-table" -> H.Report.phase_tables := true
       | a when String.length a > 0 && a.[0] = '-' ->
           usage ~hint:("unknown option " ^ a) ()

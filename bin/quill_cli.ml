@@ -61,7 +61,7 @@ let clients_cfg ~seed arrival admission deadline retries =
 
 let run_cmd engine workload threads txns batch theta mp abort_ratio warehouses
     table_size seed faults_spec arrival admission deadline retries pipeline
-    steal trace_file phase_table =
+    steal check_conflicts trace_file phase_table =
   let faults =
     match faults_spec with
     | None -> Quill_faults.Faults.none
@@ -126,7 +126,11 @@ let run_cmd engine workload threads txns batch theta mp abort_ratio warehouses
         | Some _ -> Quill_trace.Trace.create ()
         | None -> Quill_trace.Trace.null
       in
-      let m = E.run ~tracer exp in
+      let recorder =
+        if check_conflicts then Some (Quill_analysis.Access_log.create ())
+        else None
+      in
+      let m = E.run ~tracer ?recorder exp in
       Format.printf "%s on %s:@.  %a@." engine workload
         Quill_txn.Metrics.pp m;
       if Quill_txn.Metrics.clients_active m then
@@ -136,15 +140,28 @@ let run_cmd engine workload threads txns batch theta mp abort_ratio warehouses
       if phase_table then
         Quill_harness.Report.print_phase_table ~title:"result"
           [ { Quill_harness.Report.label = engine; metrics = m } ];
-      match trace_file with
+      (match trace_file with
       | Some path ->
           Quill_trace.Trace.write_file tracer path;
           Printf.printf "trace: %d events written to %s\n"
             (Quill_trace.Trace.num_events tracer) path
+      | None -> ());
+      match recorder with
       | None -> ()
+      | Some log ->
+          let module CC = Quill_analysis.Conflict_check in
+          let r = CC.check_log log in
+          Format.printf "[conflict-check] %s: %a@." engine CC.pp_report r;
+          if r.CC.r_rows = 0 && r.CC.r_probes = 0 then
+            Format.printf
+              "[conflict-check] note: %s does not record accesses (only \
+               the QueCC family does)@."
+              engine;
+          if not (CC.ok r) then exit 1
 
-let experiments_cmd only scale =
+let experiments_cmd only scale check_conflicts =
   let module X = Quill_harness.Experiments in
+  X.check_conflicts := check_conflicts;
   match only with
   | None -> X.all ~scale ()
   | Some "table2-row1" -> X.table2_row1 ~scale ()
@@ -168,6 +185,7 @@ let list_engines_cmd () = List.iter print_endline (R.names ())
 
 let engine_t =
   Arg.(
+    (* lint: engine-name-ok — CLI default, parsed back through the registry *)
     value & opt string "quecc"
     & info [ "engine"; "e" ]
         ~doc:
@@ -279,6 +297,18 @@ let steal_t =
            signatures are disjoint from every unfinished queue of the \
            victim (deterministic outcome preserved).")
 
+let check_conflicts_t =
+  Arg.(
+    value & flag
+    & info [ "check-conflicts" ]
+        ~doc:
+          "Record every row access and verify the planned-order \
+           invariants after the run (plan does no row access, \
+           conflicting accesses follow planned queue priority, stolen \
+           queues are key-disjoint).  Prints a conflict-check report; \
+           exits 1 on any violation.  Only the QueCC-family engines \
+           record; recording never affects virtual time.")
+
 let trace_t =
   Arg.(
     value
@@ -297,7 +327,7 @@ let run_term =
     const run_cmd $ engine_t $ workload_t $ threads_t $ txns_t $ batch_t
     $ theta_t $ mp_t $ abort_t $ warehouses_t $ table_size_t $ seed_t
     $ faults_t $ arrival_t $ admission_t $ deadline_t $ retries_t
-    $ pipeline_t $ steal_t $ trace_t $ phase_table_t)
+    $ pipeline_t $ steal_t $ check_conflicts_t $ trace_t $ phase_table_t)
 
 let only_t =
   Arg.(
@@ -308,7 +338,8 @@ let only_t =
 let scale_t =
   Arg.(value & opt float 0.5 & info [ "scale" ] ~doc:"Scale factor.")
 
-let experiments_term = Term.(const experiments_cmd $ only_t $ scale_t)
+let experiments_term =
+  Term.(const experiments_cmd $ only_t $ scale_t $ check_conflicts_t)
 
 let cmds =
   [

@@ -1,0 +1,58 @@
+(* quill-check determinism lint driver.
+
+     quill_lint [DIR ...]
+
+   Walks every [.ml] under the given roots (default: lib bin bench),
+   runs {!Quill_analysis.Lint.lint_file} on each and prints one
+   machine-readable line per finding ([file:line: [RULE] message]).
+   Exits 1 if any finding survives, 0 on a clean tree.
+
+   The engine-name list for rule D4 comes from the live registry, so a
+   newly registered engine is linted without touching this driver;
+   pattern entries like "dist-quecc-<n>n" are skipped (they are help
+   text, not literals anyone could hardcode). *)
+
+let roots = ref []
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "_build" || (String.length entry > 0 && entry.[0] = '.')
+        then acc
+        else walk acc (Filename.concat path entry))
+      acc
+      (let entries = Sys.readdir path in
+       Array.sort compare entries;
+       entries)
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let () =
+  Arg.parse []
+    (fun d -> roots := d :: !roots)
+    "quill_lint [DIR ...]  (default roots: lib bin bench)";
+  let roots =
+    match List.rev !roots with [] -> [ "lib"; "bin"; "bench" ] | rs -> rs
+  in
+  let engine_names =
+    List.filter
+      (fun n -> not (String.contains n '<'))
+      (Quill_harness.Engine_registry.names ())
+  in
+  let files =
+    List.concat_map
+      (fun r -> if Sys.file_exists r then List.rev (walk [] r) else [])
+      roots
+  in
+  let findings =
+    List.concat_map (fun f -> Quill_analysis.Lint.lint_file ~engine_names f)
+      files
+  in
+  let findings = List.sort Quill_analysis.Lint.compare_finding findings in
+  List.iter
+    (fun f -> Format.printf "%a@." Quill_analysis.Lint.pp_finding f)
+    findings;
+  Printf.printf "quill_lint: %d file(s), %d finding(s)\n" (List.length files)
+    (List.length findings);
+  if findings <> [] then exit 1

@@ -1,0 +1,48 @@
+(** Happens-before checker for {!Access_log} recordings.
+
+    Replays a recorded run against the structural invariants that make
+    QueCC's priority-ordered queues deterministic (Qadah, Middleware
+    2019):
+
+    - {b plan-access} (C1): the planning phase performs zero row
+      accesses — planners route fragment descriptors, they never touch
+      storage.
+    - {b priority-order} (C2): conflicting (read-write or write-write)
+      same-key accesses within a batch execute in planned queue-slot
+      order — planner priority first, then position within the queue.
+      Committed-image reads and recovery replay are exempt (they commute
+      / legitimately re-execute out of global order).
+    - {b cross-owner} (C2b): a key's conflicting fragments all land in
+      one owner's queue set; conflicting accesses spanning owners mean
+      planner routing broke per-key locality.
+    - {b steal-overlap} (C3): a stolen queue is key-disjoint from every
+      queue drained concurrently by a different thread — the
+      work-stealing signatures really were disjoint.
+
+    The checker iterates sorted arrays only (never an unordered
+    container), so its own output is deterministic. *)
+
+type rule = Plan_access | Priority_order | Cross_owner | Steal_overlap
+
+val rule_name : rule -> string
+
+type violation = {
+  v_rule : rule;
+  v_batch : int;  (** -1 when the access predates batch attribution *)
+  v_table : string;
+  v_key : int;
+  v_msg : string;
+}
+
+type report = {
+  r_rows : int;  (** row accesses examined *)
+  r_probes : int;  (** storage probes examined *)
+  r_batches : int;  (** distinct batches covered *)
+  r_stolen : int;  (** stolen queues observed *)
+  violations : violation list;
+}
+
+val ok : report -> bool
+val check_log : Access_log.t -> report
+val pp_violation : Format.formatter -> violation -> unit
+val pp_report : Format.formatter -> report -> unit

@@ -75,6 +75,8 @@ type shared = {
   mutable batches_done : int;
   total_batches : int;
   clients : Clients.t option;
+  recorder : Quill_analysis.Access_log.t option;
+      (* conflict-detector access log (--check-conflicts) *)
 }
 
 let p_global sh = sh.cfg.nodes * sh.cfg.planners
@@ -419,7 +421,11 @@ let executor_thread sh node e batches =
   let egid = (node * sh.cfg.executors) + e in
   let st = { node; egid; cur_rt = None; cur_frag = None; cur_row = dummy_row;
              cur_found = false; replaying = false } in
-  let ctx = make_ctx sh st in
+  let ctx =
+    match sh.recorder with
+    | None -> make_ctx sh st
+    | Some log -> Quill_analysis.Access_log.wrap_exec_ctx log (make_ctx sh st)
+  in
   let nprio = p_global sh in
   (* Volatile batch state for recovery: the queues delivered so far and
      how many entries of each were completed.  The planned queues double
@@ -487,6 +493,12 @@ let executor_thread sh node e batches =
       qs.(prio) <- Some q;
       for i = 0 to Vec.length q - 1 do
         check_crash ();
+        (match sh.recorder with
+        | None -> ()
+        | Some log ->
+            (* no stealing in the distributed engine: owner = thread *)
+            Quill_analysis.Access_log.set_slot log ~thread:egid ~owner:egid
+              ~prio ~pos:i ~batch:b);
         exec_entry sh st ctx (Vec.get q i);
         done_.(prio) <- i + 1
       done;
@@ -602,7 +614,7 @@ let demux_thread sh node =
 
 (* ------------------------------------------------------------------ *)
 
-let run ?sim ?(faults = Faults.none) ?clients cfg wl ~batches =
+let run ?sim ?(faults = Faults.none) ?clients ?recorder cfg wl ~batches =
   assert (cfg.nodes > 0 && cfg.planners > 0 && cfg.executors > 0);
   let db = wl.Workload.db in
   if Db.nparts db <> cfg.nodes * cfg.executors then
@@ -634,6 +646,7 @@ let run ?sim ?(faults = Faults.none) ?clients cfg wl ~batches =
       batches_done = 0;
       total_batches = batches;
       clients;
+      recorder;
     }
   in
   for node = 0 to cfg.nodes - 1 do
@@ -650,7 +663,12 @@ let run ?sim ?(faults = Faults.none) ?clients cfg wl ~batches =
     done;
     Sim.spawn sim (fun () -> demux_thread sh node)
   done;
-  let parked = Sim.run sim in
+  let parked =
+    match recorder with
+    | None -> Sim.run sim
+    | Some log ->
+        Quill_analysis.Access_log.with_sim log sim (fun () -> Sim.run sim)
+  in
   if parked <> 0 then
     failwith (Printf.sprintf "Dist_quecc.run: %d threads deadlocked" parked);
   let m = sh.metrics in

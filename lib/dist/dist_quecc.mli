@@ -45,11 +45,16 @@ val run :
   ?sim:Quill_sim.Sim.t ->
   ?faults:Quill_faults.Faults.spec ->
   ?clients:Quill_clients.Clients.t ->
+  ?recorder:Quill_analysis.Access_log.t ->
   cfg ->
   Quill_txn.Workload.t ->
   batches:int ->
   Quill_txn.Metrics.t
-(** Requires the workload database to be partitioned with
+(** [?recorder] records row accesses with queue-slot attribution for
+    the conflict detector ([--check-conflicts]); crash-replay accesses
+    are recorded under the recover phase, which the checker exempts.
+
+    Requires the workload database to be partitioned with
     [nparts = nodes * executors].  [faults] (default
     {!Quill_faults.Faults.none}) attaches a deterministic fault plan;
     raises [Invalid_argument] if the plan crashes a node index outside

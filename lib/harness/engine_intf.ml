@@ -11,6 +11,9 @@ type run_cfg = {
   costs : Quill_sim.Costs.t;
   pipeline : bool;
   steal : bool;
+  recorder : Quill_analysis.Access_log.t option;
+      (* conflict-detector access recorder (--check-conflicts); engines
+         that support it thread row accesses through the log *)
 }
 
 module type S = sig

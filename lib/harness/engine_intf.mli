@@ -13,6 +13,10 @@ type run_cfg = {
   costs : Quill_sim.Costs.t;
   pipeline : bool;     (** overlap planning and execution (QueCC family) *)
   steal : bool;        (** executor work stealing (QueCC family) *)
+  recorder : Quill_analysis.Access_log.t option;
+      (** conflict-detector access recorder ([--check-conflicts]);
+          engines that support it record row accesses with queue-slot
+          attribution.  [None] (the default) costs nothing. *)
 }
 
 module type S = sig

@@ -86,7 +86,7 @@ let quecc_module name mode isolation : Engine_intf.t =
     let nparts _ = None
 
     let run ?sim ?clients ?faults:_ ~cfg wl =
-      Qe.run ?sim ?clients
+      Qe.run ?sim ?clients ?recorder:cfg.I.recorder
         {
           Qe.planners = cfg.I.threads;
           executors = cfg.I.threads;
@@ -269,6 +269,7 @@ let dist_quecc_module n : Engine_intf.t =
     let run ?sim ?clients ?faults ~cfg wl =
       let per_role = max 1 (cfg.I.threads / 2) in
       Quill_dist.Dist_quecc.run ?sim ?faults ?clients
+        ?recorder:cfg.I.recorder
         {
           Quill_dist.Dist_quecc.nodes = n;
           planners = per_role;

@@ -80,7 +80,7 @@ let respec_parts spec nparts =
 let batches t = max 1 ((t.txns + (t.batch_size / 2)) / t.batch_size)
 let effective_txns t = batches t * t.batch_size
 
-let run ?(tracer = Trace.null) t =
+let run ?(tracer = Trace.null) ?recorder t =
   Trace.begin_process tracer t.name;
   let batches = batches t in
   let txns = batches * t.batch_size in
@@ -106,6 +106,7 @@ let run ?(tracer = Trace.null) t =
       costs = t.costs;
       pipeline = t.pipeline;
       steal = t.steal;
+      recorder;
     }
   in
   (* Engines that pin nparts to the cluster shape get the workload

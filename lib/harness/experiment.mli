@@ -79,8 +79,15 @@ val effective_txns : t -> int
     The same effective count is given to every engine, batch-oriented or
     per-transaction, so throughput comparisons stay apples-to-apples. *)
 
-val run : ?tracer:Quill_trace.Trace.t -> t -> Quill_txn.Metrics.t
+val run :
+  ?tracer:Quill_trace.Trace.t ->
+  ?recorder:Quill_analysis.Access_log.t ->
+  t ->
+  Quill_txn.Metrics.t
 (** Builds a fresh database, runs, returns metrics.  Deterministic:
     the same [t] always yields the same metrics, with or without a
     tracer ([tracer] defaults to the disabled {!Quill_trace.Trace.null}
-    and never affects virtual time). *)
+    and never affects virtual time).  [recorder] likewise never affects
+    virtual time: it threads the conflict-detector access log through
+    engines that support it (the QueCC family) for
+    {!Quill_analysis.Conflict_check}; other engines ignore it. *)

@@ -12,6 +12,14 @@ val tracer : Quill_trace.Trace.t ref
     tracer).  Set it to an enabled tracer to capture the whole suite in
     one trace file. *)
 
+val check_conflicts : bool ref
+(** When set (bench/CLI [--check-conflicts]), every QueCC-family run in
+    the suite records its row accesses and is replayed through
+    {!Quill_analysis.Conflict_check} after it completes; a per-run
+    [\[conflict-check\]] summary is printed and any violation fails the
+    suite with an exception.  Recording never affects virtual time, so
+    results are identical to an unchecked run. *)
+
 val table2_row1 : ?scale:float -> unit -> unit
 (** Centralized QueCC vs deterministic H-Store, YCSB multi-partition
     sweep (paper: two orders of magnitude at high MP%). *)

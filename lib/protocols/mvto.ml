@@ -12,6 +12,7 @@ open Quill_sim
 open Quill_storage
 open Quill_txn
 
+(* lint: engine-name-ok — protocol display name consumed by the registry *)
 let name = "mvto"
 
 type t = {

@@ -9,6 +9,7 @@ open Quill_sim
 open Quill_storage
 open Quill_txn
 
+(* lint: engine-name-ok — protocol display name consumed by the registry *)
 let name = "tictoc"
 
 type t = { sim : Sim.t; costs : Costs.t; db : Db.t }

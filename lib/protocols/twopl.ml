@@ -20,7 +20,9 @@ end) =
 struct
   let name =
     match Policy.policy with
+    (* lint: engine-name-ok — the protocol's own display name *)
     | No_wait -> "2pl-nowait"
+    (* lint: engine-name-ok — same: display name, not dispatch *)
     | Wait_die -> "2pl-waitdie"
 
   type t = { sim : Sim.t; costs : Costs.t; db : Db.t }

@@ -4,6 +4,7 @@ open Quill_storage
 open Quill_txn
 module Trace = Quill_trace.Trace
 module Clients = Quill_clients.Clients
+module Alog = Quill_analysis.Access_log
 
 type exec_mode = Speculative | Conservative
 type isolation = Serializable | Read_committed
@@ -74,6 +75,9 @@ type shared = {
   qsig : (int, unit) Hashtbl.t array array array;
       (* [parity].[planner].[executor] *)
   metrics : Metrics.t;
+  recorder : Alog.t option;
+      (* conflict-detector access log (--check-conflicts); None on the
+         hot path *)
   mutable batch_no : int;
 }
 
@@ -85,6 +89,9 @@ let sig_disjoint a b =
     if Hashtbl.length a <= Hashtbl.length b then (a, b) else (b, a)
   in
   try
+    (* Whether ANY key of [small] is in [big] does not depend on visit
+       order, and the walk mutates nothing. *)
+    (* lint: order-insensitive — pure existence scan, order-independent *)
     Hashtbl.iter (fun k () -> if Hashtbl.mem big k then raise Exit) small;
     true
   with Exit -> false
@@ -286,6 +293,21 @@ let make_exec_ctx sh st =
   let found _frag = st.cur_found in
   { Exec.read; write; add; insert; input; output; found }
 
+(* Executor context, with conflict-detector interposition when a
+   recorder is active.  Read-committed reads are flagged so the checker
+   exempts them from ordering rules, exactly as planning exempts them
+   from steal signatures. *)
+let make_ctx sh st =
+  let ctx = make_exec_ctx sh st in
+  match sh.recorder with
+  | None -> ctx
+  | Some log ->
+      Alog.wrap_exec_ctx log
+        ~rc_read:(fun (f : Fragment.t) ->
+          sh.cfg.isolation = Read_committed
+          && f.Fragment.mode = Fragment.Read)
+        ctx
+
 (* Lazily reset per-batch row state the first time a row is seen.  Rows
    touched in the previous batch were reset at publish time, so this only
    matters for correctness of [last_writer] tags across batches. *)
@@ -407,16 +429,30 @@ let find_steal sh ~parity ~thief =
    executor that runs dry turns thief. *)
 let drain_queues sh st ctx ~parity =
   let e = st.eid in
+  (* [owner] is the executor the queue was planned for; with a recorder
+     active each entry is stamped with its queue slot so the conflict
+     checker can replay priority order ([owner <> e] marks a steal). *)
+  let drain ~owner p q =
+    match sh.recorder with
+    | None -> Vec.iter (exec_entry sh st ctx) q
+    | Some log ->
+        Vec.iteri
+          (fun i entry ->
+            Alog.set_slot log ~thread:e ~owner ~prio:p ~pos:i
+              ~batch:sh.batch_no;
+            exec_entry sh st ctx entry)
+          q
+  in
   if not sh.cfg.steal then
     for p = 0 to sh.cfg.planners - 1 do
-      Vec.iter (exec_entry sh st ctx) sh.queues.(parity).(p).(e)
+      drain ~owner:e p sh.queues.(parity).(p).(e)
     done
   else begin
     let qstate = sh.qstate.(parity) in
     for p = 0 to sh.cfg.planners - 1 do
       if qstate.(p).(e) = 0 then begin
         qstate.(p).(e) <- 1;
-        Vec.iter (exec_entry sh st ctx) sh.queues.(parity).(p).(e);
+        drain ~owner:e p sh.queues.(parity).(p).(e);
         qstate.(p).(e) <- 2
       end
     done;
@@ -429,7 +465,7 @@ let drain_queues sh st ctx ~parity =
           sh.metrics.Metrics.stolen_queues <-
             sh.metrics.Metrics.stolen_queues + 1;
           Sim.tick sh.sim sh.cfg.costs.Costs.queue_op;
-          Vec.iter (exec_entry sh st ctx) sh.queues.(parity).(p).(v);
+          drain ~owner:v p sh.queues.(parity).(p).(v);
           qstate.(p).(v) <- 2
     done
   end
@@ -822,7 +858,7 @@ let spawn_lockstep sim sh ?clients ~batches ~streams () =
         let st = { eid = t; cur_rt = dummy_rt; cur_row = dummy_row;
                    cur_found = false }
         in
-        let ctx = make_exec_ctx sh st in
+        let ctx = make_ctx sh st in
         let rr = ref t in
         let tr = Sim.tracer sim in
         let queue_depth_counter () =
@@ -998,7 +1034,7 @@ let spawn_pipelined sim sh ?clients ~batches ~streams () =
         let st = { eid = e; cur_rt = dummy_rt; cur_row = dummy_row;
                    cur_found = false }
         in
-        let ctx = make_exec_ctx sh st in
+        let ctx = make_ctx sh st in
         let tr = Sim.tracer sim in
         let queue_depth_counter parity =
           if Trace.enabled tr then begin
@@ -1084,7 +1120,7 @@ let spawn_pipelined sim sh ?clients ~batches ~streams () =
   done;
   cfg.planners + cfg.executors
 
-let run ?sim ?clients cfg wl ~batches =
+let run ?sim ?clients ?recorder cfg wl ~batches =
   assert (cfg.planners > 0 && cfg.executors > 0 && cfg.batch_size > 0);
   let sim =
     match sim with
@@ -1117,6 +1153,7 @@ let run ?sim ?clients cfg wl ~batches =
                    Array.init cfg.executors (fun _ -> Hashtbl.create 64)))
          else [||]);
       metrics = Metrics.create ();
+      recorder;
       batch_no = 0;
     }
   in
@@ -1129,7 +1166,11 @@ let run ?sim ?clients cfg wl ~batches =
     if cfg.pipeline then spawn_pipelined sim sh ?clients ~batches ~streams ()
     else spawn_lockstep sim sh ?clients ~batches ~streams ()
   in
-  let parked = Sim.run sim in
+  let parked =
+    match recorder with
+    | None -> Sim.run sim
+    | Some log -> Alog.with_sim log sim (fun () -> Sim.run sim)
+  in
   if parked <> 0 then
     failwith (Printf.sprintf "Quecc.Engine.run: %d threads deadlocked" parked);
   let m = sh.metrics in

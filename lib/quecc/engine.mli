@@ -56,11 +56,17 @@ val default_cfg : cfg
 val run :
   ?sim:Quill_sim.Sim.t ->
   ?clients:Quill_clients.Clients.t ->
+  ?recorder:Quill_analysis.Access_log.t ->
   cfg ->
   Quill_txn.Workload.t ->
   batches:int ->
   Quill_txn.Metrics.t
-(** Closed-loop by default: [batches] fixed-size batches cut from the
+(** [?recorder] (the [--check-conflicts] path) records every row access
+    with queue-slot attribution for {!Quill_analysis.Conflict_check};
+    recording never ticks the simulator, so committed state is
+    bit-identical with and without it.
+
+    Closed-loop by default: [batches] fixed-size batches cut from the
     workload stream.  With [?clients], batches are formed from whatever
     the admission queue holds at batch-close (variable sizes, capped at
     [cfg.batch_size]) and the engine runs until the client layer is

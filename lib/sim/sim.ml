@@ -183,6 +183,16 @@ let sleep t n =
 let yield t = suspend t (fun th k -> reschedule t th k)
 
 let set_phase t ph = (cur t).phase <- phase_index ph
+
+let phase_of_index = function
+  | 1 -> Ph_plan
+  | 2 -> Ph_execute
+  | 3 -> Ph_recover
+  | 4 -> Ph_publish
+  | _ -> Ph_other
+
+let phase t = phase_of_index (cur t).phase
+let in_thread t = t.current <> None
 let busy_time t = t.busy
 let busy_in t ph = t.busy_by_phase.(phase_index ph)
 let idle_time t = t.idle

@@ -66,6 +66,15 @@ val yield : t -> unit
 val set_phase : t -> phase -> unit
 (** Label subsequent [tick]s of the calling thread with [phase]. *)
 
+val phase : t -> phase
+(** Phase currently labelling the calling thread (set via {!set_phase};
+    [Ph_other] if never set).  Used by the conflict detector to attribute
+    recorded row accesses to the pipeline stage that performed them. *)
+
+val in_thread : t -> bool
+(** Whether the caller is executing inside a simulated thread (i.e.
+    [now]/[phase]/[current_tid] are callable). *)
+
 val busy_time : t -> int
 (** Total CPU ns charged via [tick] across all threads. *)
 

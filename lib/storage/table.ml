@@ -31,12 +31,28 @@ let nfields t = t.nfields
 let capacity t = Array.length t.rows
 let nparts t = t.nparts
 
+(* Conflict-detector interposition point: when installed (opt-in, via
+   the harness's --check-conflicts path) every row probe is reported.
+   A single option-ref branch when disabled — the common case. *)
+let probe_hook : (table:string -> key:int -> insert:bool -> unit) option ref
+    =
+  ref None
+
+let set_probe_hook h = probe_hook := h
+
+let probe t key ~insert =
+  match !probe_hook with
+  | None -> ()
+  | Some h -> h ~table:t.name ~key ~insert
+
 let dense t key =
   if key < 0 || key >= Array.length t.rows then
     invalid_arg (Printf.sprintf "Table.dense %s: key %d" t.name key);
+  probe t key ~insert:false;
   t.rows.(key)
 
 let find t key =
+  probe t key ~insert:false;
   if key >= 0 && key < Array.length t.rows then Some t.rows.(key)
   else Hashtbl.find_opt t.dyn key
 
@@ -50,6 +66,7 @@ let insert t ~home ~key payload =
     invalid_arg (Printf.sprintf "Table.insert %s: duplicate key %d" t.name key);
   if Array.length payload <> t.nfields then
     invalid_arg "Table.insert: payload arity mismatch";
+  probe t key ~insert:true;
   let row = Row.make ~key ~nfields:t.nfields in
   Array.blit payload 0 row.Row.data 0 t.nfields;
   Row.publish row;

@@ -41,6 +41,13 @@ val remove : t -> int -> unit
 (** Remove a dynamic-region row (insert rollback).  No-op when absent;
     raises [Invalid_argument] for dense keys. *)
 
+val set_probe_hook :
+  (table:string -> key:int -> insert:bool -> unit) option -> unit
+(** Install (or clear, with [None]) a process-global observer called on
+    every row probe — [dense]/[find] lookups and [insert]s — across all
+    tables.  Used by the conflict detector to prove the planning phase
+    touches no rows; costs one branch when unset. *)
+
 val inserted_count : t -> int
 val iter_dense : (Row.t -> unit) -> t -> unit
 val row_bytes : t -> int
