@@ -129,11 +129,11 @@ let usage ?hint () =
   prerr_endline
     "usage: main.exe [table2-row1|table2-row2|table2-row3|fig-contention|\n\
     \                 fig-scalability|fig-modes|fig-latency|fig-batch|\n\
-    \                 pipeline|fault-tolerance|overload|micro|all]\n\
+    \                 pipeline|skew|fault-tolerance|overload|micro|all]\n\
     \                [scale] [--trace FILE] [--phase-table] [--faults SPEC]\n\
     \                [--arrival RATE] [--admission POLICY[:DEPTH]]\n\
     \                [--deadline TIME] [--retries N[:BACKOFF]]\n\
-    \                [--json FILE  (pipeline: machine-readable results)]\n\
+    \                [--json FILE  (pipeline/skew: machine-readable results)]\n\
     \                [--check-conflicts  (QueCC runs: verify planned order)]";
   exit 2
 
@@ -244,6 +244,7 @@ let () =
   | "fig-latency" -> H.Experiments.fig_latency ~scale ()
   | "fig-batch" -> H.Experiments.fig_batch ~scale ()
   | "pipeline" -> H.Experiments.pipeline ~scale ?json:o.json ()
+  | "skew" -> H.Experiments.skew ~scale ?json:o.json ()
   | "fault-tolerance" -> H.Experiments.fault_tolerance ~scale ?plan:faults ()
   | "overload" ->
       H.Experiments.overload ~scale ?arrival:o.arrival ?admission:o.admission

@@ -61,7 +61,32 @@ let clients_cfg ~seed arrival admission deadline retries =
 
 let run_cmd engine workload threads txns batch theta mp abort_ratio warehouses
     table_size seed faults_spec arrival admission deadline retries pipeline
-    steal check_conflicts trace_file phase_table =
+    steal split_spec adapt_spec global_zipf check_conflicts trace_file
+    phase_table =
+  (* --split N: hot-key split threshold, a positive integer. *)
+  let split =
+    match split_spec with
+    | None -> None
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n > 0 -> Some n
+        | Some _ | None ->
+            Printf.eprintf
+              "quill_cli: bad --split %S (want a positive integer threshold)\n"
+              s;
+            exit 2)
+  in
+  let adapt_repart, adapt_batch =
+    match adapt_spec with
+    | None -> (false, false)
+    | Some "repart" -> (true, false)
+    | Some "batch" -> (false, true)
+    | Some "all" -> (true, true)
+    | Some s ->
+        Printf.eprintf "quill_cli: bad --adapt %S (want repart|batch|all)\n"
+          s;
+        exit 2
+  in
   let faults =
     match faults_spec with
     | None -> Quill_faults.Faults.none
@@ -99,6 +124,7 @@ let run_cmd engine workload threads txns batch theta mp abort_ratio warehouses
                 mp_ratio = mp;
                 abort_ratio;
                 abort_threshold = 128;
+                global_zipf;
                 seed;
               }
         | "tpcc" ->
@@ -119,7 +145,7 @@ let run_cmd engine workload threads txns batch theta mp abort_ratio warehouses
       in
       let exp =
         E.make ~threads ~txns ~batch_size:batch ~faults ?clients ~pipeline
-          ~steal e spec
+          ~steal ?split ~adapt_repart ~adapt_batch e spec
       in
       let tracer =
         match trace_file with
@@ -173,6 +199,7 @@ let experiments_cmd only scale check_conflicts =
   | Some "fig-latency" -> X.fig_latency ~scale ()
   | Some "fig-batch" -> X.fig_batch ~scale ()
   | Some "pipeline" -> X.pipeline ~scale ()
+  | Some "skew" -> X.skew ~scale ()
   | Some "fault-tolerance" -> X.fault_tolerance ~scale ()
   | Some "overload" -> X.overload ~scale ()
   | Some other ->
@@ -297,6 +324,29 @@ let steal_t =
            signatures are disjoint from every unfinished queue of the \
            victim (deterministic outcome preserved).")
 
+let split_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "split" ] ~docv:"N"
+        ~doc:
+          "QueCC: split any key planned N+ times in one batch slice into ordered sub-queues executed chain-serially across executors (committed state stays bit-identical per seed; see DESIGN.md section 12).  N is a positive integer op-count threshold.")
+
+let adapt_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "adapt" ] ~docv:"repart|batch|all"
+        ~doc:
+          "QueCC adaptive planning: 'repart' rebalances key-to-executor routing between batches from queue-depth counters (state-identical); 'batch' auto-tunes the batch size from pipeline stall counters (pipelined closed-loop runs only; alters the schedule); 'all' enables both.")
+
+let global_zipf_t =
+  Arg.(
+    value & flag
+    & info [ "global-zipf" ]
+        ~doc:
+          "YCSB: draw keys zipfian over the whole table instead of within a per-transaction partition, so every stream hits the same hottest keys (the adaptive-planning worst case).")
+
 let check_conflicts_t =
   Arg.(
     value & flag
@@ -327,7 +377,8 @@ let run_term =
     const run_cmd $ engine_t $ workload_t $ threads_t $ txns_t $ batch_t
     $ theta_t $ mp_t $ abort_t $ warehouses_t $ table_size_t $ seed_t
     $ faults_t $ arrival_t $ admission_t $ deadline_t $ retries_t
-    $ pipeline_t $ steal_t $ check_conflicts_t $ trace_t $ phase_table_t)
+    $ pipeline_t $ steal_t $ split_t $ adapt_t $ global_zipf_t
+    $ check_conflicts_t $ trace_t $ phase_table_t)
 
 let only_t =
   Arg.(

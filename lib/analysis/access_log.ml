@@ -21,6 +21,7 @@ type row_access = {
   a_thread : int;
   a_owner : int;
   a_prio : int;
+  a_subseq : int;
   a_pos : int;
   a_batch : int;
   a_vt : int;
@@ -45,11 +46,17 @@ type slot = {
   s_thread : int;
   s_owner : int;
   s_prio : int;
+  s_subseq : int;
+      (* intra-key sub-queue index for hot-key chain segments; -1 for a
+         plain queue entry.  Segment entries of one (prio, key) chain
+         execute in (subseq, pos) order. *)
   s_pos : int;
   s_batch : int;
 }
 
-let no_slot = { s_thread = -1; s_owner = -1; s_prio = -1; s_pos = -1; s_batch = -1 }
+let no_slot =
+  { s_thread = -1; s_owner = -1; s_prio = -1; s_subseq = -1; s_pos = -1;
+    s_batch = -1 }
 
 type t = {
   mutable now : unit -> int;
@@ -91,10 +98,10 @@ let next_seq t =
   t.seq <- s + 1;
   s
 
-let set_slot t ~thread ~owner ~prio ~pos ~batch =
+let set_slot t ~thread ~owner ~prio ~subseq ~pos ~batch =
   Hashtbl.replace t.slots (t.tid ())
-    { s_thread = thread; s_owner = owner; s_prio = prio; s_pos = pos;
-      s_batch = batch }
+    { s_thread = thread; s_owner = owner; s_prio = prio; s_subseq = subseq;
+      s_pos = pos; s_batch = batch }
 
 let record_row t ~table ~key ~op =
   let s =
@@ -107,6 +114,7 @@ let record_row t ~table ~key ~op =
       a_thread = s.s_thread;
       a_owner = s.s_owner;
       a_prio = s.s_prio;
+      a_subseq = s.s_subseq;
       a_pos = s.s_pos;
       a_batch = s.s_batch;
       a_vt = t.now ();

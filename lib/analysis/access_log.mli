@@ -21,6 +21,11 @@ type row_access = {
   a_thread : int;  (** executor thread (engine-local id) doing the access *)
   a_owner : int;  (** thread that owns the queue being drained *)
   a_prio : int;  (** planner priority of the queue (planner index) *)
+  a_subseq : int;
+      (** intra-key sub-queue index when the entry came from a hot-key
+          chain segment (QueCC [cfg.split]); -1 for a plain queue entry.
+          Within one (batch, prio, key), planned order is
+          [(subseq, pos)] lexicographic. *)
   a_pos : int;  (** position of the entry within the queue *)
   a_batch : int;  (** batch number *)
   a_vt : int;  (** virtual time of the access *)
@@ -57,10 +62,19 @@ val attach :
 val clear : t -> unit
 
 val set_slot :
-  t -> thread:int -> owner:int -> prio:int -> pos:int -> batch:int -> unit
+  t ->
+  thread:int ->
+  owner:int ->
+  prio:int ->
+  subseq:int ->
+  pos:int ->
+  batch:int ->
+  unit
 (** Set the queue-slot context attributed to subsequent row accesses.
     Engines call this from their drain loops before executing each queue
-    entry; [owner <> thread] marks a stolen queue. *)
+    entry; [owner <> thread] marks a stolen queue (or, with
+    [subseq >= 0], a chain segment running on a foreign executor).
+    Pass [subseq:(-1)] for a plain queue entry. *)
 
 val record_row : t -> table:int -> key:int -> op:op -> unit
 val record_probe : t -> table:string -> key:int -> insert:bool -> unit

@@ -23,6 +23,7 @@ type report = {
   r_probes : int;
   r_batches : int;
   r_stolen : int;
+  r_segments : int;
   violations : violation list;
 }
 
@@ -35,15 +36,20 @@ let pp_violation fmt v =
 let pp_report fmt r =
   Format.fprintf fmt
     "conflict-check: %d row accesses, %d probes, %d batches, %d stolen \
-     queues, %d violations"
-    r.r_rows r.r_probes r.r_batches r.r_stolen
+     queues, %d chain segments, %d violations"
+    r.r_rows r.r_probes r.r_batches r.r_stolen r.r_segments
     (List.length r.violations);
   List.iter (fun v -> Format.fprintf fmt "@.  %a" pp_violation v) r.violations
 
-(* Queue-slot order within one owner's queue set: planner priority first,
-   then position within the queue.  This is the order the paper requires
-   conflicting accesses to respect. *)
-let slot_lt (p1, q1) (p2, q2) = p1 < p2 || (p1 = p2 && q1 < q2)
+(* Queue-slot order within one owner's queue set: planner priority
+   first, then intra-key sub-queue index (hot-key chain segments;
+   -1 for plain entries), then position within the (sub-)queue.  This is
+   the order the paper requires conflicting accesses to respect; the
+   subseq component is what lets a split key's accesses, spread over
+   several executors, still prove planned order. *)
+let slot_lt (p1, s1, q1) (p2, s2, q2) =
+  p1 < p2
+  || (p1 = p2 && (s1 < s2 || (s1 = s2 && q1 < q2)))
 
 (* All checks iterate deterministic sorted arrays — never a Hashtbl —
    so the checker's own output order is reproducible. *)
@@ -144,7 +150,7 @@ let check_priority_order sorted add =
     and reported_cross = ref false in
     for k = !i to !j - 1 do
       let a = sorted.(k) in
-      let slot = (a.A.a_prio, a.A.a_pos) in
+      let slot = (a.A.a_prio, a.A.a_subseq, a.A.a_pos) in
       if is_write a.A.a_op then has_write := true;
       (match !owners with
       | (o, _, _) :: _ when o <> a.A.a_owner -> multi_owner := true
@@ -165,10 +171,11 @@ let check_priority_order sorted add =
       let max_all, max_w =
         match List.assoc_opt a.A.a_owner (List.map (fun (o, ma, mw) -> (o, (ma, mw))) !owners) with
         | Some (ma, mw) -> (ma, mw)
-        | None -> ((-1, -1), (-1, -1))
+        | None -> ((-1, -1, -1), (-1, -1, -1))
       in
       let against = if is_write a.A.a_op then max_all else max_w in
-      if slot_lt slot against then
+      if slot_lt slot against then begin
+        let ap, asq, apos = against in
         add
           {
             v_rule = Priority_order;
@@ -177,12 +184,13 @@ let check_priority_order sorted add =
             v_key = a.A.a_key;
             v_msg =
               Printf.sprintf
-                "%s at queue slot (prio %d, pos %d) by thread %d executed \
-                 after a conflicting access at slot (prio %d, pos %d) of \
-                 the same owner %d"
-                (A.op_name a.A.a_op) a.A.a_prio a.A.a_pos a.A.a_thread
-                (fst against) (snd against) a.A.a_owner;
-          };
+                "%s at queue slot (prio %d, sub %d, pos %d) by thread %d \
+                 executed after a conflicting access at slot (prio %d, \
+                 sub %d, pos %d) of the same owner %d"
+                (A.op_name a.A.a_op) a.A.a_prio a.A.a_subseq a.A.a_pos
+                a.A.a_thread ap asq apos a.A.a_owner;
+          }
+      end;
       let max_all' = if slot_lt max_all slot then slot else max_all in
       let max_w' =
         if is_write a.A.a_op && slot_lt max_w slot then slot else max_w
@@ -194,12 +202,17 @@ let check_priority_order sorted add =
     i := !j
   done
 
-(* One drained execution queue: who drained it, which keys it touched,
-   and the seq window over which it was drained. *)
+(* One drained execution (sub-)queue: who drained it, which keys it
+   touched, and the seq window over which it was drained.  A hot-key
+   chain segment ([q_subseq >= 0]) is its own queue: it runs on a
+   foreign thread like a steal, and the same concurrent-overlap check
+   applies to it (its window must not overlap any other thread's queue
+   that shares a key — chain sequencing is what guarantees that). *)
 type queue = {
   q_batch : int;
   q_owner : int;
   q_prio : int;
+  q_subseq : int;
   mutable q_thread : int;
   mutable q_min_seq : int;
   mutable q_max_seq : int;
@@ -218,7 +231,18 @@ let build_queues sorted =
         if c <> 0 then c
         else
           let c = compare x.A.a_prio y.A.a_prio in
-          if c <> 0 then c else compare x.A.a_seq y.A.a_seq)
+          if c <> 0 then c
+          else
+            let c = compare x.A.a_subseq y.A.a_subseq in
+            if c <> 0 then c
+            else
+              (* two chains can share (owner, prio, subseq); a segment
+                 holds exactly one key, so key-group the segment rows *)
+              let c =
+                if x.A.a_subseq < 0 then 0
+                else compare (x.A.a_table, x.A.a_key) (y.A.a_table, y.A.a_key)
+              in
+              if c <> 0 then c else compare x.A.a_seq y.A.a_seq)
     arr;
   let queues = Vec.create () in
   Array.iter
@@ -229,6 +253,7 @@ let build_queues sorted =
             q_batch = a.A.a_batch;
             q_owner = a.A.a_owner;
             q_prio = a.A.a_prio;
+            q_subseq = a.A.a_subseq;
             q_thread = a.A.a_thread;
             q_min_seq = a.A.a_seq;
             q_max_seq = a.A.a_seq;
@@ -243,7 +268,9 @@ let build_queues sorted =
         let q = Vec.get queues (Vec.length queues - 1) in
         if
           q.q_batch = a.A.a_batch && q.q_owner = a.A.a_owner
-          && q.q_prio = a.A.a_prio
+          && q.q_prio = a.A.a_prio && q.q_subseq = a.A.a_subseq
+          && (q.q_subseq < 0
+             || Vec.get q.q_keys 0 = (a.A.a_table, a.A.a_key))
         then begin
           q.q_max_seq <- max q.q_max_seq a.A.a_seq;
           q.q_min_seq <- min q.q_min_seq a.A.a_seq;
@@ -279,14 +306,18 @@ let keys_intersect a b =
    key-disjoint from every queue drained concurrently by a different
    thread.  The engine only steals when signatures are disjoint against
    all unfinished queues; a queue fully drained before the steal window
-   opened ([q_max_seq < q_min_seq of the stolen one]) may share keys. *)
+   opened ([q_max_seq < q_min_seq of the stolen one]) may share keys.
+   Hot-key chain segments also run off-owner, but by sequencing rather
+   than disjointness: their windows must simply never overlap another
+   thread's queue sharing the key, which the same scan verifies.  They
+   are tallied as segments, not steals. *)
 let check_steal_overlap queues add =
   let n = Array.length queues in
-  let stolen = ref 0 in
+  let stolen = ref 0 and segments = ref 0 in
   for a = 0 to n - 1 do
     let qa = queues.(a) in
-    if qa.q_thread <> qa.q_owner then begin
-      incr stolen;
+    if qa.q_subseq >= 0 || qa.q_thread <> qa.q_owner then begin
+      if qa.q_subseq >= 0 then incr segments else incr stolen;
       for b = 0 to n - 1 do
         let qb = queues.(b) in
         if
@@ -307,16 +338,21 @@ let check_steal_overlap queues add =
                   v_key = key;
                   v_msg =
                     Printf.sprintf
-                      "queue (owner %d, prio %d) stolen by thread %d \
-                       overlaps concurrent queue (owner %d, prio %d) on \
-                       thread %d — signatures were not disjoint"
-                      qa.q_owner qa.q_prio qa.q_thread qb.q_owner
-                      qb.q_prio qb.q_thread;
+                      "%s (owner %d, prio %d, sub %d) on thread %d \
+                       overlaps concurrent queue (owner %d, prio %d, \
+                       sub %d) on thread %d — %s"
+                      (if qa.q_subseq >= 0 then "chain segment"
+                       else "stolen queue")
+                      qa.q_owner qa.q_prio qa.q_subseq qa.q_thread
+                      qb.q_owner qb.q_prio qb.q_subseq qb.q_thread
+                      (if qa.q_subseq >= 0 then
+                         "chain sequencing was violated"
+                       else "signatures were not disjoint");
                 }
       done
     end
   done;
-  !stolen
+  (!stolen, !segments)
 
 let count_batches (rows : A.row_access array) =
   let seen = ref [] in
@@ -335,11 +371,12 @@ let check_log log =
   let sorted = ordered_rows rows in
   check_priority_order sorted add;
   let queues = build_queues sorted in
-  let stolen = check_steal_overlap queues add in
+  let stolen, segments = check_steal_overlap queues add in
   {
     r_rows = Array.length rows;
     r_probes = Array.length probes;
     r_batches = count_batches rows;
     r_stolen = stolen;
+    r_segments = segments;
     violations = Vec.to_list acc;
   }

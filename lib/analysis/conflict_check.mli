@@ -9,15 +9,20 @@
       storage.
     - {b priority-order} (C2): conflicting (read-write or write-write)
       same-key accesses within a batch execute in planned queue-slot
-      order — planner priority first, then position within the queue.
-      Committed-image reads and recovery replay are exempt (they commute
-      / legitimately re-execute out of global order).
+      order — planner priority first, then intra-key sub-queue index
+      (hot-key chain segments, [cfg.split]), then position within the
+      (sub-)queue.  Committed-image reads and recovery replay are exempt
+      (they commute / legitimately re-execute out of global order).
     - {b cross-owner} (C2b): a key's conflicting fragments all land in
       one owner's queue set; conflicting accesses spanning owners mean
-      planner routing broke per-key locality.
+      planner routing broke per-key locality.  (A chain segment runs on
+      a foreign {e thread} but keeps its home {e owner}, so splitting
+      does not trip this rule.)
     - {b steal-overlap} (C3): a stolen queue is key-disjoint from every
       queue drained concurrently by a different thread — the
-      work-stealing signatures really were disjoint.
+      work-stealing signatures really were disjoint.  Chain segments get
+      the same concurrent-overlap scan (their windows must be serialized
+      by the chain ivars, never concurrent with a key-sharing queue).
 
     The checker iterates sorted arrays only (never an unordered
     container), so its own output is deterministic. *)
@@ -39,6 +44,7 @@ type report = {
   r_probes : int;  (** storage probes examined *)
   r_batches : int;  (** distinct batches covered *)
   r_stolen : int;  (** stolen queues observed *)
+  r_segments : int;  (** hot-key chain segments observed (cfg.split) *)
   violations : violation list;
 }
 

@@ -36,4 +36,9 @@ module Hist : sig
       upper edge), 0 when empty. *)
 
   val max_value : t -> int
+
+  (* Bucket mapping, exposed for white-box property tests: every value
+     lands in a bucket whose upper edge is at least the value. *)
+  val index_of : int -> int
+  val upper_edge : int -> int
 end

@@ -786,6 +786,13 @@ let run ?sim ?(faults = Faults.none) ?clients cfg wl ~batches =
   m.Metrics.busy <- Sim.busy_time sim;
   m.Metrics.idle <- Sim.idle_time sim;
   m.Metrics.threads <- cfg.nodes * (cfg.workers + 3);
+  if cfg.pipeline then begin
+    (* one scheduler (fill stalls) and one sequencer (drain stalls) per
+       node — far fewer contributors than dist-quecc's per-role pools,
+       which is why raw stall sums were never engine-comparable *)
+    m.Metrics.pipe_fill_threads <- cfg.nodes;
+    m.Metrics.pipe_drain_threads <- cfg.nodes
+  end;
   m.Metrics.msgs <- Net.messages_sent sh.net;
   m.Metrics.msg_retries <- Net.messages_retried sh.net;
   m.Metrics.msg_dup_drops <- Net.duplicates_dropped sh.net;

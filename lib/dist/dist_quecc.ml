@@ -498,7 +498,7 @@ let executor_thread sh node e batches =
         | Some log ->
             (* no stealing in the distributed engine: owner = thread *)
             Quill_analysis.Access_log.set_slot log ~thread:egid ~owner:egid
-              ~prio ~pos:i ~batch:b);
+              ~prio ~subseq:(-1) ~pos:i ~batch:b);
         exec_entry sh st ctx (Vec.get q i);
         done_.(prio) <- i + 1
       done;
@@ -676,6 +676,13 @@ let run ?sim ?(faults = Faults.none) ?clients ?recorder cfg wl ~batches =
   m.Metrics.busy <- Sim.busy_time sim;
   m.Metrics.idle <- Sim.idle_time sim;
   m.Metrics.threads <- cfg.nodes * (cfg.planners + cfg.executors + 1);
+  if cfg.pipeline then begin
+    (* fill stalls accumulate in executor threads, drain stalls in
+       planner threads; recording the contributor counts makes the
+       per-thread stall averages engine-comparable *)
+    m.Metrics.pipe_fill_threads <- cfg.nodes * cfg.executors;
+    m.Metrics.pipe_drain_threads <- cfg.nodes * cfg.planners
+  end;
   m.Metrics.msgs <- Net.messages_sent sh.net;
   m.Metrics.msg_retries <- Net.messages_retried sh.net;
   m.Metrics.msg_dup_drops <- Net.duplicates_dropped sh.net;

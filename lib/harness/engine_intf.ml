@@ -11,6 +11,15 @@ type run_cfg = {
   costs : Quill_sim.Costs.t;
   pipeline : bool;
   steal : bool;
+  split : int option;
+      (* QueCC hot-key queue splitting: per-planner per-key op count
+         that triggers a split; None = off.  Plain int (not the engine's
+         record) so the harness stays engine-agnostic; engines that
+         don't split ignore it. *)
+  adapt_repart : bool;
+      (* QueCC dynamic repartitioning between batches *)
+  adapt_batch : bool;
+      (* QueCC batch-size auto-tuning (pipelined runs) *)
   recorder : Quill_analysis.Access_log.t option;
       (* conflict-detector access recorder (--check-conflicts); engines
          that support it thread row accesses through the log *)

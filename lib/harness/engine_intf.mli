@@ -13,6 +13,17 @@ type run_cfg = {
   costs : Quill_sim.Costs.t;
   pipeline : bool;     (** overlap planning and execution (QueCC family) *)
   steal : bool;        (** executor work stealing (QueCC family) *)
+  split : int option;
+      (** QueCC hot-key queue splitting: per-planner per-key op count
+          that triggers sub-queues; [None] = off.  Kept as a plain int
+          (not the engine's [split_cfg]) so the harness stays
+          engine-agnostic; engines without a split path ignore it. *)
+  adapt_repart : bool;
+      (** QueCC dynamic repartitioning of key→executor routing between
+          batches (queue-depth driven). *)
+  adapt_batch : bool;
+      (** QueCC batch-size auto-tuning from pipeline stall counters
+          (pipelined closed-loop runs only). *)
   recorder : Quill_analysis.Access_log.t option;
       (** conflict-detector access recorder ([--check-conflicts]);
           engines that support it record row accesses with queue-slot

@@ -96,6 +96,19 @@ let quecc_module name mode isolation : Engine_intf.t =
           costs = cfg.I.costs;
           pipeline = cfg.I.pipeline;
           steal = cfg.I.steal;
+          split =
+            (match cfg.I.split with
+            | Some t -> Some { Qe.default_split with Qe.hot_threshold = t }
+            | None -> None);
+          adapt =
+            (if cfg.I.adapt_repart || cfg.I.adapt_batch then
+               Some
+                 {
+                   Qe.default_adapt with
+                   Qe.repartition = cfg.I.adapt_repart;
+                   auto_batch = cfg.I.adapt_batch;
+                 }
+             else None);
         }
         wl ~batches:cfg.I.batches
   end)

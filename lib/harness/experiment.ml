@@ -38,11 +38,15 @@ type t = {
   clients : Clients.cfg option;
   pipeline : bool;
   steal : bool;
+  split : int option;
+  adapt_repart : bool;
+  adapt_batch : bool;
 }
 
 let make ?name ?(threads = 8) ?(txns = 20_000) ?(batch_size = 1024)
     ?(costs = Costs.default) ?(faults = Faults.none) ?clients
-    ?(pipeline = false) ?(steal = false) engine workload =
+    ?(pipeline = false) ?(steal = false) ?split ?(adapt_repart = false)
+    ?(adapt_batch = false) engine workload =
   let name =
     match name with Some n -> n | None -> engine_name engine
   in
@@ -58,6 +62,9 @@ let make ?name ?(threads = 8) ?(txns = 20_000) ?(batch_size = 1024)
     clients;
     pipeline;
     steal;
+    split;
+    adapt_repart;
+    adapt_batch;
   }
 
 let build_workload = function
@@ -80,7 +87,7 @@ let respec_parts spec nparts =
 let batches t = max 1 ((t.txns + (t.batch_size / 2)) / t.batch_size)
 let effective_txns t = batches t * t.batch_size
 
-let run ?(tracer = Trace.null) ?recorder t =
+let run ?(tracer = Trace.null) ?recorder ?on_workload t =
   Trace.begin_process tracer t.name;
   let batches = batches t in
   let txns = batches * t.batch_size in
@@ -106,6 +113,9 @@ let run ?(tracer = Trace.null) ?recorder t =
       costs = t.costs;
       pipeline = t.pipeline;
       steal = t.steal;
+      split = t.split;
+      adapt_repart = t.adapt_repart;
+      adapt_batch = t.adapt_batch;
       recorder;
     }
   in
@@ -119,6 +129,7 @@ let run ?(tracer = Trace.null) ?recorder t =
   in
   let wl = build_workload spec in
   let sim = Sim.create ~wake_cost:t.costs.Costs.wakeup ~tracer () in
+  Option.iter (fun f -> f wl) on_workload;
   (* The client layer owns the offered-transaction count: the experiment's
      batch-rounded [txns] target overrides whatever the cfg carried so
      that --txns means the same thing open- and closed-loop. *)

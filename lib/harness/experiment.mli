@@ -55,6 +55,17 @@ type t = {
   steal : bool;
       (** QueCC: executor work stealing on queue imbalance; implies
           nothing without [pipeline] but composes with either path. *)
+  split : int option;
+      (** QueCC: hot-key queue splitting threshold (per-planner per-key
+          op count that triggers sub-queues); [None] = off.  See
+          {!Quill_quecc.Engine.split_cfg}. *)
+  adapt_repart : bool;
+      (** QueCC: dynamic repartitioning of key→executor routing between
+          batches, driven by queue-depth counters. *)
+  adapt_batch : bool;
+      (** QueCC: batch-size auto-tuning from pipeline stall counters
+          (pipelined closed-loop runs only; schedule-altering, so not
+          bit-identical with the fixed-size run). *)
 }
 
 val make :
@@ -67,6 +78,9 @@ val make :
   ?clients:Quill_clients.Clients.cfg ->
   ?pipeline:bool ->
   ?steal:bool ->
+  ?split:int ->
+  ?adapt_repart:bool ->
+  ?adapt_batch:bool ->
   engine ->
   workload_spec ->
   t
@@ -82,9 +96,14 @@ val effective_txns : t -> int
 val run :
   ?tracer:Quill_trace.Trace.t ->
   ?recorder:Quill_analysis.Access_log.t ->
+  ?on_workload:(Quill_txn.Workload.t -> unit) ->
   t ->
   Quill_txn.Metrics.t
-(** Builds a fresh database, runs, returns metrics.  Deterministic:
+(** Builds a fresh database, runs, returns metrics.  [on_workload] is
+    called with the internally built workload just before the engine
+    runs, letting callers hold a reference for post-run inspection
+    (e.g. the committed-state checksum the skew sweep compares across
+    adaptive and baseline runs).  Deterministic:
     the same [t] always yields the same metrics, with or without a
     tracer ([tracer] defaults to the disabled {!Quill_trace.Trace.null}
     and never affects virtual time).  [recorder] likewise never affects

@@ -59,6 +59,17 @@ val pipeline : ?scale:float -> ?json:string -> unit -> unit
     machine-readable JSON file (the CI [BENCH_pipeline.json]
     perf-trajectory artifact). *)
 
+val skew : ?scale:float -> ?json:string -> unit -> unit
+(** Adaptive planning under skew: QueCC plain vs hot-key queue splitting
+    ([--split]) vs splitting + dynamic repartitioning ([--adapt repart])
+    across zipfian theta on a global-zipf YCSB (the same hottest keys
+    hit from every stream).  The plain row per theta is the state
+    oracle — the adaptive mechanisms are schedule-preserving, so the
+    committed-state checksums must match bit-for-bit.  [json] writes
+    every row (throughput, split/repartition counters, checksum) to a
+    machine-readable file (the CI [BENCH_skew.json] artifact; the
+    skew-smoke job asserts the counters fire and the checksums agree). *)
+
 val default_fault_plan : Quill_faults.Faults.spec
 (** One node-1 crash mid-run, 1% drop, 1% duplication, seed 7. *)
 

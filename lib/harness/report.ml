@@ -41,8 +41,8 @@ let to_cells ?baseline r =
 let phase_header =
   [
     "engine"; "plan"; "execute"; "recover"; "publish"; "other"; "busy%";
-    "idle:barrier"; "idle:ivar"; "idle:chan"; "idle:sleep"; "fill-stall";
-    "drain-stall"; "stolen";
+    "idle:barrier"; "idle:ivar"; "idle:chan"; "idle:sleep"; "fill-stall/thr";
+    "drain-stall/thr"; "stolen"; "steal a/r"; "split k/q"; "repart"; "resize";
   ]
 
 let pct part whole =
@@ -64,9 +64,18 @@ let phase_cells r =
     pct m.Metrics.idle_ivar span;
     pct m.Metrics.idle_chan span;
     pct m.Metrics.idle_sleep span;
-    pct m.Metrics.pipe_fill_stall span;
-    pct m.Metrics.pipe_drain_stall span;
+    (* Stall cells are per-contributing-thread averages (absolute time),
+       not % of the aggregate span: engines stall in very different
+       numbers of threads (dist-calvin: one sequencer per node;
+       dist-quecc: a planner pool per node), so raw sums were off by the
+       thread-count ratio and never engine-comparable. *)
+    fmt_lat (Metrics.fill_stall_avg m);
+    fmt_lat (Metrics.drain_stall_avg m);
     string_of_int m.Metrics.stolen_queues;
+    Printf.sprintf "%d/%d" m.Metrics.steal_attempts m.Metrics.steal_rejects;
+    Printf.sprintf "%d/%d" m.Metrics.split_keys m.Metrics.split_subqueues;
+    string_of_int m.Metrics.repart_moves;
+    string_of_int m.Metrics.batch_resizes;
   ]
 
 let print_phase_table ~title rows =

@@ -9,6 +9,29 @@ module Alog = Quill_analysis.Access_log
 type exec_mode = Speculative | Conservative
 type isolation = Serializable | Read_committed
 
+(* Hot-key queue splitting: when one planner routes at least
+   [hot_threshold] operations to a single key, that key's operations are
+   spread across up to [max_subqueues] sub-queues (chain segments) on
+   different executors, tagged with intra-key sequence numbers so the
+   per-record access order is exactly the enqueue order. *)
+type split_cfg = { hot_threshold : int; max_subqueues : int }
+
+let default_split = { hot_threshold = 32; max_subqueues = 8 }
+
+(* Between-batch adaptation.  [repartition] remaps virtual partitions
+   ([spread] per executor) to executors by measured per-partition load;
+   [auto_batch] lets pipelined runs tune the batch size from the
+   fill/drain stall split, never below [min_batch]. *)
+type adapt_cfg = {
+  repartition : bool;
+  spread : int;
+  auto_batch : bool;
+  min_batch : int;
+}
+
+let default_adapt =
+  { repartition = true; spread = 8; auto_batch = false; min_batch = 64 }
+
 type cfg = {
   planners : int;
   executors : int;
@@ -22,6 +45,8 @@ type cfg = {
   steal : bool;
       (* drained executors steal whole queues from the most-loaded peer
          when the steal is provably record-disjoint *)
+  split : split_cfg option;  (* hot-key queue splitting; None = off *)
+  adapt : adapt_cfg option;  (* dynamic repartitioning / batch tuning *)
 }
 
 let default_cfg =
@@ -34,6 +59,8 @@ let default_cfg =
     costs = Costs.default;
     pipeline = false;
     steal = false;
+    split = None;
+    adapt = None;
   }
 
 (* Per-batch runtime state of one transaction. *)
@@ -53,6 +80,41 @@ type rt = {
 }
 
 type qentry = { rt : rt; frag : Fragment.t }
+
+(* One sub-queue of a split hot key: segment [sg_idx] of the chain for
+   [sg_key] (a packed sig_key) homed at executor [sg_home].  The segment
+   runs on a foreign executor but only after [sg_prev] is filled — the
+   previous segment's [sg_done] (segment 0's start ivar is filled by the
+   home executor when it reaches the chain's priority) — so the key's
+   operations still execute in exact enqueue order. *)
+type segment = {
+  sg_home : int;
+  sg_key : int;
+  sg_idx : int;
+  sg_entries : qentry Vec.t;
+  sg_prev : unit Sim.Ivar.iv;
+  sg_done : unit Sim.Ivar.iv;
+}
+
+(* Planner-side bookkeeping for one open chain. *)
+type chain = {
+  ch_home : int;
+  ch_key : int;
+  ch_seg_len : int;
+  ch_max_segs : int;
+  mutable ch_last : segment;
+  mutable ch_nsegs : int;
+}
+
+(* Auto-tuner state (pipelined closed-loop runs under adapt.auto_batch):
+   the planned batch size floats between adapt.min_batch and
+   cfg.batch_size, and the total transaction budget is conserved. *)
+type autobs = {
+  mutable abs_remaining : int;
+  mutable abs_cur : int;
+  mutable abs_last_fill : int;
+  mutable abs_last_drain : int;
+}
 
 (* The queue matrix and the per-slot runtimes are double-buffered by
    batch parity so a pipelined run can plan batch N+1 while batch N is
@@ -74,10 +136,28 @@ type shared = {
   qstate : int array array array;      (* [parity].[planner].[executor] *)
   qsig : (int, unit) Hashtbl.t array array array;
       (* [parity].[planner].[executor] *)
+  qpend : int array array array;
+      (* [parity].[planner].[executor], cfg.steal only: completion units
+         left before qstate may flip to 2 — the queue drain itself, plus
+         one for the chain joins homed there.  Without splitting every
+         cell is 1 and this degenerates to the old drain => done. *)
+  chain_starts : unit Sim.Ivar.iv Vec.t array array array;
+      (* [parity].[planner].[home executor]: segment-0 start ivars, filled
+         by the home executor when it reaches that priority *)
+  chain_joins : unit Sim.Ivar.iv Vec.t array array array;
+      (* [parity].[planner].[home executor]: last-segment done ivars the
+         home executor awaits before leaving that priority *)
+  segs : segment Vec.t array array array;
+      (* [parity].[planner].[assigned executor], sorted by
+         (home, key, idx) — the global order that makes chain waits
+         deadlock-free (DESIGN.md §12) *)
+  rmap : int array array;  (* [batch parity].[vpart] -> executor *)
+  vload : int array array; (* [batch parity].[vpart] -> routed op count *)
   metrics : Metrics.t;
   recorder : Alog.t option;
       (* conflict-detector access log (--check-conflicts); None on the
          hot path *)
+  abs : autobs option;
   mutable batch_no : int;
 }
 
@@ -387,8 +467,10 @@ let steal_safe sh parity v cand =
 (* Pick a queue for an idle executor to steal: the victim with the most
    unclaimed work, then its tail-most (lowest-priority) unclaimed queue
    that passes the disjointness check.  Runs without any Sim call, so
-   the find + claim pair is atomic under the cooperative scheduler. *)
-let find_steal sh ~parity ~thief =
+   the find + claim pair is atomic under the cooperative scheduler; the
+   caller charges [Costs.steal_scan] per candidate examined (counted in
+   [scanned]) after claiming. *)
+let find_steal sh ~parity ~thief ~scanned =
   let pn = sh.cfg.planners and en = sh.cfg.executors in
   let qs = sh.queues.(parity) and qstate = sh.qstate.(parity) in
   let load = Array.make en 0 in
@@ -411,17 +493,87 @@ let find_steal sh ~parity ~thief =
       let v = !v in
       let p = ref (pn - 1) in
       while !found = None && !p >= 0 do
-        if
-          qstate.(!p).(v) = 0
-          && Vec.length qs.(!p).(v) > 0
-          && steal_safe sh parity v !p
-        then found := Some (!p, v);
+        if qstate.(!p).(v) = 0 && Vec.length qs.(!p).(v) > 0 then begin
+          incr scanned;
+          if steal_safe sh parity v !p then found := Some (!p, v)
+        end;
         decr p
       done;
       if !found <> None then more := false else load.(v) <- 0
     end
   done;
   !found
+
+(* Chain-segment execution.  The home executor fills every segment-0
+   start ivar for chains homed at (p, e) when it reaches priority p
+   (before draining its own queue), and joins the chains it owns after
+   its own queue.  Segments assigned to executor [e] run on a per-batch
+   helper thread spawned next to the drain loop, so a hot-key chain
+   overlaps with every executor's own-queue work instead of queueing
+   behind it (the chain is a serial dependency either way; the helper
+   keeps it off the executors' critical path).  Segment entries never
+   block — splitting is restricted to dependency-free, non-abortable
+   plain row ops — so the only waits are the sg_prev ivars, and those
+   cannot cycle: each helper processes its segments in the global
+   (prio, home, key, idx) order, making the minimal unfinished segment
+   always runnable. *)
+let chain_begin sh ~parity p e =
+  if sh.chain_starts <> [||] then
+    Vec.iter
+      (fun iv -> if not (Sim.Ivar.is_full iv) then Sim.Ivar.fill sh.sim iv ())
+      sh.chain_starts.(parity).(p).(e)
+
+(* Drain queue [q] as executor [st.eid], stamping each entry's queue
+   slot when a recorder is attached. *)
+let drain_with sh st ctx ~owner ~subseq p q =
+  match sh.recorder with
+  | None -> Vec.iter (exec_entry sh st ctx) q
+  | Some log ->
+      Vec.iteri
+        (fun i entry ->
+          Alog.set_slot log ~thread:st.eid ~owner ~prio:p ~subseq ~pos:i
+            ~batch:sh.batch_no;
+          exec_entry sh st ctx entry)
+        q
+
+(* Helper thread running executor [e]'s assigned chain segments for one
+   batch.  The work list is snapshotted at spawn (the plan phase reuses
+   the parity-indexed rows two batches later) and the helper gets its
+   own exec state/ctx — [exec_state] scratch spans Sim.tick points, so
+   it cannot be shared with the concurrently draining executor. *)
+let spawn_segment_runner sh e ~parity =
+  if sh.segs <> [||] then begin
+    let work = Vec.create () in
+    for p = 0 to sh.cfg.planners - 1 do
+      Vec.iter (fun sg -> Vec.push work (p, sg)) sh.segs.(parity).(p).(e)
+    done;
+    if Vec.length work > 0 then
+      Sim.spawn ~at:(Sim.now sh.sim) sh.sim (fun () ->
+          Sim.set_phase sh.sim Sim.Ph_execute;
+          let st =
+            { eid = e; cur_rt = dummy_rt; cur_row = dummy_row;
+              cur_found = false }
+          in
+          let ctx = make_ctx sh st in
+          Vec.iter
+            (fun (p, sg) ->
+              Sim.Ivar.read sh.sim sg.sg_prev;
+              Sim.tick sh.sim sh.cfg.costs.Costs.queue_op;
+              drain_with sh st ctx ~owner:sg.sg_home ~subseq:sg.sg_idx p
+                sg.sg_entries;
+              Sim.Ivar.fill sh.sim sg.sg_done ())
+            work)
+  end
+
+let chain_join sh ~parity p e =
+  sh.chain_joins <> [||]
+  && Vec.length sh.chain_joins.(parity).(p).(e) > 0
+  && begin
+       Vec.iter
+         (fun iv -> Sim.Ivar.read sh.sim iv)
+         sh.chain_joins.(parity).(p).(e);
+       true
+     end
 
 (* Execute every queue destined for executor [st.eid] in priority order.
    Without [cfg.steal] this is the oracle drain loop; with it, queues
@@ -431,42 +583,53 @@ let drain_queues sh st ctx ~parity =
   let e = st.eid in
   (* [owner] is the executor the queue was planned for; with a recorder
      active each entry is stamped with its queue slot so the conflict
-     checker can replay priority order ([owner <> e] marks a steal). *)
-  let drain ~owner p q =
-    match sh.recorder with
-    | None -> Vec.iter (exec_entry sh st ctx) q
-    | Some log ->
-        Vec.iteri
-          (fun i entry ->
-            Alog.set_slot log ~thread:e ~owner ~prio:p ~pos:i
-              ~batch:sh.batch_no;
-            exec_entry sh st ctx entry)
-          q
-  in
+     checker can replay priority order ([owner <> e] marks a steal;
+     [subseq >= 0] marks a chain segment). *)
+  let drain = drain_with sh st ctx in
+  spawn_segment_runner sh e ~parity;
   if not sh.cfg.steal then
     for p = 0 to sh.cfg.planners - 1 do
-      drain ~owner:e p sh.queues.(parity).(p).(e)
+      chain_begin sh ~parity p e;
+      drain ~owner:e ~subseq:(-1) p sh.queues.(parity).(p).(e);
+      ignore (chain_join sh ~parity p e)
     done
   else begin
     let qstate = sh.qstate.(parity) in
+    (* One completion unit retired; the last one makes the cell
+       steal-done.  No Sim call between decrement and flip, so it is
+       atomic under the cooperative scheduler. *)
+    let finish p v =
+      sh.qpend.(parity).(p).(v) <- sh.qpend.(parity).(p).(v) - 1;
+      if sh.qpend.(parity).(p).(v) = 0 then qstate.(p).(v) <- 2
+    in
     for p = 0 to sh.cfg.planners - 1 do
+      chain_begin sh ~parity p e;
       if qstate.(p).(e) = 0 then begin
         qstate.(p).(e) <- 1;
-        drain ~owner:e p sh.queues.(parity).(p).(e);
-        qstate.(p).(e) <- 2
-      end
+        drain ~owner:e ~subseq:(-1) p sh.queues.(parity).(p).(e);
+        finish p e
+      end;
+      if chain_join sh ~parity p e then finish p e
     done;
+    let m = sh.metrics in
+    let costs = sh.cfg.costs in
     let more = ref true in
     while !more do
-      match find_steal sh ~parity ~thief:e with
-      | None -> more := false
+      let scanned = ref 0 in
+      m.Metrics.steal_attempts <- m.Metrics.steal_attempts + 1;
+      match find_steal sh ~parity ~thief:e ~scanned with
+      | None ->
+          m.Metrics.steal_rejects <- m.Metrics.steal_rejects + 1;
+          if !scanned > 0 then
+            Sim.tick sh.sim (!scanned * costs.Costs.steal_scan);
+          more := false
       | Some (p, v) ->
           qstate.(p).(v) <- 1;
-          sh.metrics.Metrics.stolen_queues <-
-            sh.metrics.Metrics.stolen_queues + 1;
-          Sim.tick sh.sim sh.cfg.costs.Costs.queue_op;
-          drain ~owner:v p sh.queues.(parity).(p).(v);
-          qstate.(p).(v) <- 2
+          m.Metrics.stolen_queues <- m.Metrics.stolen_queues + 1;
+          Sim.tick sh.sim
+            ((!scanned * costs.Costs.steal_scan) + costs.Costs.queue_op);
+          drain ~owner:v ~subseq:(-1) p sh.queues.(parity).(p).(v);
+          finish p v
     done
   end
 
@@ -510,53 +673,225 @@ let slice_bounds ~batch_size ~planners p =
   let count = base + if p < rem then 1 else 0 in
   (start, count)
 
+(* A fragment may enter a hot-key chain only if it can never block a
+   foreign executor: no abortable sibling (so no commit gate and no
+   abort path), no data-dependency slots anywhere in its transaction,
+   plain row op, and not an early fragment (those must keep their
+   front-of-queue position). *)
+let seg_exec sh home i =
+  let en = sh.cfg.executors in
+  (home + 1 + (i mod (en - 1))) mod en
+
 (* Plan the [count] transactions at [start..start+count-1] of the batch,
    fetched one at a time via [get] (closed-loop: the workload stream;
-   client mode: the entries drained from the admission queue). *)
-let plan_txns sh ~parity p ~start ~count ~get rr =
+   client mode: the entries drained from the admission queue).  [bno] is
+   the batch number being planned — under repartitioning it selects the
+   routing-map parity, which in the pipelined path differs from
+   [sh.batch_no] (the batch still executing). *)
+let plan_txns sh ~parity ~bno p ~start ~count ~get rr =
   let costs = sh.cfg.costs in
+  let en = sh.cfg.executors in
+  let m = sh.metrics in
   let queues = sh.queues.(parity).(p) in
   Array.iter Vec.clear queues;
   if sh.cfg.steal then begin
     Array.iter Hashtbl.reset sh.qsig.(parity).(p);
-    Array.fill sh.qstate.(parity).(p) 0 sh.cfg.executors 0
+    Array.fill sh.qstate.(parity).(p) 0 en 0
   end;
+  if sh.segs <> [||] then
+    for e = 0 to en - 1 do
+      Vec.clear sh.chain_starts.(parity).(p).(e);
+      Vec.clear sh.chain_joins.(parity).(p).(e);
+      Vec.clear sh.segs.(parity).(p).(e)
+    done;
+  let split_en =
+    match sh.cfg.split with Some sc when en > 1 -> Some sc | _ -> None
+  in
+  let repart =
+    match sh.cfg.adapt with
+    | Some a when a.repartition && Array.length sh.rmap > 0 -> Some a
+    | _ -> None
+  in
+  let bpar = bno land 1 in
+  let is_rc (f : Fragment.t) =
+    sh.cfg.isolation = Read_committed && f.Fragment.mode = Fragment.Read
+  in
+  (* Home-executor routing: the base modulo map, refined through the
+     virtual-partition map when repartitioning is on.  Also feeds the
+     per-vpart load counters the next rebalance consumes. *)
+  let route_exec t k =
+    match repart with
+    | Some a ->
+        let vp = ((Db.home sh.db t k mod en) * a.spread) + (k mod a.spread) in
+        sh.vload.(bpar).(vp) <- sh.vload.(bpar).(vp) + 1;
+        sh.rmap.(bpar).(vp)
+    | None -> Db.home sh.db t k mod en
+  in
+  (* Pass 1 (splitting only): materialize the slice and count per-key
+     routed operations, so pass 2 knows which keys are hot before the
+     first fragment is enqueued.  No Sim call happens here; all virtual
+     time is charged in pass 2, so the cost model is unchanged. *)
+  let slice =
+    if count = 0 then [||]
+    else begin
+      let first = get 0 in
+      let a = Array.make count first in
+      for j = 1 to count - 1 do
+        a.(j) <- get j
+      done;
+      a
+    end
+  in
+  let franks =
+    Array.map (fun ((txn : Txn.t), _) -> plan_order txn.Txn.frags) slice
+  in
+  let counts : (int, int * bool) Hashtbl.t = Hashtbl.create 64 in
+  (match split_en with
+  | None -> ()
+  | Some _ ->
+      Array.iteri
+        (fun j ((txn : Txn.t), _) ->
+          let pure =
+            txn.Txn.n_abortable = 0
+            && Array.for_all
+                 (fun (g : Fragment.t) ->
+                   Array.length g.Fragment.data_deps = 0)
+                 txn.Txn.frags
+          in
+          Array.iter
+            (fun (f : Fragment.t) ->
+              if not (is_rc f) then begin
+                let sk = sig_key f.Fragment.table f.Fragment.key in
+                let ok =
+                  pure
+                  && (match f.Fragment.mode with
+                     | Fragment.Insert -> false
+                     | Fragment.Read | Fragment.Write | Fragment.Rmw -> true)
+                  && not f.Fragment.early
+                in
+                match Hashtbl.find_opt counts sk with
+                | Some (c, clean) ->
+                    Hashtbl.replace counts sk (c + 1, clean && ok)
+                | None -> Hashtbl.add counts sk (1, ok)
+              end)
+            franks.(j))
+        slice);
+  (* Chains open lazily at the first routed occurrence of a hot key, so
+     creation order follows slice order (deterministic), never hash
+     order.  [new_chains] remembers them for join registration. *)
+  let chain_tbl : (int, chain) Hashtbl.t = Hashtbl.create 8 in
+  let new_chains : chain Vec.t = Vec.create () in
+  let chain_for sk home =
+    match split_en with
+    | None -> None
+    | Some sc -> (
+        match Hashtbl.find_opt chain_tbl sk with
+        | Some ch -> Some ch
+        | None -> (
+            match Hashtbl.find_opt counts sk with
+            | Some (c, true) when c >= sc.hot_threshold ->
+                let nsegs =
+                  min sc.max_subqueues (max 2 (c / sc.hot_threshold))
+                in
+                let seg_len = (c + nsegs - 1) / nsegs in
+                let start = Sim.Ivar.create () in
+                Vec.push sh.chain_starts.(parity).(p).(home) start;
+                let seg0 =
+                  {
+                    sg_home = home;
+                    sg_key = sk;
+                    sg_idx = 0;
+                    sg_entries = Vec.create ();
+                    sg_prev = start;
+                    sg_done = Sim.Ivar.create ();
+                  }
+                in
+                Vec.push sh.segs.(parity).(p).(seg_exec sh home 0) seg0;
+                let ch =
+                  {
+                    ch_home = home;
+                    ch_key = sk;
+                    ch_seg_len = seg_len;
+                    ch_max_segs = nsegs;
+                    ch_last = seg0;
+                    ch_nsegs = 1;
+                  }
+                in
+                Hashtbl.add chain_tbl sk ch;
+                Vec.push new_chains ch;
+                m.Metrics.split_keys <- m.Metrics.split_keys + 1;
+                m.Metrics.split_subqueues <- m.Metrics.split_subqueues + 1;
+                Some ch
+            | _ -> None))
+  in
+  let chain_push ch entry =
+    if
+      Vec.length ch.ch_last.sg_entries >= ch.ch_seg_len
+      && ch.ch_nsegs < ch.ch_max_segs
+    then begin
+      let seg =
+        {
+          sg_home = ch.ch_home;
+          sg_key = ch.ch_key;
+          sg_idx = ch.ch_nsegs;
+          sg_entries = Vec.create ();
+          sg_prev = ch.ch_last.sg_done;
+          sg_done = Sim.Ivar.create ();
+        }
+      in
+      Vec.push sh.segs.(parity).(p).(seg_exec sh ch.ch_home ch.ch_nsegs) seg;
+      ch.ch_nsegs <- ch.ch_nsegs + 1;
+      ch.ch_last <- seg;
+      m.Metrics.split_subqueues <- m.Metrics.split_subqueues + 1
+    end;
+    Vec.push ch.ch_last.sg_entries entry
+  in
   (* Early (read-only, never-written-table) abortable fragments go to the
      head of their queues so abort decisions resolve before the gated
      updates arrive. *)
-  let front = Array.init sh.cfg.executors (fun _ -> Vec.create ()) in
+  let front = Array.init en (fun _ -> Vec.create ()) in
+  (* Pass 2: the original planning loop, now with hot keys diverted into
+     chain segments. *)
   for j = 0 to count - 1 do
     Sim.tick sh.sim costs.Costs.txn_overhead;
-    let txn, entry = get j in
+    let txn, entry = slice.(j) in
     txn.Txn.submit_time <- Sim.now sh.sim;
     txn.Txn.attempts <- txn.Txn.attempts + 1;
     let rt = make_rt ?entry txn (start + j) in
     sh.rts.(parity).(start + j) <- Some rt;
-    let frags = plan_order txn.Txn.frags in
     Array.iter
       (fun (f : Fragment.t) ->
         Sim.tick sh.sim costs.Costs.plan_fragment;
-        let rc_read =
-          sh.cfg.isolation = Read_committed && f.Fragment.mode = Fragment.Read
-        in
+        let rc_read = is_rc f in
         let e =
           if rc_read then begin
             (* Read-committed reads are safe on any core: spread them. *)
-            rr := (!rr + 1) mod sh.cfg.executors;
+            rr := (!rr + 1) mod en;
             !rr
           end
-          else Db.home sh.db f.Fragment.table f.Fragment.key
-               mod sh.cfg.executors
+          else route_exec f.Fragment.table f.Fragment.key
         in
+        let sk = sig_key f.Fragment.table f.Fragment.key in
         (* RC reads stay out of the signature: they only read committed
-           state, so they commute with any steal. *)
+           state, so they commute with any steal.  Split keys stay IN:
+           the home queue's signature must keep protecting the key's
+           cross-priority order while its chain is in flight. *)
         if sh.cfg.steal && not rc_read then
-          Hashtbl.replace sh.qsig.(parity).(p).(e)
-            (sig_key f.Fragment.table f.Fragment.key) ();
-        if f.Fragment.early && Array.length f.Fragment.data_deps = 0 then
-          Vec.push front.(e) { rt; frag = f }
-        else Vec.push queues.(e) { rt; frag = f })
-      frags
+          Hashtbl.replace sh.qsig.(parity).(p).(e) sk ();
+        let in_chain =
+          (not rc_read)
+          &&
+          match chain_for sk e with
+          | Some ch ->
+              chain_push ch { rt; frag = f };
+              true
+          | None -> false
+        in
+        if not in_chain then
+          if f.Fragment.early && Array.length f.Fragment.data_deps = 0 then
+            Vec.push front.(e) { rt; frag = f }
+          else Vec.push queues.(e) { rt; frag = f })
+      franks.(j)
   done;
   Array.iteri
     (fun e fv ->
@@ -566,23 +901,53 @@ let plan_txns sh ~parity p ~start ~count ~get rr =
         Vec.iter (fun x -> Vec.push queues.(e) x) fv;
         Array.iter (fun x -> Vec.push queues.(e) x) main
       end)
-    front
+    front;
+  if sh.segs <> [||] then begin
+    (* Register chain joins with the home executors and put every
+       executor's assigned segments in the global (home, key, idx) order
+       the deadlock-freedom argument needs. *)
+    Vec.iter
+      (fun ch ->
+        Vec.push sh.chain_joins.(parity).(p).(ch.ch_home) ch.ch_last.sg_done)
+      new_chains;
+    for e = 0 to en - 1 do
+      Vec.sort
+        (fun a b ->
+          compare (a.sg_home, a.sg_key, a.sg_idx)
+            (b.sg_home, b.sg_key, b.sg_idx))
+        sh.segs.(parity).(p).(e)
+    done
+  end;
+  if sh.cfg.steal then
+    (* Completion units per queue cell: the drain itself, plus one if
+       chain joins are homed there (see [drain_queues]). *)
+    for e = 0 to en - 1 do
+      sh.qpend.(parity).(p).(e) <-
+        (if
+           sh.chain_joins <> [||]
+           && Vec.length sh.chain_joins.(parity).(p).(e) > 0
+         then 2
+         else 1)
+    done
 
-let plan_slice sh ~parity p stream rr =
+let plan_slice sh ~parity ~bno ?size p stream rr =
+  let batch_size = match size with Some s -> s | None -> sh.cfg.batch_size in
   let start, count =
-    slice_bounds ~batch_size:sh.cfg.batch_size ~planners:sh.cfg.planners p
+    slice_bounds ~batch_size ~planners:sh.cfg.planners p
   in
-  plan_txns sh ~parity p ~start ~count ~get:(fun _ -> (stream (), None)) rr
+  plan_txns sh ~parity ~bno p ~start ~count
+    ~get:(fun _ -> (stream (), None))
+    rr
 
 (* Client mode: the batch is whatever [drain] returned at batch-close, so
    its size varies; planners split it the same way they split a fixed
    batch.  A planner whose slice is empty still clears its queues. *)
-let plan_slice_clients sh ~parity p entries rr =
+let plan_slice_clients sh ~parity ~bno p entries rr =
   let start, count =
     slice_bounds ~batch_size:(Array.length entries)
       ~planners:sh.cfg.planners p
   in
-  plan_txns sh ~parity p ~start ~count
+  plan_txns sh ~parity ~bno p ~start ~count
     ~get:(fun j ->
       let e = entries.(start + j) in
       (e.Clients.txn, Some e))
@@ -773,6 +1138,77 @@ let finalize_statuses sh ~parity =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Between-batch adaptation                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Rebalance the virtual-partition map from the load the planners of
+   batch [bno] measured: longest-processing-time-first over the loaded
+   vparts, heaviest to the least-loaded executor.  Runs on one thread
+   during the recover phase of batch [bno]; it rewrites the parity-[bno]
+   map, which the planners of batch [bno + 2] are the next to read, so
+   the rewrite can never race a planner (batch [bno + 1] planning uses
+   the other parity).  Zero-load vparts keep their mapping. *)
+let rebalance sh ~bno =
+  match sh.cfg.adapt with
+  | Some a when a.repartition && Array.length sh.rmap > 0 ->
+      let par = bno land 1 in
+      let load = sh.vload.(par) and map = sh.rmap.(par) in
+      let nvp = Array.length map in
+      let idx = Array.init nvp (fun i -> i) in
+      Array.sort
+        (fun i j ->
+          let c = compare load.(j) load.(i) in
+          if c <> 0 then c else compare i j)
+        idx;
+      let eload = Array.make sh.cfg.executors 0 in
+      let moves = ref 0 in
+      Array.iter
+        (fun vp ->
+          if load.(vp) > 0 then begin
+            let best = ref 0 in
+            for e = 1 to sh.cfg.executors - 1 do
+              if eload.(e) < eload.(!best) then best := e
+            done;
+            Sim.tick sh.sim sh.cfg.costs.Costs.queue_op;
+            if map.(vp) <> !best then begin
+              incr moves;
+              map.(vp) <- !best
+            end;
+            eload.(!best) <- eload.(!best) + load.(vp)
+          end)
+        idx;
+      Array.fill load 0 nvp 0;
+      sh.metrics.Metrics.repart_moves <-
+        sh.metrics.Metrics.repart_moves + !moves
+  | _ -> ()
+
+(* Pick the size of the next planned batch from the stall split since
+   the last decision: fill stalls (executors starved) say planning is
+   the bottleneck — grow the batch; drain stalls (planners blocked on a
+   busy buffer) say execution is — shrink it.  25% steps, clamped to
+   [adapt.min_batch, cfg.batch_size]; the run's total transaction
+   budget is conserved exactly. *)
+let next_batch_size sh abs =
+  let m = sh.metrics in
+  let df = m.Metrics.pipe_fill_stall - abs.abs_last_fill
+  and dd = m.Metrics.pipe_drain_stall - abs.abs_last_drain in
+  abs.abs_last_fill <- m.Metrics.pipe_fill_stall;
+  abs.abs_last_drain <- m.Metrics.pipe_drain_stall;
+  let min_b =
+    match sh.cfg.adapt with
+    | Some a -> min a.min_batch sh.cfg.batch_size
+    | None -> 1
+  in
+  let old = abs.abs_cur in
+  if df > dd then abs.abs_cur <- min sh.cfg.batch_size (old + max 1 (old / 4))
+  else if dd > df then abs.abs_cur <- max min_b (old - max 1 (old / 4));
+  if abs.abs_cur <> old then
+    m.Metrics.batch_resizes <- m.Metrics.batch_resizes + 1;
+  let sz = min abs.abs_cur abs.abs_remaining in
+  abs.abs_remaining <- abs.abs_remaining - sz;
+  sz
+
+(* ------------------------------------------------------------------ *)
 (* Top level                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -885,7 +1321,8 @@ let spawn_lockstep sim sh ?clients ~batches ~streams () =
             in_phase sim Sim.Ph_recover t (fun () ->
                 if cfg.mode = Speculative then recover sh ~parity:0
                 else finalize_statuses sh ~parity:0;
-                account_fn ());
+                account_fn ();
+                rebalance sh ~bno:sh.batch_no);
           Sim.Barrier.await sim barrier;
           if t < cfg.executors || t = 0 then
             in_phase sim Sim.Ph_publish t (fun () ->
@@ -898,7 +1335,7 @@ let spawn_lockstep sim sh ?clients ~batches ~streams () =
             for b = 0 to batches - 1 do
               if t = 0 then sh.batch_no <- b;
               run_batch
-                (fun () -> plan_slice sh ~parity:0 t streams.(t) rr)
+                (fun () -> plan_slice sh ~parity:0 ~bno:b t streams.(t) rr)
                 (fun () -> account sh ~parity:0)
             done
         | Some c ->
@@ -917,7 +1354,9 @@ let spawn_lockstep sim sh ?clients ~batches ~streams () =
               Sim.Barrier.await sim barrier;
               if !continue_ then begin
                 run_batch
-                  (fun () -> plan_slice_clients sh ~parity:0 t !pending rr)
+                  (fun () ->
+                    plan_slice_clients sh ~parity:0 ~bno:sh.batch_no t
+                      !pending rr)
                   (fun () -> account ~clients:c sh ~parity:0);
                 loop ()
               end
@@ -961,6 +1400,10 @@ let spawn_pipelined sim sh ?clients ~batches ~streams () =
   let pending_iv : (int, Clients.entry array Sim.Ivar.iv) Hashtbl.t =
     Hashtbl.create 16
   in
+  (* Auto-batch mode: planner 0 publishes the tuned size of batch b
+     through size(b); 0 = the transaction budget is spent, unwind (the
+     closed-loop analogue of client mode's empty drain). *)
+  let size_iv : (int, int Sim.Ivar.iv) Hashtbl.t = Hashtbl.create 16 in
   let gate tbl ~parties b =
     match Hashtbl.find_opt tbl b with
     | Some g -> g
@@ -997,15 +1440,32 @@ let spawn_pipelined sim sh ?clients ~batches ~streams () =
               m.Metrics.pipe_drain_stall + (Sim.now sim - t0)
           end
         in
-        match clients with
-        | None ->
+        match (clients, sh.abs) with
+        | None, None ->
             for b = 0 to batches - 1 do
               await_drained b;
               in_phase sim Sim.Ph_plan tid (fun () ->
-                  plan_slice sh ~parity:(b land 1) p streams.(p) rr);
+                  plan_slice sh ~parity:(b land 1) ~bno:b p streams.(p) rr);
               Sim.Gate.arrive sim (gate planned_g ~parties:cfg.planners b)
             done
-        | Some c ->
+        | None, Some abs ->
+            let rec loop b =
+              await_drained b;
+              if p = 0 then
+                Sim.Ivar.fill sim (ivar size_iv b) (next_batch_size sh abs);
+              let sz = Sim.Ivar.read sim (ivar size_iv b) in
+              if sz = 0 then
+                Sim.Gate.arrive sim (gate planned_g ~parties:cfg.planners b)
+              else begin
+                in_phase sim Sim.Ph_plan tid (fun () ->
+                    plan_slice sh ~parity:(b land 1) ~bno:b ~size:sz p
+                      streams.(p) rr);
+                Sim.Gate.arrive sim (gate planned_g ~parties:cfg.planners b);
+                loop (b + 1)
+              end
+            in
+            loop 0
+        | Some c, _ ->
             (* Planner 0 closes each batch by draining the admission
                queue and shares it through pending(b); an empty drain
                means every client transaction is finally resolved (the
@@ -1021,7 +1481,8 @@ let spawn_pipelined sim sh ?clients ~batches ~streams () =
                 Sim.Gate.arrive sim (gate planned_g ~parties:cfg.planners b)
               else begin
                 in_phase sim Sim.Ph_plan tid (fun () ->
-                    plan_slice_clients sh ~parity:(b land 1) p entries rr);
+                    plan_slice_clients sh ~parity:(b land 1) ~bno:b p entries
+                      rr);
                 Sim.Gate.arrive sim (gate planned_g ~parties:cfg.planners b);
                 loop (b + 1)
               end
@@ -1051,8 +1512,8 @@ let spawn_pipelined sim sh ?clients ~batches ~streams () =
           let go =
             if e = 0 then begin
               let go =
-                match clients with
-                | None ->
+                match (clients, sh.abs) with
+                | None, None ->
                     b < batches
                     && begin
                          let t0 = Sim.now sim in
@@ -1061,7 +1522,13 @@ let spawn_pipelined sim sh ?clients ~batches ~streams () =
                          fill_stall t0;
                          true
                        end
-                | Some _ ->
+                | None, Some _ ->
+                    let t0 = Sim.now sim in
+                    Sim.Gate.await sim
+                      (gate planned_g ~parties:cfg.planners b);
+                    fill_stall t0;
+                    Sim.Ivar.read sim (ivar size_iv b) > 0
+                | Some _, _ ->
                     let t0 = Sim.now sim in
                     Sim.Gate.await sim
                       (gate planned_g ~parties:cfg.planners b);
@@ -1093,7 +1560,8 @@ let spawn_pipelined sim sh ?clients ~batches ~streams () =
               in_phase sim Sim.Ph_recover e (fun () ->
                   if cfg.mode = Speculative then recover sh ~parity
                   else finalize_statuses sh ~parity;
-                  account ?clients sh ~parity);
+                  account ?clients sh ~parity;
+                  rebalance sh ~bno:b);
               Sim.Ivar.fill sim (ivar recovered_iv b) ()
             end
             else ignore (Sim.Ivar.read sim (ivar recovered_iv b));
@@ -1111,6 +1579,7 @@ let spawn_pipelined sim sh ?clients ~batches ~streams () =
               Hashtbl.remove published_g b;
               Hashtbl.remove start_iv b;
               Hashtbl.remove pending_iv b;
+              Hashtbl.remove size_iv b;
               if b >= 2 then Hashtbl.remove recovered_iv (b - 2)
             end;
             loop (b + 1)
@@ -1122,12 +1591,44 @@ let spawn_pipelined sim sh ?clients ~batches ~streams () =
 
 let run ?sim ?clients ?recorder cfg wl ~batches =
   assert (cfg.planners > 0 && cfg.executors > 0 && cfg.batch_size > 0);
+  (match cfg.split with
+  | Some sc -> assert (sc.hot_threshold > 0 && sc.max_subqueues >= 2)
+  | None -> ());
+  (match cfg.adapt with
+  | Some a -> assert (a.spread > 0 && a.min_batch > 0)
+  | None -> ());
   let sim =
     match sim with
     | Some s -> s
     | None -> Sim.create ~wake_cost:cfg.costs.Costs.wakeup ()
   in
   let nbuf = if cfg.pipeline then 2 else 1 in
+  let split_on = cfg.split <> None && cfg.executors > 1 in
+  let seg_matrix () =
+    Array.init nbuf (fun _ ->
+        Array.init cfg.planners (fun _ ->
+            Array.init cfg.executors (fun _ -> Vec.create ())))
+  in
+  let rmap, vload =
+    match cfg.adapt with
+    | Some a when a.repartition ->
+        let nvp = cfg.executors * a.spread in
+        ( Array.init 2 (fun _ -> Array.init nvp (fun vp -> vp / a.spread)),
+          Array.init 2 (fun _ -> Array.make nvp 0) )
+    | _ -> ([||], [||])
+  in
+  let abs =
+    match cfg.adapt with
+    | Some a when a.auto_batch && cfg.pipeline && clients = None ->
+        Some
+          {
+            abs_remaining = batches * cfg.batch_size;
+            abs_cur = cfg.batch_size;
+            abs_last_fill = 0;
+            abs_last_drain = 0;
+          }
+    | _ -> None
+  in
   let sh =
     {
       cfg;
@@ -1152,11 +1653,27 @@ let run ?sim ?clients ?recorder cfg wl ~batches =
                Array.init cfg.planners (fun _ ->
                    Array.init cfg.executors (fun _ -> Hashtbl.create 64)))
          else [||]);
+      qpend =
+        (if cfg.steal then
+           Array.init nbuf (fun _ ->
+               Array.init cfg.planners (fun _ ->
+                   Array.make cfg.executors 1))
+         else [||]);
+      chain_starts = (if split_on then seg_matrix () else [||]);
+      chain_joins = (if split_on then seg_matrix () else [||]);
+      segs = (if split_on then seg_matrix () else [||]);
+      rmap;
+      vload;
       metrics = Metrics.create ();
       recorder;
+      abs;
       batch_no = 0;
     }
   in
+  if cfg.pipeline then begin
+    sh.metrics.Metrics.pipe_fill_threads <- cfg.executors;
+    sh.metrics.Metrics.pipe_drain_threads <- cfg.planners
+  end;
   let streams =
     match clients with
     | Some _ -> [||]

@@ -37,7 +37,23 @@ type t = {
      queues stolen by idle executors (cfg.steal). *)
   mutable pipe_fill_stall : int;
   mutable pipe_drain_stall : int;
+  (* Threads contributing to each stall sum (executors for fill,
+     planners for drain).  The raw sums grow with the thread count, so
+     cross-engine comparisons must divide by these; see
+     [fill_stall_avg] / [drain_stall_avg]. *)
+  mutable pipe_fill_threads : int;
+  mutable pipe_drain_threads : int;
   mutable stolen_queues : int;
+  (* Work-stealing visibility: [steal_attempts] counts find-steal scans,
+     [steal_rejects] the scans that found no provably-disjoint queue —
+     so "steal did nothing" is distinguishable from "steal never ran". *)
+  mutable steal_attempts : int;
+  mutable steal_rejects : int;
+  (* Adaptive-planning counters (QueCC cfg.split / cfg.adapt). *)
+  mutable split_keys : int;      (* hot keys split into sub-queue chains *)
+  mutable split_subqueues : int; (* chain segments created *)
+  mutable repart_moves : int;    (* virtual partitions remapped between batches *)
+  mutable batch_resizes : int;   (* auto-tuner batch-size adjustments *)
   (* Open-loop client / admission counters; stay 0 on closed-loop runs. *)
   mutable offered : int;
   mutable shed : int;
@@ -77,7 +93,15 @@ let create () =
     msg_dup_drops = 0;
     pipe_fill_stall = 0;
     pipe_drain_stall = 0;
+    pipe_fill_threads = 0;
+    pipe_drain_threads = 0;
     stolen_queues = 0;
+    steal_attempts = 0;
+    steal_rejects = 0;
+    split_keys = 0;
+    split_subqueues = 0;
+    repart_moves = 0;
+    batch_resizes = 0;
     offered = 0;
     shed = 0;
     deadline_miss = 0;
@@ -144,9 +168,27 @@ let pp_faults fmt t =
 let pipelined t =
   t.pipe_fill_stall > 0 || t.pipe_drain_stall > 0 || t.stolen_queues > 0
 
+(* Per-thread stall averages: the raw sums add one elapsed-sized term
+   per participating thread, so engines with different planner/executor
+   counts are only comparable after normalization. *)
+let fill_stall_avg t = t.pipe_fill_stall / max 1 t.pipe_fill_threads
+let drain_stall_avg t = t.pipe_drain_stall / max 1 t.pipe_drain_threads
+
+let adaptive t =
+  t.split_keys > 0 || t.split_subqueues > 0 || t.repart_moves > 0
+  || t.batch_resizes > 0
+
 let pp_pipeline fmt t =
-  Format.fprintf fmt "fill_stall=%dns drain_stall=%dns stolen=%d"
-    t.pipe_fill_stall t.pipe_drain_stall t.stolen_queues
+  Format.fprintf fmt
+    "fill_stall=%dns/thr drain_stall=%dns/thr stolen=%d \
+     steal_attempts=%d steal_rejects=%d"
+    (fill_stall_avg t) (drain_stall_avg t) t.stolen_queues t.steal_attempts
+    t.steal_rejects
+
+let pp_adaptive fmt t =
+  Format.fprintf fmt
+    "split_keys=%d split_subqueues=%d repart_moves=%d batch_resizes=%d"
+    t.split_keys t.split_subqueues t.repart_moves t.batch_resizes
 
 let clients_active t = t.offered > 0
 

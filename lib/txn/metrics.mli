@@ -36,7 +36,20 @@ type t = {
   mutable pipe_drain_stall : int;
       (** planner idle ns waiting for a queue buffer to free up
           (pipelined runs only; the pipeline backed up) *)
+  mutable pipe_fill_threads : int;
+      (** threads whose waits feed [pipe_fill_stall] (executors); the
+          raw sum grows with this count, so cross-engine comparisons
+          use {!fill_stall_avg} *)
+  mutable pipe_drain_threads : int;
+      (** threads whose waits feed [pipe_drain_stall] (planners /
+          sequencers); see {!drain_stall_avg} *)
   mutable stolen_queues : int;  (** whole queues stolen by idle executors *)
+  mutable steal_attempts : int; (** find-steal disjointness scans run *)
+  mutable steal_rejects : int;  (** scans that found no safely-stealable queue *)
+  mutable split_keys : int;     (** hot keys split into sub-queue chains *)
+  mutable split_subqueues : int;(** sub-queue chain segments created *)
+  mutable repart_moves : int;   (** virtual partitions remapped between batches *)
+  mutable batch_resizes : int;  (** auto-tuner batch-size adjustments *)
   mutable offered : int;        (** transactions offered by open-loop clients *)
   mutable shed : int;           (** admissions dropped by the overload policy *)
   mutable deadline_miss : int;  (** transactions dropped past their deadline *)
@@ -80,8 +93,23 @@ val pipelined : t -> bool
 (** True when any pipeline counter is nonzero (the run overlapped
     planning and execution, or stole queues). *)
 
+val fill_stall_avg : t -> int
+(** [pipe_fill_stall] per contributing thread: comparable across engines
+    with different executor counts. *)
+
+val drain_stall_avg : t -> int
+(** [pipe_drain_stall] per contributing thread. *)
+
+val adaptive : t -> bool
+(** True when any adaptive-planning counter is nonzero (hot-key splits,
+    repartition moves or batch resizes happened). *)
+
 val pp_pipeline : Format.formatter -> t -> unit
-(** One-line fill-stall / drain-stall / stolen-queue summary. *)
+(** One-line fill-stall / drain-stall / steal summary (stalls shown
+    per contributing thread). *)
+
+val pp_adaptive : Format.formatter -> t -> unit
+(** One-line split / repartition / batch-resize summary. *)
 
 val clients_active : t -> bool
 (** True when the run was driven by open-loop clients (offered > 0). *)

@@ -14,6 +14,7 @@ type cfg = {
   abort_ratio : float;
   abort_threshold : int;
   chain_deps : bool;
+  global_zipf : bool;
   seed : int;
 }
 
@@ -30,6 +31,7 @@ let default =
     abort_ratio = 0.0;
     abort_threshold = 0;
     chain_deps = false;
+    global_zipf = false;
     seed = 42;
   }
 
@@ -55,8 +57,26 @@ let build_db cfg =
     tbl;
   db
 
-(* Draw [n] distinct keys respecting the single-/multi-partition choice. *)
+(* Draw [n] distinct keys respecting the single-/multi-partition choice.
+   With [global_zipf] the scrambled-zipfian draw is used as the key
+   directly instead of being folded into a chosen partition, so the
+   globally hottest keys are hit from every stream — the contention
+   shape the adaptive planner (hot-key splitting / repartitioning) is
+   designed for. *)
 let draw_keys cfg zipf rng n =
+  if cfg.global_zipf then begin
+    let keys = Array.make n 0 in
+    let i = ref 0 in
+    while !i < n do
+      let key = min (Zipf.sample_scrambled zipf rng) (cfg.table_size - 1) in
+      if not (Array.exists (fun k -> k = key) (Array.sub keys 0 !i)) then begin
+        keys.(!i) <- key;
+        incr i
+      end
+    done;
+    keys
+  end
+  else begin
   let part_size = (cfg.table_size + cfg.nparts - 1) / cfg.nparts in
   let multi = cfg.nparts > 1 && Rng.chance rng cfg.mp_ratio in
   let parts =
@@ -89,6 +109,7 @@ let draw_keys cfg zipf rng n =
     end
   done;
   keys
+  end
 
 let gen_txn cfg zipf table_id rng tid =
   let n = cfg.ops_per_txn in

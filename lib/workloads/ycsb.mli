@@ -21,6 +21,12 @@ type cfg = {
   abort_ratio : float;     (** fraction of txns carrying an abortable fragment *)
   abort_threshold : int;   (** 0-256: P(abort | abortable) ~ threshold/256 *)
   chain_deps : bool;       (** thread a data dependency through the ops *)
+  global_zipf : bool;
+      (** draw keys zipfian over the whole table instead of folding the
+          draw into a per-txn partition choice: the globally hottest
+          keys are then shared by every stream, the contention shape
+          the adaptive planner's skew experiments target.  Ignores
+          [mp_ratio]/[parts_per_txn]. *)
   seed : int;
 }
 

@@ -123,33 +123,33 @@ let make_log () =
     ~tid:(fun () -> !tid);
   (log, phase, tid)
 
-let slot log ~thread ~owner ~prio ~pos =
-  A.set_slot log ~thread ~owner ~prio ~pos ~batch:0
+let slot log ?(subseq = -1) ~thread ~owner ~prio ~pos () =
+  A.set_slot log ~thread ~owner ~prio ~subseq ~pos ~batch:0
 
 let vrules r = List.map (fun v -> v.CC.v_rule) r.CC.violations
 
 let test_cc_priority_order () =
   (* in planned order: prio 0 then prio 1 -> clean *)
   let log, _, _ = make_log () in
-  slot log ~thread:0 ~owner:0 ~prio:0 ~pos:0;
+  slot log ~thread:0 ~owner:0 ~prio:0 ~pos:0 ();
   A.record_row log ~table:0 ~key:7 ~op:A.Write;
-  slot log ~thread:0 ~owner:0 ~prio:1 ~pos:0;
+  slot log ~thread:0 ~owner:0 ~prio:1 ~pos:0 ();
   A.record_row log ~table:0 ~key:7 ~op:A.Write;
   Tutil.check_bool "in-order writes clean" true (CC.ok (CC.check_log log));
   (* mutation: same two writes executed against planned order *)
   let log, _, _ = make_log () in
-  slot log ~thread:0 ~owner:0 ~prio:1 ~pos:0;
+  slot log ~thread:0 ~owner:0 ~prio:1 ~pos:0 ();
   A.record_row log ~table:0 ~key:7 ~op:A.Write;
-  slot log ~thread:0 ~owner:0 ~prio:0 ~pos:0;
+  slot log ~thread:0 ~owner:0 ~prio:0 ~pos:0 ();
   A.record_row log ~table:0 ~key:7 ~op:A.Write;
   let r = CC.check_log log in
   Tutil.check_bool "out-of-order write caught, exactly once" true
     (vrules r = [ CC.Priority_order ]);
   (* position within one queue orders too *)
   let log, _, _ = make_log () in
-  slot log ~thread:0 ~owner:0 ~prio:0 ~pos:5;
+  slot log ~thread:0 ~owner:0 ~prio:0 ~pos:5 ();
   A.record_row log ~table:0 ~key:3 ~op:A.Write;
-  slot log ~thread:0 ~owner:0 ~prio:0 ~pos:2;
+  slot log ~thread:0 ~owner:0 ~prio:0 ~pos:2 ();
   A.record_row log ~table:0 ~key:3 ~op:A.Read;
   Tutil.check_bool "pos-inverted read-after-write caught" true
     (vrules (CC.check_log log) = [ CC.Priority_order ])
@@ -157,26 +157,26 @@ let test_cc_priority_order () =
 let test_cc_exemptions () =
   (* read-read pairs never conflict *)
   let log, _, _ = make_log () in
-  slot log ~thread:0 ~owner:0 ~prio:1 ~pos:0;
+  slot log ~thread:0 ~owner:0 ~prio:1 ~pos:0 ();
   A.record_row log ~table:0 ~key:7 ~op:A.Read;
-  slot log ~thread:0 ~owner:0 ~prio:0 ~pos:0;
+  slot log ~thread:0 ~owner:0 ~prio:0 ~pos:0 ();
   A.record_row log ~table:0 ~key:7 ~op:A.Read;
   Tutil.check_bool "read-read out of order is fine" true
     (CC.ok (CC.check_log log));
   (* a committed-image read at a lower slot than an already-executed
      write commutes: served from the committed image, not the write *)
   let log, _, _ = make_log () in
-  slot log ~thread:0 ~owner:0 ~prio:1 ~pos:0;
+  slot log ~thread:0 ~owner:0 ~prio:1 ~pos:0 ();
   A.record_row log ~table:0 ~key:7 ~op:A.Write;
-  slot log ~thread:0 ~owner:0 ~prio:0 ~pos:0;
+  slot log ~thread:0 ~owner:0 ~prio:0 ~pos:0 ();
   A.record_row log ~table:0 ~key:7 ~op:A.Committed_read;
   Tutil.check_bool "rc-read exempt" true (CC.ok (CC.check_log log));
   (* recovery replay legitimately re-executes out of global order *)
   let log, phase, _ = make_log () in
-  slot log ~thread:0 ~owner:0 ~prio:1 ~pos:0;
+  slot log ~thread:0 ~owner:0 ~prio:1 ~pos:0 ();
   A.record_row log ~table:0 ~key:7 ~op:A.Write;
   phase := Sim.Ph_recover;
-  slot log ~thread:0 ~owner:0 ~prio:0 ~pos:0;
+  slot log ~thread:0 ~owner:0 ~prio:0 ~pos:0 ();
   A.record_row log ~table:0 ~key:7 ~op:A.Write;
   Tutil.check_bool "recovery replay exempt" true (CC.ok (CC.check_log log))
 
@@ -198,10 +198,10 @@ let test_cc_plan_access () =
 
 let test_cc_cross_owner () =
   let log, _, tid = make_log () in
-  slot log ~thread:0 ~owner:0 ~prio:0 ~pos:0;
+  slot log ~thread:0 ~owner:0 ~prio:0 ~pos:0 ();
   A.record_row log ~table:0 ~key:7 ~op:A.Write;
   tid := 1;
-  slot log ~thread:1 ~owner:1 ~prio:0 ~pos:0;
+  slot log ~thread:1 ~owner:1 ~prio:0 ~pos:0 ();
   A.record_row log ~table:0 ~key:7 ~op:A.Write;
   Tutil.check_bool "same key planned into two owners caught" true
     (List.mem CC.Cross_owner (vrules (CC.check_log log)))
@@ -212,13 +212,13 @@ let test_cc_steal_overlap () =
      disjoint.  Reads keep Cross_owner out of the picture: the steal
      rule must catch this on its own. *)
   let log, _, tid = make_log () in
-  slot log ~thread:0 ~owner:0 ~prio:0 ~pos:0;
+  slot log ~thread:0 ~owner:0 ~prio:0 ~pos:0 ();
   A.record_row log ~table:0 ~key:1 ~op:A.Read;
   tid := 1;
-  slot log ~thread:1 ~owner:2 ~prio:0 ~pos:0;
+  slot log ~thread:1 ~owner:2 ~prio:0 ~pos:0 ();
   A.record_row log ~table:0 ~key:9 ~op:A.Read;
   tid := 0;
-  slot log ~thread:0 ~owner:0 ~prio:0 ~pos:1;
+  slot log ~thread:0 ~owner:0 ~prio:0 ~pos:1 ();
   A.record_row log ~table:0 ~key:9 ~op:A.Read;
   let r = CC.check_log log in
   Tutil.check_int "steal observed" 1 r.CC.r_stolen;
@@ -226,13 +226,13 @@ let test_cc_steal_overlap () =
     (vrules r = [ CC.Steal_overlap ]);
   (* same shape with disjoint keys: a legitimate steal, no violation *)
   let log, _, tid = make_log () in
-  slot log ~thread:0 ~owner:0 ~prio:0 ~pos:0;
+  slot log ~thread:0 ~owner:0 ~prio:0 ~pos:0 ();
   A.record_row log ~table:0 ~key:1 ~op:A.Read;
   tid := 1;
-  slot log ~thread:1 ~owner:2 ~prio:0 ~pos:0;
+  slot log ~thread:1 ~owner:2 ~prio:0 ~pos:0 ();
   A.record_row log ~table:0 ~key:9 ~op:A.Read;
   tid := 0;
-  slot log ~thread:0 ~owner:0 ~prio:0 ~pos:1;
+  slot log ~thread:0 ~owner:0 ~prio:0 ~pos:1 ();
   A.record_row log ~table:0 ~key:2 ~op:A.Read;
   let r = CC.check_log log in
   Tutil.check_int "steal still observed" 1 r.CC.r_stolen;
@@ -243,21 +243,26 @@ let test_cc_steal_overlap () =
 (* ------------------------------------------------------------------ *)
 
 let run_quecc ?(mode = Engine.Speculative) ?(isolation = Engine.Serializable)
-    ?(pipeline = false) ?(steal = false) ?recorder cfg ~batch_size =
+    ?(pipeline = false) ?(steal = false) ?split ?adapt ?recorder cfg
+    ~batch_size =
   let wl = Ycsb.make cfg in
   let m =
     Engine.run ?recorder
       { Engine.planners = 4; executors = 4; batch_size; mode; isolation;
-        costs = Quill_sim.Costs.default; pipeline; steal }
+        costs = Quill_sim.Costs.default; pipeline; steal; split; adapt }
       wl ~batches:4
   in
   (Db.checksum wl.Workload.db, m)
 
-let check_recorded_run name ?mode ?isolation ?pipeline ?steal cfg ~batch_size =
-  let base, _ = run_quecc ?mode ?isolation ?pipeline ?steal cfg ~batch_size in
+let check_recorded_run name ?mode ?isolation ?pipeline ?steal ?split ?adapt
+    cfg ~batch_size =
+  let base, _ =
+    run_quecc ?mode ?isolation ?pipeline ?steal ?split ?adapt cfg ~batch_size
+  in
   let log = A.create () in
   let chk, m =
-    run_quecc ?mode ?isolation ?pipeline ?steal ~recorder:log cfg ~batch_size
+    run_quecc ?mode ?isolation ?pipeline ?steal ?split ?adapt ~recorder:log
+      cfg ~batch_size
   in
   let r = CC.check_log log in
   if not (CC.ok r) then
@@ -306,6 +311,44 @@ let test_sweep_steal () =
   Tutil.check_bool "steals fired" true (m.Metrics.stolen_queues > 0);
   Tutil.check_int "checker sees every steal" m.Metrics.stolen_queues
     r.CC.r_stolen
+
+let test_sweep_split () =
+  (* Hot-key splitting under global zipf: the checker must reconstruct
+     the sub-queue chains (C3 per-key order) and find no violations, and
+     its independent segment count must agree with the engine's
+     split_subqueues metric. *)
+  let cfg =
+    Tutil.small_ycsb ~table_size:2_000 ~nparts:4 ~theta:0.9 ~global_zipf:true
+      ()
+  in
+  let split = Some { Engine.hot_threshold = 8; max_subqueues = 4 } in
+  let r, m = check_recorded_run "split" ?split cfg ~batch_size:128 in
+  Tutil.check_bool "splits fired" true (m.Metrics.split_keys > 0);
+  Tutil.check_int "checker sees every sub-queue segment"
+    m.Metrics.split_subqueues r.CC.r_segments;
+  (* splitting + stealing together: split keys stay in the steal
+     signatures (the home queue must keep protecting the key's
+     cross-priority order while its chain is in flight), so under global
+     hotness most candidate steals are rightly rejected — the joint
+     invariant is exact accounting, not forced firing: every steal the
+     engine counts is one the checker independently reconstructs, with
+     segments riding in the same batches. *)
+  let cfg_steal =
+    Tutil.small_ycsb ~table_size:10_000 ~nparts:1 ~theta:0.9 ~global_zipf:true
+      ~read_ratio:0.0 ()
+  in
+  let r2, m2 =
+    check_recorded_run "split+steal" ~steal:true ?split cfg_steal
+      ~batch_size:128
+  in
+  Tutil.check_bool "splits fired alongside stealing" true
+    (m2.Metrics.split_keys > 0);
+  Tutil.check_bool "steals attempted" true (m2.Metrics.steal_attempts > 0);
+  Tutil.check_int "accepted steals = attempts - rejects"
+    (m2.Metrics.steal_attempts - m2.Metrics.steal_rejects)
+    m2.Metrics.stolen_queues;
+  Tutil.check_int "steal count exact with segments present"
+    m2.Metrics.stolen_queues r2.CC.r_stolen
 
 let test_sweep_dist () =
   let cfg =
@@ -384,6 +427,7 @@ let () =
           Alcotest.test_case "modes x isolation" `Quick test_sweep_modes;
           Alcotest.test_case "pipeline" `Quick test_sweep_pipeline;
           Alcotest.test_case "steal accounting" `Quick test_sweep_steal;
+          Alcotest.test_case "split accounting" `Quick test_sweep_split;
           Alcotest.test_case "dist-quecc" `Quick test_sweep_dist;
           QCheck_alcotest.to_alcotest qcheck_sweep;
         ] );

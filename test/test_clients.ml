@@ -279,6 +279,8 @@ let test_retry_commits_exactly_once () =
         costs = Quill_sim.Costs.default;
         pipeline = false;
         steal = false;
+        split = None;
+        adapt = None;
       }
       wl ~batches:0
   in
@@ -345,6 +347,8 @@ let quecc_overloaded seed =
         costs = Quill_sim.Costs.default;
         pipeline = false;
         steal = false;
+        split = None;
+        adapt = None;
       }
       wl ~batches:0
   in
@@ -388,6 +392,8 @@ let test_pipeline_clients_identical () =
           costs = Quill_sim.Costs.default;
           pipeline;
           steal = false;
+          split = None;
+          adapt = None;
         }
         wl ~batches:0
     in

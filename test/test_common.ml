@@ -110,6 +110,52 @@ let test_zipf_theta_ordering () =
   let h0 = hot_share 0.0 and h6 = hot_share 0.6 and h9 = hot_share 0.9 in
   Tutil.check_bool "skew grows with theta" true (h0 < h6 && h6 < h9)
 
+let prop_zipf_uniform_when_theta0 =
+  QCheck.Test.make ~name:"zipf theta=0 is uniform" ~count:10
+    QCheck.(pair (int_range 10 500) (int_range 0 1000))
+    (fun (n, seed) ->
+      let z = Zipf.create ~theta:0.0 n in
+      let r = Rng.create seed in
+      let draws = 200 * n in
+      let c0 = ref 0 in
+      for _ = 1 to draws do
+        if Zipf.sample z r = 0 then incr c0
+      done;
+      (* key 0 (the hottest rank under skew) draws ~ draws/n; under
+         theta=0 it must stay near the uniform share *)
+      let expected = draws / n in
+      !c0 > expected / 3 && !c0 < expected * 3)
+
+let prop_zipf_rank_monotone =
+  QCheck.Test.make ~name:"zipf theta>0: frequency decreases with rank"
+    ~count:10
+    QCheck.(pair (int_range 20 99) (int_range 0 1000))
+    (fun (theta_pct, seed) ->
+      let n = 1000 in
+      let z = Zipf.create ~theta:(float_of_int theta_pct /. 100.0) n in
+      let r = Rng.create seed in
+      let top = ref 0 and bottom = ref 0 in
+      for _ = 1 to 20_000 do
+        let k = Zipf.sample z r in
+        if k < n / 10 then incr top
+        else if k >= n - (n / 10) then incr bottom
+      done;
+      !top > !bottom)
+
+let prop_zipf_scrambled_bounds =
+  QCheck.Test.make ~name:"zipf scrambled sample stays in [0, n)" ~count:20
+    QCheck.(
+      triple (int_range 1 10_000) (int_range 0 99) (int_range 0 1000))
+    (fun (n, theta_pct, seed) ->
+      let z = Zipf.create ~theta:(float_of_int theta_pct /. 100.0) n in
+      let r = Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 1000 do
+        let s = Zipf.sample_scrambled z r in
+        if s < 0 || s >= n then ok := false
+      done;
+      !ok)
+
 (* ------------------------- Vec ------------------------- *)
 
 let test_vec_basic () =
@@ -299,6 +345,32 @@ let test_tablefmt () =
   Tutil.check_bool "si small" true (Tablefmt.fmt_si 12.0 = "12.00");
   Tutil.check_bool "float fmt" true (Tablefmt.fmt_float ~decimals:1 1.25 = "1.2")
 
+let prop_hist_percentile_monotone =
+  QCheck.Test.make ~name:"hist percentile monotone in p" ~count:50
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 50) (int_range 0 1_000_000))
+        (pair (float_range 0.0 100.0) (float_range 0.0 100.0)))
+    (fun (values, (p1, p2)) ->
+      let h = Stats.Hist.create () in
+      List.iter (Stats.Hist.add h) values;
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Stats.Hist.percentile h lo <= Stats.Hist.percentile h hi)
+
+let prop_hist_p100_is_max =
+  QCheck.Test.make ~name:"hist p100 = max recorded value" ~count:50
+    QCheck.(list_of_size Gen.(int_range 1 50) (int_range 0 1_000_000))
+    (fun values ->
+      let h = Stats.Hist.create () in
+      List.iter (Stats.Hist.add h) values;
+      Stats.Hist.percentile h 100.0 = Stats.Hist.max_value h
+      && Stats.Hist.max_value h = List.fold_left max 0 values)
+
+let prop_hist_bucket_edge_bounds_value =
+  QCheck.Test.make ~name:"hist upper_edge (index_of v) >= v" ~count:200
+    QCheck.(int_range 0 1_000_000_000)
+    (fun v -> Stats.Hist.upper_edge (Stats.Hist.index_of v) >= v)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "common"
@@ -320,6 +392,9 @@ let () =
           Alcotest.test_case "uniform case" `Quick test_zipf_uniform_case;
           Alcotest.test_case "skew" `Quick test_zipf_skew;
           Alcotest.test_case "theta ordering" `Quick test_zipf_theta_ordering;
+          qc prop_zipf_uniform_when_theta0;
+          qc prop_zipf_rank_monotone;
+          qc prop_zipf_scrambled_bounds;
         ] );
       ( "vec",
         [
@@ -346,6 +421,9 @@ let () =
             test_hist_zero_and_negative;
           Alcotest.test_case "hist merge" `Quick test_hist_merge;
           qc prop_hist_percentile_ge_median;
+          qc prop_hist_percentile_monotone;
+          qc prop_hist_p100_is_max;
+          qc prop_hist_bucket_edge_bounds_value;
         ] );
       ( "tablefmt",
         [ Alcotest.test_case "render" `Quick test_tablefmt ] );

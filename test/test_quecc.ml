@@ -15,13 +15,13 @@ module Engine = Quill_quecc.Engine
 
 let run_engine ?(mode = Engine.Speculative) ?(isolation = Engine.Serializable)
     ?(planners = 4) ?(executors = 4) ?(batch_size = 128) ?(batches = 4)
-    ?(pipeline = false) ?(steal = false) cfg =
+    ?(pipeline = false) ?(steal = false) ?split ?adapt cfg =
   let wl = Ycsb.make cfg in
   let wl_rec, logs = Tutil.record wl in
   let m =
     Engine.run
       { Engine.planners; executors; batch_size; mode; isolation;
-        costs = Quill_sim.Costs.default; pipeline; steal }
+        costs = Quill_sim.Costs.default; pipeline; steal; split; adapt }
       wl_rec ~batches
   in
   (wl, logs, m)
@@ -34,10 +34,10 @@ let serial_state cfg logs ~streams ~batch_size ~batches =
 
 let check_against_oracle ?mode ?isolation ?(planners = 4) ?(executors = 4)
     ?(batch_size = 128) ?(batches = 4) ?(pipeline = false) ?(steal = false)
-    name cfg =
+    ?split ?adapt name cfg =
   let wl, logs, m =
     run_engine ?mode ?isolation ~planners ~executors ~batch_size ~batches
-      ~pipeline ~steal cfg
+      ~pipeline ~steal ?split ?adapt cfg
   in
   let oracle, m_serial, _ =
     serial_state cfg logs ~streams:planners ~batch_size ~batches
@@ -366,6 +366,116 @@ let test_steal_conservation () =
   Tutil.check_int "sum conserved" (initial + delta)
     (Tutil.sum_field0 wl.Workload.db "usertable")
 
+(* ------------------------- adaptive planning ------------------------- *)
+
+(* A global-zipf skew so the same hottest keys land in every stream: the
+   contention shape hot-key splitting targets.  Low thresholds make the
+   mechanisms fire at test scale. *)
+let skewed_cfg ?(seed = 42) () =
+  Tutil.small_ycsb ~table_size:2_000 ~nparts:4 ~theta:0.9 ~global_zipf:true
+    ~seed ()
+
+let tiny_split = Some { Engine.hot_threshold = 8; max_subqueues = 4 }
+
+(* Splitting must be invisible in the committed state: the serial oracle
+   holds exactly as for the plain engine, and the counters prove the
+   mechanism actually engaged. *)
+let test_split_fires () =
+  let cfg = skewed_cfg () in
+  let wl, logs, m = run_engine ?split:tiny_split cfg in
+  Tutil.check_bool "split fired" true (m.Metrics.split_keys > 0);
+  Tutil.check_bool "subqueues >= split keys" true
+    (m.Metrics.split_subqueues >= m.Metrics.split_keys);
+  let oracle, m_serial, _ =
+    serial_state cfg logs ~streams:4 ~batch_size:128 ~batches:4
+  in
+  Tutil.check_int "commits match serial" m_serial.Metrics.committed
+    m.Metrics.committed;
+  Tutil.check_bool "state equals serial" true
+    (Db.checksum wl.Workload.db = oracle)
+
+let test_repart_fires () =
+  let cfg = skewed_cfg () in
+  let adapt =
+    Some { Engine.default_adapt with Engine.repartition = true;
+           auto_batch = false }
+  in
+  let wl, logs, m = run_engine ?split:tiny_split ?adapt cfg in
+  Tutil.check_bool "repartitioning fired" true (m.Metrics.repart_moves > 0);
+  let oracle, m_serial, _ =
+    serial_state cfg logs ~streams:4 ~batch_size:128 ~batches:4
+  in
+  Tutil.check_int "commits match serial" m_serial.Metrics.committed
+    m.Metrics.committed;
+  Tutil.check_bool "state equals serial" true
+    (Db.checksum wl.Workload.db = oracle)
+
+(* The acceptance property: same seed, adaptive planning on vs off, the
+   committed state must be bit-identical across random workload shapes,
+   modes and isolation levels, lockstep and pipelined, with and without
+   stealing. *)
+let prop_adaptive_bit_identical =
+  QCheck.Test.make
+    ~name:"split+repart == plain committed state on random configs" ~count:10
+    QCheck.(
+      quad (int_range 0 1000) (int_range 0 99) (int_range 0 30) bool)
+    (fun (seed, theta_pct, abort_pct, pipeline) ->
+      let cfg =
+        Tutil.small_ycsb ~table_size:512 ~nparts:4
+          ~theta:(float_of_int theta_pct /. 100.0)
+          ~abort_ratio:(float_of_int abort_pct /. 100.0)
+          ~chain_deps:(seed mod 2 = 0) ~global_zipf:true ~seed ()
+      in
+      let mode =
+        if seed mod 3 = 0 then Engine.Conservative else Engine.Speculative
+      in
+      let isolation =
+        if seed mod 2 = 0 then Engine.Read_committed
+        else Engine.Serializable
+      in
+      let steal = seed mod 5 = 0 in
+      let fp adaptive =
+        let split = if adaptive then tiny_split else None in
+        let adapt =
+          if adaptive then
+            Some { Engine.default_adapt with Engine.repartition = true;
+                   auto_batch = false }
+          else None
+        in
+        let wl, _, m =
+          run_engine ~mode ~isolation ~batch_size:64 ~batches:3 ~pipeline
+            ~steal ?split ?adapt cfg
+        in
+        ( Db.checksum wl.Workload.db,
+          m.Metrics.committed,
+          m.Metrics.logic_aborted )
+      in
+      fp false = fp true)
+
+(* Batch auto-tuning deliberately alters the schedule (it is NOT
+   bit-identical to the fixed-size run), but it must stay deterministic
+   run-to-run and conserve the transaction count: shrinking a batch
+   defers the remainder, it never drops or duplicates work. *)
+let test_autobatch_deterministic_and_conserving () =
+  let cfg = skewed_cfg () in
+  let adapt =
+    Some { Engine.default_adapt with Engine.repartition = false;
+           auto_batch = true; min_batch = 32 }
+  in
+  let run () =
+    run_engine ~pipeline:true ~batch_size:128 ~batches:4 ?adapt cfg
+  in
+  let wl1, _, m1 = run () in
+  let wl2, _, m2 = run () in
+  Tutil.check_bool "run-to-run state identical" true
+    (Db.checksum wl1.Workload.db = Db.checksum wl2.Workload.db);
+  Tutil.check_int "run-to-run commits identical" m1.Metrics.committed
+    m2.Metrics.committed;
+  Tutil.check_int "run-to-run elapsed identical" m1.Metrics.elapsed
+    m2.Metrics.elapsed;
+  Tutil.check_int "committed + aborted = total" (128 * 4)
+    (m1.Metrics.committed + m1.Metrics.logic_aborted)
+
 let prop_pipeline_bit_identical =
   QCheck.Test.make
     ~name:"pipelined == lockstep committed state on random configs" ~count:10
@@ -463,6 +573,15 @@ let () =
           Alcotest.test_case "steal conservation" `Quick
             test_steal_conservation;
           qc prop_pipeline_bit_identical;
+        ] );
+      ( "adaptive",
+        [
+          Alcotest.test_case "split fires + oracle" `Quick test_split_fires;
+          Alcotest.test_case "repartition fires + oracle" `Quick
+            test_repart_fires;
+          Alcotest.test_case "auto-batch deterministic + conserving" `Quick
+            test_autobatch_deterministic_and_conserving;
+          qc prop_adaptive_bit_identical;
         ] );
       ( "behaviour",
         [

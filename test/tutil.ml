@@ -50,7 +50,7 @@ let epoch_order logs ~streams ~batch_size ~batches =
 
 let small_ycsb ?(table_size = 4_000) ?(nparts = 4) ?(theta = 0.6)
     ?(mp_ratio = 0.2) ?(abort_ratio = 0.0) ?(chain_deps = false)
-    ?(read_ratio = 0.5) ?(seed = 42) () =
+    ?(read_ratio = 0.5) ?(global_zipf = false) ?(seed = 42) () =
   {
     Quill_workloads.Ycsb.default with
     Quill_workloads.Ycsb.table_size;
@@ -61,6 +61,7 @@ let small_ycsb ?(table_size = 4_000) ?(nparts = 4) ?(theta = 0.6)
     abort_threshold = 100;
     chain_deps;
     read_ratio;
+    global_zipf;
     seed;
   }
 
