@@ -129,11 +129,13 @@ let usage ?hint () =
   prerr_endline
     "usage: main.exe [table2-row1|table2-row2|table2-row3|fig-contention|\n\
     \                 fig-scalability|fig-modes|fig-latency|fig-batch|\n\
-    \                 pipeline|skew|fault-tolerance|overload|micro|all]\n\
+    \                 pipeline|skew|fault-tolerance|failover|overload|micro|\n\
+    \                 all]\n\
     \                [scale] [--trace FILE] [--phase-table] [--faults SPEC]\n\
     \                [--arrival RATE] [--admission POLICY[:DEPTH]]\n\
     \                [--deadline TIME] [--retries N[:BACKOFF]]\n\
-    \                [--json FILE  (pipeline/skew: machine-readable results)]\n\
+    \                [--json FILE  (pipeline/skew/failover: machine-readable \
+     results)]\n\
     \                [--check-conflicts  (QueCC runs: verify planned order)]";
   exit 2
 
@@ -246,6 +248,8 @@ let () =
   | "pipeline" -> H.Experiments.pipeline ~scale ?json:o.json ()
   | "skew" -> H.Experiments.skew ~scale ?json:o.json ()
   | "fault-tolerance" -> H.Experiments.fault_tolerance ~scale ?plan:faults ()
+  | "failover" ->
+      H.Experiments.failover ~scale ?json:o.json ?plan:faults ()
   | "overload" ->
       H.Experiments.overload ~scale ?arrival:o.arrival ?admission:o.admission
         ?deadline:o.deadline ?retries:o.retries ()

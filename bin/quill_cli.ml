@@ -61,8 +61,21 @@ let clients_cfg ~seed arrival admission deadline retries =
 
 let run_cmd engine workload threads txns batch theta mp abort_ratio warehouses
     table_size seed faults_spec arrival admission deadline retries pipeline
-    steal split_spec adapt_spec global_zipf check_conflicts trace_file
-    phase_table =
+    steal split_spec adapt_spec replicas spec_lag global_zipf check_conflicts
+    trace_file phase_table =
+  if replicas < 0 then begin
+    Printf.eprintf
+      "quill_cli: bad --replicas %d (want a non-negative backup count)\n"
+      replicas;
+    exit 2
+  end;
+  if spec_lag < 1 then begin
+    Printf.eprintf
+      "quill_cli: bad --spec-lag %d (want a speculation window of at least 1 \
+       batch)\n"
+      spec_lag;
+    exit 2
+  end;
   (* --split N: hot-key split threshold, a positive integer. *)
   let split =
     match split_spec with
@@ -145,7 +158,7 @@ let run_cmd engine workload threads txns batch theta mp abort_ratio warehouses
       in
       let exp =
         E.make ~threads ~txns ~batch_size:batch ~faults ?clients ~pipeline
-          ~steal ?split ~adapt_repart ~adapt_batch e spec
+          ~steal ?split ~adapt_repart ~adapt_batch ~replicas ~spec_lag e spec
       in
       let tracer =
         match trace_file with
@@ -161,6 +174,8 @@ let run_cmd engine workload threads txns batch theta mp abort_ratio warehouses
         Quill_txn.Metrics.pp m;
       if Quill_txn.Metrics.clients_active m then
         Format.printf "  %a@." Quill_txn.Metrics.pp_clients m;
+      if Quill_txn.Metrics.replicated m then
+        Format.printf "  %a@." Quill_txn.Metrics.pp_replication m;
       Quill_harness.Report.print_table ~title:"result"
         [ { Quill_harness.Report.label = engine; metrics = m } ];
       if phase_table then
@@ -201,6 +216,7 @@ let experiments_cmd only scale check_conflicts =
   | Some "pipeline" -> X.pipeline ~scale ()
   | Some "skew" -> X.skew ~scale ()
   | Some "fault-tolerance" -> X.fault_tolerance ~scale ()
+  | Some "failover" -> X.failover ~scale ()
   | Some "overload" -> X.overload ~scale ()
   | Some other ->
       Printf.eprintf "unknown experiment %s\n" other;
@@ -340,6 +356,27 @@ let adapt_t =
         ~doc:
           "QueCC adaptive planning: 'repart' rebalances key-to-executor routing between batches from queue-depth counters (state-identical); 'batch' auto-tunes the batch size from pipeline stall counters (pipelined closed-loop runs only; alters the schedule); 'all' enables both.")
 
+let replicas_t =
+  Arg.(
+    value & opt int 0
+    & info [ "replicas" ] ~docv:"R"
+        ~doc:
+          "HA replication (single-node dist-quecc only): stream each \
+           planned batch and its commit marker to R backup nodes that \
+           speculatively execute ahead of visibility; on a leader crash \
+           (--faults crash@...) the lowest-id live backup takes over with \
+           zero lost committed transactions.  0 disables replication.")
+
+let spec_lag_t =
+  Arg.(
+    value & opt int 1
+    & info [ "spec-lag" ] ~docv:"N"
+        ~doc:
+          "HA replication: how many batches past the newest commit marker \
+           a backup may speculatively execute before waiting (>= 1).  \
+           Larger windows hide replication latency at the cost of more \
+           rollback work on failover.")
+
 let global_zipf_t =
   Arg.(
     value & flag
@@ -377,8 +414,8 @@ let run_term =
     const run_cmd $ engine_t $ workload_t $ threads_t $ txns_t $ batch_t
     $ theta_t $ mp_t $ abort_t $ warehouses_t $ table_size_t $ seed_t
     $ faults_t $ arrival_t $ admission_t $ deadline_t $ retries_t
-    $ pipeline_t $ steal_t $ split_t $ adapt_t $ global_zipf_t
-    $ check_conflicts_t $ trace_t $ phase_table_t)
+    $ pipeline_t $ steal_t $ split_t $ adapt_t $ replicas_t $ spec_lag_t
+    $ global_zipf_t $ check_conflicts_t $ trace_t $ phase_table_t)
 
 let only_t =
   Arg.(

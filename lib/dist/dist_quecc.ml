@@ -13,11 +13,13 @@ type cfg = {
   batch_size : int;
   costs : Costs.t;
   pipeline : bool;
+  replicas : int;
+  spec_lag : int;
 }
 
 let default_cfg =
   { nodes = 4; planners = 2; executors = 2; batch_size = 2048;
-    costs = Costs.default; pipeline = false }
+    costs = Costs.default; pipeline = false; replicas = 0; spec_lag = 1 }
 
 (* Distributed per-batch transaction runtime. *)
 type drt = {
@@ -77,6 +79,12 @@ type shared = {
   clients : Clients.t option;
   recorder : Quill_analysis.Access_log.t option;
       (* conflict-detector access log (--check-conflicts) *)
+  mutable rep : Replication.t option;      (* HA: cfg.replicas > 0 *)
+  mutable halted : bool;
+      (* HA leader killed by the fault plan.  Set before any poisoning,
+         so every guarded protocol step observes it; the dead leader's
+         threads then fast-forward through poisoned synchronization and
+         exit without accounting further batches. *)
 }
 
 let p_global sh = sh.cfg.nodes * sh.cfg.planners
@@ -229,7 +237,10 @@ let planner_thread sh node p stream batches =
         for e = 0 to sh.cfg.executors - 1 do
           let egid = (dst * sh.cfg.executors) + e in
           Sim.tick sh.sim costs.Costs.queue_op;
-          Sim.Ivar.fill sh.sim (get_reg sh b gid egid) out.(egid)
+          (* An HA leader kill poisons every queue ivar with an empty
+             queue; a planner caught mid-batch must not double-fill. *)
+          let iv = get_reg sh b gid egid in
+          if not (Sim.Ivar.is_full iv) then Sim.Ivar.fill sh.sim iv out.(egid)
         done
       else begin
         let qs =
@@ -256,6 +267,20 @@ let planner_thread sh node p stream batches =
           plan_txn out parity start j (stream ()) None
         done
       in
+      (* HA: stream this planner's freshly planned slice to the backups
+         — the queues double as the replication log. *)
+      let replicate b =
+        match sh.rep with
+        | Some r when not sh.halted ->
+            let txns =
+              Array.init count (fun j ->
+                  match sh.rts.(b land 1).(start + j) with
+                  | Some rt -> rt.txn
+                  | None -> assert false)
+            in
+            Replication.ship r ~batch:b ~part:gid txns
+        | _ -> ()
+      in
       if sh.cfg.pipeline then
         (* Lag-1 pipelining: plan batch [b] as soon as batch [b-2]
            committed, overlapping planning of [b] with execution of
@@ -264,18 +289,26 @@ let planner_thread sh node p stream batches =
            blocked on that lagged commit is the pipeline backing up
            (execution slower than planning). *)
         for b = 0 to batches - 1 do
-          if b >= 2 then begin
-            let t0 = Sim.now sh.sim in
-            ignore (await_commit (b - 2));
-            sh.metrics.Metrics.pipe_drain_stall <-
-              sh.metrics.Metrics.pipe_drain_stall + (Sim.now sh.sim - t0)
-          end;
-          plan_batch b fill
+          if not sh.halted then begin
+            if b >= 2 then begin
+              let t0 = Sim.now sh.sim in
+              ignore (await_commit (b - 2));
+              sh.metrics.Metrics.pipe_drain_stall <-
+                sh.metrics.Metrics.pipe_drain_stall + (Sim.now sh.sim - t0)
+            end;
+            if not sh.halted then begin
+              plan_batch b fill;
+              replicate b
+            end
+          end
         done
       else
         for b = 0 to batches - 1 do
-          plan_batch b fill;
-          ignore (await_commit b)
+          if not sh.halted then begin
+            plan_batch b fill;
+            replicate b;
+            ignore (await_commit b)
+          end
         done
   | Some c ->
       (* Client mode: exactly one planner per node (p = 0) closes each
@@ -577,34 +610,64 @@ let demux_thread sh node =
         loop ()
     | Exec_done ->
         assert (node = 0);
-        sh.done_count <- sh.done_count + 1;
-        if sh.done_count = sh.cfg.nodes then begin
-          sh.done_count <- 0;
-          let b = sh.batches_done in
-          account sh ~parity:(b land 1);
-          sh.batches_done <- b + 1;
-          (* The stop decision is made here, after accounting, where it
-             is monotone-stable: client exhaustion means every offered
-             transaction is finally resolved (retries are scheduled
-             before [complete] returns), so no further batch can form. *)
-          let stop =
-            match sh.clients with
-            | None -> sh.batches_done = sh.total_batches
-            | Some c -> Clients.exhausted c
-          in
-          for dst = 0 to sh.cfg.nodes - 1 do
-            if dst = 0 then Sim.Ivar.fill sh.sim (get_commit sh b 0) stop
-            else
-              Net.send sh.net ~src:0 ~dst ~bytes:8
-                (Commit_batch { batch = b; stop })
-          done;
-          if stop then
-            for dst = 0 to sh.cfg.nodes - 1 do
-              if dst = 0 then () else Net.send sh.net ~src:0 ~dst ~bytes:8 Stop
-            done
+        if sh.halted then loop ()
+        else begin
+          sh.done_count <- sh.done_count + 1;
+          if sh.done_count = sh.cfg.nodes then begin
+            sh.done_count <- 0;
+            let b = sh.batches_done in
+            (* HA commit gate: a batch commits only after every backup
+               has received and speculatively executed it — so a leader
+               crash can never lose a committed transaction, and a
+               lagging backup backpressures the leader. *)
+            (match sh.rep with
+            | Some r -> Replication.await_acks r ~batch:b
+            | None -> ());
+            if sh.halted then
+              (* killed while waiting on the ack gate: the batch is not
+                 accounted here — the failover finalizes it *)
+              loop ()
+            else begin
+              account sh ~parity:(b land 1);
+              sh.batches_done <- b + 1;
+              (match sh.rep with
+              | Some r -> Replication.committed r ~batch:b
+              | None -> ());
+              (* The stop decision is made here, after accounting, where
+                 it is monotone-stable: client exhaustion means every
+                 offered transaction is finally resolved (retries are
+                 scheduled before [complete] returns), so no further
+                 batch can form. *)
+              let stop =
+                match sh.clients with
+                | None -> sh.batches_done = sh.total_batches
+                | Some c -> Clients.exhausted c
+              in
+              for dst = 0 to sh.cfg.nodes - 1 do
+                if dst = 0 then begin
+                  (* the commit-marker send above may yield into an HA
+                     leader kill, which poisons commit ivars *)
+                  let iv = get_commit sh b 0 in
+                  if not (Sim.Ivar.is_full iv) then Sim.Ivar.fill sh.sim iv stop
+                end
+                else
+                  Net.send sh.net ~src:0 ~dst ~bytes:8
+                    (Commit_batch { batch = b; stop })
+              done;
+              if stop then begin
+                for dst = 0 to sh.cfg.nodes - 1 do
+                  if dst = 0 then ()
+                  else Net.send sh.net ~src:0 ~dst ~bytes:8 Stop
+                done;
+                match sh.rep with
+                | Some r -> Replication.stop r
+                | None -> ()
+              end
+              else loop ()
+            end
+          end
           else loop ()
         end
-        else loop ()
     | Commit_batch { batch = b; stop } ->
         Sim.Ivar.fill sh.sim (get_commit sh b node) stop;
         loop ()
@@ -620,6 +683,30 @@ let run ?sim ?(faults = Faults.none) ?clients ?recorder cfg wl ~batches =
   if Db.nparts db <> cfg.nodes * cfg.executors then
     invalid_arg "Dist_quecc.run: db nparts must equal nodes * executors";
   Faults.check_nodes faults ~nodes:cfg.nodes ~name:"Dist_quecc.run";
+  if cfg.replicas > 0 then begin
+    (* The HA deployment replicates a single-node leader: the cluster's
+       redundancy comes from the backups, not from sharding the leader.
+       (check_nodes above then forces any planned crash onto node 0.) *)
+    if cfg.nodes <> 1 then
+      invalid_arg "Dist_quecc.run: --replicas wants a single-node leader";
+    if cfg.spec_lag < 1 then
+      invalid_arg "Dist_quecc.run: spec_lag must be >= 1";
+    (match clients with
+    | Some _ ->
+        invalid_arg
+          "Dist_quecc.run: replication does not compose with open-loop \
+           clients"
+    | None -> ());
+    (match recorder with
+    | Some _ ->
+        invalid_arg
+          "Dist_quecc.run: replication does not compose with the conflict \
+           recorder"
+    | None -> ());
+    if List.length faults.Faults.crashes > 1 then
+      invalid_arg "Dist_quecc.run: replication supports one leader crash"
+  end;
+  let ha = cfg.replicas > 0 in
   let frt = if Faults.active faults then Some (Faults.make faults) else None in
   let sim =
     match sim with
@@ -639,7 +726,11 @@ let run ?sim ?(faults = Faults.none) ?clients ?recorder cfg wl ~batches =
       touched =
         Array.init (cfg.nodes * cfg.executors) (fun _ -> Vec.create ());
       crash_plan =
-        Array.init cfg.nodes (fun n -> Faults.crashes_for faults ~node:n);
+        (* An HA leader crash is fail-stop, not the transient
+           crash-and-replay of the executor path: the reaper below kills
+           the leader for good and the backups take over. *)
+        (if ha then Array.init cfg.nodes (fun _ -> [||])
+         else Array.init cfg.nodes (fun n -> Faults.crashes_for faults ~node:n));
       metrics = Metrics.create ();
       exec_done_b = Array.init cfg.nodes (fun _ -> Sim.Barrier.create cfg.executors);
       done_count = 0;
@@ -647,8 +738,99 @@ let run ?sim ?(faults = Faults.none) ?clients ?recorder cfg wl ~batches =
       total_batches = batches;
       clients;
       recorder;
+      rep = None;
+      halted = false;
     }
   in
+  if ha then begin
+    (* Deterministic re-planning for failover: re-draw every planner
+       stream from its seed, fast-forward past the batches the dead
+       leader already planned, and yield successive whole batches in
+       global batch-slot order — the exact transactions the dead leader
+       would have planned (exact for generators that do not read the
+       database while generating, i.e. YCSB; see DESIGN.md). *)
+    let replan ~first =
+      let streams =
+        Array.init (p_global sh) (fun gid -> wl.Workload.new_stream gid)
+      in
+      Array.iteri
+        (fun gid s ->
+          let _, count = slice_bounds sh gid in
+          for _ = 1 to first * count do
+            ignore (s ())
+          done)
+        streams;
+      let next = ref first in
+      fun () ->
+        assert (!next < batches);
+        incr next;
+        Array.concat
+          (List.init (p_global sh) (fun gid ->
+               let _, count = slice_bounds sh gid in
+               Array.init count (fun _ ->
+                   Sim.tick sh.sim cfg.costs.Costs.txn_overhead;
+                   let txn = streams.(gid) () in
+                   txn.Txn.submit_time <- Sim.now sh.sim;
+                   txn.Txn.attempts <- txn.Txn.attempts + 1;
+                   Array.iter
+                     (fun (_ : Fragment.t) ->
+                       Sim.tick sh.sim cfg.costs.Costs.plan_fragment)
+                     txn.Txn.frags;
+                   txn)))
+    in
+    let rep =
+      Replication.create ~sim ~costs:cfg.costs ~wl ~replicas:cfg.replicas
+        ~spec_lag:cfg.spec_lag ~slices:(p_global sh) ~total_batches:batches
+        ~metrics:sh.metrics
+        ~halted:(fun () -> sh.halted)
+        ~committed_batches:(fun () -> sh.batches_done)
+        ~replan ()
+    in
+    sh.rep <- Some rep;
+    Replication.spawn rep;
+    (* The reaper: at the planned crash time, fail-stop the leader.
+       [halted] is set first, then every synchronization point a leader
+       thread could be parked on is poisoned (all fills are
+       is-full-guarded, and [account] is yield-free, so the guarded
+       re-checks in the planner/demux paths are race-free). *)
+    List.iter
+      (fun (c : Faults.crash) ->
+        Sim.spawn ~at:c.Faults.at sim (fun () ->
+            sh.halted <- true;
+            sh.metrics.Metrics.crashes <- sh.metrics.Metrics.crashes + 1;
+            for b = 0 to batches - 1 do
+              for prio = 0 to p_global sh - 1 do
+                for egid = 0 to e_global sh - 1 do
+                  let iv = get_reg sh b prio egid in
+                  if not (Sim.Ivar.is_full iv) then
+                    Sim.Ivar.fill sim iv (Vec.create ())
+                done
+              done;
+              let civ = get_commit sh b 0 in
+              if not (Sim.Ivar.is_full civ) then Sim.Ivar.fill sim civ true
+            done;
+            Array.iter
+              (fun slots ->
+                Array.iter
+                  (function
+                    | None -> ()
+                    | Some rt ->
+                        Array.iter
+                          (Array.iter (fun iv ->
+                               if not (Sim.Ivar.is_full iv) then
+                                 Sim.Ivar.fill sim iv 0))
+                          rt.inputs;
+                        Array.iter
+                          (fun iv ->
+                            if not (Sim.Ivar.is_full iv) then
+                              Sim.Ivar.fill sim iv ())
+                          rt.resolved)
+                  slots)
+              sh.rts;
+            Net.send sh.net ~src:0 ~dst:0 ~bytes:8 Stop;
+            Replication.kill_leader rep))
+      faults.Faults.crashes
+  end;
   for node = 0 to cfg.nodes - 1 do
     for p = 0 to cfg.planners - 1 do
       let stream =
@@ -675,7 +857,9 @@ let run ?sim ?(faults = Faults.none) ?clients ?recorder cfg wl ~batches =
   m.Metrics.elapsed <- Sim.horizon sim;
   m.Metrics.busy <- Sim.busy_time sim;
   m.Metrics.idle <- Sim.idle_time sim;
-  m.Metrics.threads <- cfg.nodes * (cfg.planners + cfg.executors + 1);
+  m.Metrics.threads <-
+    (cfg.nodes * (cfg.planners + cfg.executors + 1))
+    + (match sh.rep with Some r -> Replication.threads r | None -> 0);
   if cfg.pipeline then begin
     (* fill stalls accumulate in executor threads, drain stalls in
        planner threads; recording the contributor counts makes the
@@ -686,5 +870,18 @@ let run ?sim ?(faults = Faults.none) ?clients ?recorder cfg wl ~batches =
   m.Metrics.msgs <- Net.messages_sent sh.net;
   m.Metrics.msg_retries <- Net.messages_retried sh.net;
   m.Metrics.msg_dup_drops <- Net.duplicates_dropped sh.net;
+  m.Metrics.msg_bytes <- Net.bytes_sent sh.net;
+  m.Metrics.msg_dups_sent <- Net.duplicates_sent sh.net;
+  (match sh.rep with
+  | None -> ()
+  | Some r ->
+      (* folds the replication net's traffic on top of the main net's *)
+      Replication.record r;
+      if Replication.failed_over r then
+        (* The harness database is the dead leader's; the surviving
+           state of record is the elected backup's replica.  Syncing it
+           back makes [Db.checksum] — and every state assertion built on
+           it — observe the replicated outcome. *)
+        Db.overwrite_from ~src:(Replication.winner_db r) db);
   Quill_quecc.Engine.record_sim_breakdown m sim;
   m

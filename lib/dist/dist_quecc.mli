@@ -35,11 +35,23 @@ type cfg = {
           committed state per seed is identical to the sequential
           schedule.  Ignored in client mode, where a batch can only
           close against the previous batch's completions. *)
+  replicas : int;
+      (** HA mode when positive: stream every planned batch to this many
+          backup nodes over a dedicated replication network, gate each
+          batch commit on their acks, and survive a fault-plan leader
+          crash by failing over to the lowest-id backup (see
+          {!Replication}).  Requires [nodes = 1] (the backups are the
+          redundancy), no open-loop clients and no conflict recorder. *)
+  spec_lag : int;
+      (** how many batches past the newest commit marker a backup may
+          speculatively execute (>= 1); acks double as backpressure, so
+          this also bounds how far the leader can run ahead of a slow
+          backup. *)
 }
 
 val default_cfg : cfg
 (** 4 nodes, 2 planners and 2 executors per node, batch 2048,
-    [pipeline] off. *)
+    [pipeline] off, no replicas, speculation lag 1. *)
 
 val run :
   ?sim:Quill_sim.Sim.t ->

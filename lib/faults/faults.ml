@@ -41,6 +41,11 @@ exception Bad of string
 
 let failf fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
 
+let time_str ns =
+  if ns > 0 && ns mod 1_000_000 = 0 then string_of_int (ns / 1_000_000) ^ "ms"
+  else if ns > 0 && ns mod 1_000 = 0 then string_of_int (ns / 1_000) ^ "us"
+  else string_of_int ns ^ "ns"
+
 (* "5ms" -> 5_000_000 ns; bare numbers are ns. *)
 let parse_time s =
   let len = String.length s in
@@ -154,6 +159,23 @@ let parse s =
         if p.until_t < p.from_t then failf "part@ until before t";
         if p.a = p.b then failf "part@ wants two distinct nodes")
       !sp.partitions;
+    List.iter
+      (fun (c : crash) ->
+        if c.at <= 0 then
+          failf "crash@ wants a positive virtual time, got t=%s" (time_str c.at);
+        if c.down <= 0 then
+          failf "crash@ wants a positive down time, got down=%s"
+            (time_str c.down))
+      !sp.crashes;
+    let rec check_dup_crash = function
+      | [] -> ()
+      | (c : crash) :: rest ->
+          if List.exists (fun (c' : crash) -> c'.node = c.node) rest then
+            failf "duplicate crash@ spec for node %d (one crash per node)"
+              c.node;
+          check_dup_crash rest
+    in
+    check_dup_crash !sp.crashes;
     Ok
       {
         !sp with
@@ -161,11 +183,6 @@ let parse s =
         partitions = List.rev !sp.partitions;
       }
   with Bad m -> Error m
-
-let time_str ns =
-  if ns > 0 && ns mod 1_000_000 = 0 then string_of_int (ns / 1_000_000) ^ "ms"
-  else if ns > 0 && ns mod 1_000 = 0 then string_of_int (ns / 1_000) ^ "us"
-  else string_of_int ns ^ "ns"
 
 let to_string s =
   let buf = Buffer.create 64 in

@@ -20,6 +20,14 @@ type run_cfg = {
       (* QueCC dynamic repartitioning between batches *)
   adapt_batch : bool;
       (* QueCC batch-size auto-tuning (pipelined runs) *)
+  replicas : int;
+      (* HA queue replication: backup nodes receiving the planned-batch
+         stream (dist-quecc only; 0 = off).  Engines without a
+         replication layer reject a positive value rather than silently
+         dropping the redundancy the user asked for. *)
+  spec_lag : int;
+      (* how many batches past the newest commit marker a backup may
+         speculatively execute (>= 1) *)
   recorder : Quill_analysis.Access_log.t option;
       (* conflict-detector access recorder (--check-conflicts); engines
          that support it thread row accesses through the log *)

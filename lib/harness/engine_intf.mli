@@ -24,6 +24,14 @@ type run_cfg = {
   adapt_batch : bool;
       (** QueCC batch-size auto-tuning from pipeline stall counters
           (pipelined closed-loop runs only). *)
+  replicas : int;
+      (** HA queue replication: backup nodes receiving the planned-batch
+          stream and commit markers (dist-quecc only; 0 = off).
+          {!Experiment.run} rejects a positive value for engines without
+          a replication layer. *)
+  spec_lag : int;
+      (** how many batches past the newest commit marker a backup may
+          speculatively execute (>= 1). *)
   recorder : Quill_analysis.Access_log.t option;
       (** conflict-detector access recorder ([--check-conflicts]);
           engines that support it record row accesses with queue-slot

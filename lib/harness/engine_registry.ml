@@ -290,6 +290,8 @@ let dist_quecc_module n : Engine_intf.t =
           batch_size = cfg.I.batch_size;
           costs = cfg.I.costs;
           pipeline = cfg.I.pipeline;
+          replicas = cfg.I.replicas;
+          spec_lag = cfg.I.spec_lag;
         }
         wl ~batches:cfg.I.batches
   end)

@@ -41,12 +41,14 @@ type t = {
   split : int option;
   adapt_repart : bool;
   adapt_batch : bool;
+  replicas : int;
+  spec_lag : int;
 }
 
 let make ?name ?(threads = 8) ?(txns = 20_000) ?(batch_size = 1024)
     ?(costs = Costs.default) ?(faults = Faults.none) ?clients
     ?(pipeline = false) ?(steal = false) ?split ?(adapt_repart = false)
-    ?(adapt_batch = false) engine workload =
+    ?(adapt_batch = false) ?(replicas = 0) ?(spec_lag = 1) engine workload =
   let name =
     match name with Some n -> n | None -> engine_name engine
   in
@@ -65,6 +67,8 @@ let make ?name ?(threads = 8) ?(txns = 20_000) ?(batch_size = 1024)
     split;
     adapt_repart;
     adapt_batch;
+    replicas;
+    spec_lag;
   }
 
 let build_workload = function
@@ -104,6 +108,16 @@ let run ?(tracer = Trace.null) ?recorder ?on_workload t =
          "Experiment.run: the %s baseline does not take an open-loop \
           client layer"
          M.name);
+  (* Replication is a dist-quecc capability; every other engine would
+     silently drop the redundancy the user asked for. *)
+  if t.replicas > 0 then (
+    match t.engine with
+    | Dist_quecc _ -> ()
+    | _ ->
+        invalid_arg
+          (Printf.sprintf
+             "Experiment.run: --replicas needs the dist-quecc engine, not %s"
+             M.name));
   let rcfg =
     {
       Engine_intf.threads = t.threads;
@@ -116,6 +130,8 @@ let run ?(tracer = Trace.null) ?recorder ?on_workload t =
       split = t.split;
       adapt_repart = t.adapt_repart;
       adapt_batch = t.adapt_batch;
+      replicas = t.replicas;
+      spec_lag = t.spec_lag;
       recorder;
     }
   in

@@ -66,6 +66,14 @@ type t = {
       (** QueCC: batch-size auto-tuning from pipeline stall counters
           (pipelined closed-loop runs only; schedule-altering, so not
           bit-identical with the fixed-size run). *)
+  replicas : int;
+      (** dist-quecc HA: backup nodes receiving the planned-batch stream
+          and commit markers (0 = off).  {!run} raises
+          [Invalid_argument] for a positive value on any other engine —
+          the redundancy must not be silently dropped. *)
+  spec_lag : int;
+      (** dist-quecc HA: how many batches past the newest commit marker
+          a backup may speculatively execute (>= 1, default 1). *)
 }
 
 val make :
@@ -81,6 +89,8 @@ val make :
   ?split:int ->
   ?adapt_repart:bool ->
   ?adapt_batch:bool ->
+  ?replicas:int ->
+  ?spec_lag:int ->
   engine ->
   workload_spec ->
   t

@@ -536,6 +536,108 @@ let fault_tolerance ?(scale = 1.0) ?(plan = default_fault_plan) () =
        replay) under an identical fault plan (4 nodes x 8 cores)"
     ~param:"fault plan" series
 
+(* HA replication and leader failover (ISSUE 8 headline): a single-node
+   dist-quecc leader streams its planned queues to two backups that
+   speculatively execute behind a bounded commit-marker lag.  Three rows:
+   the unreplicated baseline, the replicated fault-free run (the
+   replication tax), and the replicated run with the leader killed
+   mid-run (the failover bill).  All three must commit the same
+   transactions to the same state — replication is visibility-deferred
+   speculation over the same deterministic plan, and failover loses
+   nothing the leader ever acknowledged.  [json] dumps per-row
+   checksums, failover_ns and the fault-free epoch_ns for the CI
+   failover-smoke job; [plan] overrides the probed mid-run crash.
+
+   Rows run through [E.run] directly: replication does not compose with
+   the conflict recorder (the backups replay txns outside the planned
+   queue attribution), so the suite-wide --check-conflicts flag must not
+   attach one here. *)
+let failover ?(scale = 1.0) ?json ?plan () =
+  let module M = Quill_txn.Metrics in
+  let txns = scaled scale 8_192 ~min_v:2048 in
+  let size = scaled scale 64_000 ~min_v:8_000 in
+  let spec =
+    E.Ycsb
+      {
+        Ycsb.default with
+        Ycsb.table_size = size;
+        nparts = 2;
+        theta = 0.6;
+        mp_ratio = 0.2;
+      }
+  in
+  let results = ref [] in
+  let row label ~replicas ~faults =
+    let e =
+      E.make ~threads:4 ~txns ~batch_size:1024 ~faults ~replicas ~spec_lag:2
+        (E.Dist_quecc 1) spec
+    in
+    let wl_ref = ref None in
+    let m = E.run ~tracer:!tracer ~on_workload:(fun wl -> wl_ref := Some wl) e in
+    let chk =
+      match !wl_ref with
+      | Some wl -> Quill_storage.Db.checksum wl.Quill_txn.Workload.db
+      | None -> 0
+    in
+    results := !results @ [ (label, replicas, chk, m) ];
+    ({ Report.label; metrics = m }, m)
+  in
+  let base, _ = row "dist-quecc-1n" ~replicas:0 ~faults:Quill_faults.Faults.none in
+  let ha, mha = row "+2 replicas" ~replicas:2 ~faults:Quill_faults.Faults.none in
+  let epoch_ns = mha.M.elapsed / max 1 (E.batches (E.make (E.Dist_quecc 1) spec ~txns ~batch_size:1024)) in
+  let plan =
+    match plan with
+    | Some p -> p
+    | None ->
+        (* kill the leader in the middle of the replicated run *)
+        {
+          Quill_faults.Faults.none with
+          Quill_faults.Faults.seed = 7;
+          crashes =
+            [
+              {
+                Quill_faults.Faults.node = 0;
+                at = mha.M.elapsed / 2;
+                down = 1;
+              };
+            ];
+        }
+  in
+  let crash, _ = row "+2 replicas, leader crash" ~replicas:2 ~faults:plan in
+  Report.print_table
+    ~title:
+      "HA replication: speculative backups and leader failover \
+       (dist-quecc 1 leader + 2 backups, 4 cores, spec-lag 2; committed \
+       state identical across all rows)"
+    [ base; ha; crash ];
+  match json with
+  | None -> ()
+  | Some path ->
+      let n = List.length !results in
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\n\
+        \  \"experiment\": \"failover\",\n\
+        \  \"scale\": %g,\n\
+        \  \"epoch_ns\": %d,\n\
+        \  \"rows\": [\n"
+        scale epoch_ns;
+      List.iteri
+        (fun i (label, replicas, chk, m) ->
+          Printf.fprintf oc
+            "    {\"label\": %S, \"replicas\": %d, \"tput\": %.1f, \
+             \"committed\": %d, \"crashes\": %d, \"failovers\": %d, \
+             \"failover_ns\": %d, \"spec_executed\": %d, \"spec_wasted\": \
+             %d, \"rep_lag_max\": %d, \"db_checksum\": %d}%s\n"
+            label replicas (M.throughput m) m.M.committed m.M.crashes
+            m.M.failovers m.M.failover_time m.M.spec_executed m.M.spec_wasted
+            m.M.rep_lag_max chk
+            (if i = n - 1 then "" else ","))
+        !results;
+      Printf.fprintf oc "  ]\n}\n";
+      close_out oc;
+      Printf.printf "failover: wrote %s\n" path
+
 (* ------------------------------------------------------------------ *)
 
 module C = Quill_clients.Clients
@@ -654,4 +756,5 @@ let all ?(scale = 1.0) () =
   pipeline ~scale ();
   skew ~scale ();
   fault_tolerance ~scale ();
+  failover ~scale ();
   overload ~scale ()

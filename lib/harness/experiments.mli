@@ -80,6 +80,20 @@ val fault_tolerance :
     ([plan] defaults to {!default_fault_plan}); the fault table rows
     report crashes, redone work and recovery time. *)
 
+val failover :
+  ?scale:float -> ?json:string -> ?plan:Quill_faults.Faults.spec -> unit -> unit
+(** HA replication headline: a single-node dist-quecc leader with two
+    speculative backups (spec-lag 2), three rows — unreplicated
+    baseline, replicated fault-free (the replication tax), and
+    replicated with the leader killed mid-run (failover).  All rows
+    commit the same transactions to the same state; the replication
+    table reports speculation, rollback and failover time.  [json]
+    writes per-row checksums, [failover_ns] and the fault-free
+    [epoch_ns] (the CI [BENCH_failover.json] artifact; the
+    failover-smoke job asserts zero lost commits, nonzero speculation
+    and sub-epoch failover).  [plan] overrides the probed mid-run
+    leader crash. *)
+
 val overload :
   ?scale:float ->
   ?arrival:Quill_clients.Clients.arrival ->

@@ -147,6 +147,38 @@ let print_client_table ~title rows =
 
 let any_clients rows = List.exists (fun r -> Metrics.clients_active r.metrics) rows
 
+(* Replication columns: backup speculation and failover accounting plus
+   the replication stream's wire traffic.  Only meaningful (and only
+   printed automatically) when a run had backups attached. *)
+let rep_header =
+  [
+    "engine"; "replicas"; "spec-exec"; "spec-wasted"; "lag-max"; "failovers";
+    "failover time"; "msg-bytes"; "dups-sent";
+  ]
+
+let rep_cells r =
+  let m = r.metrics in
+  [
+    r.label;
+    string_of_int m.Metrics.replicas;
+    string_of_int m.Metrics.spec_executed;
+    string_of_int m.Metrics.spec_wasted;
+    string_of_int m.Metrics.rep_lag_max;
+    string_of_int m.Metrics.failovers;
+    (if m.Metrics.failovers > 0 then fmt_lat m.Metrics.failover_time else "-");
+    Tablefmt.fmt_si (float_of_int m.Metrics.msg_bytes);
+    string_of_int m.Metrics.msg_dups_sent;
+  ]
+
+let print_rep_table ~title rows =
+  Printf.printf "\n== %s: replication ==\n" title;
+  match rows with
+  | [] -> print_endline "(no rows)"
+  | rows -> Tablefmt.print ~header:rep_header (List.map rep_cells rows)
+
+let any_replicated rows =
+  List.exists (fun r -> Metrics.replicated r.metrics) rows
+
 (* When set, [print_table] and [print_sweep] follow every metrics table
    with the phase breakdown (the CLI/bench --phase-table flag). *)
 let phase_tables = ref false
@@ -164,7 +196,9 @@ let print_table ~title rows =
   if any_faulted rows then
     Tablefmt.print ~header:fault_header (List.map fault_cells rows);
   if any_clients rows then
-    Tablefmt.print ~header:client_header (List.map client_cells rows)
+    Tablefmt.print ~header:client_header (List.map client_cells rows);
+  if any_replicated rows then
+    Tablefmt.print ~header:rep_header (List.map rep_cells rows)
 
 let print_sweep ~title ~param series =
   Printf.printf "\n== %s ==\n" title;
@@ -182,7 +216,9 @@ let print_sweep ~title ~param series =
           if any_faulted rows then
             Tablefmt.print ~header:fault_header (List.map fault_cells rows);
           if any_clients rows then
-            Tablefmt.print ~header:client_header (List.map client_cells rows))
+            Tablefmt.print ~header:client_header (List.map client_cells rows);
+          if any_replicated rows then
+            Tablefmt.print ~header:rep_header (List.map rep_cells rows))
     series
 
 let best_throughput rows =

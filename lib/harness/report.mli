@@ -48,6 +48,16 @@ val print_client_table : title:string -> row list -> unit
     automatically whenever any row ran with the open-loop client
     layer. *)
 
+val rep_header : string list
+val rep_cells : row -> string list
+
+val print_rep_table : title:string -> row list -> unit
+(** Replication columns: backup count, speculative execution done and
+    rolled back, the worst observed commit-marker lag, failover count
+    and time, and the replication stream's wire bytes plus fault-plan
+    duplicate injections.  {!print_table}/{!print_sweep} append this
+    table automatically whenever any row ran with backups. *)
+
 val phase_tables : bool ref
 (** When true, {!print_table} and {!print_sweep} append the phase
     breakdown after every metrics table (default false). *)

@@ -80,3 +80,28 @@ let digest_of ~live t =
 
 let checksum t = digest_of ~live:false t
 let live_checksum t = digest_of ~live:true t
+
+let clone t =
+  let c = create ~nparts:t.nparts in
+  Vec.iter (fun tbl -> Vec.push c.tables (Table.clone tbl)) t.tables;
+  Vec.iter (fun idx -> Vec.push c.indexes (Index.clone idx)) t.indexes;
+  Hashtbl.iter (* lint: order-insensitive — key-to-id map copy *)
+    (fun k v -> Hashtbl.replace c.table_ids k v)
+    t.table_ids;
+  Hashtbl.iter (* lint: order-insensitive — key-to-id map copy *)
+    (fun k v -> Hashtbl.replace c.index_ids k v)
+    t.index_ids;
+  c
+
+let overwrite_from ~src dst =
+  if
+    dst.nparts <> src.nparts
+    || Vec.length dst.tables <> Vec.length src.tables
+    || Vec.length dst.indexes <> Vec.length src.indexes
+  then invalid_arg "Db.overwrite_from: shape mismatch";
+  Vec.iteri
+    (fun i tbl -> Table.overwrite_from ~src:(Vec.get src.tables i) tbl)
+    dst.tables;
+  Vec.iteri
+    (fun i idx -> Index.overwrite_from ~src:(Vec.get src.indexes i) idx)
+    dst.indexes

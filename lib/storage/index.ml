@@ -45,3 +45,28 @@ let pop_min t skey =
       end
 
 let size t = Hashtbl.length t.tbl
+
+let sorted_skeys t =
+  (* lint: order-insensitive — bindings are collected then sorted *)
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [] in
+  List.sort compare keys
+
+let clone t =
+  let tbl = Hashtbl.create (max 1024 (Hashtbl.length t.tbl)) in
+  List.iter
+    (fun sk ->
+      let e = Hashtbl.find t.tbl sk in
+      Hashtbl.replace tbl sk
+        { keys = Vec.of_array (Vec.to_array e.keys); head = e.head })
+    (sorted_skeys t);
+  { name = t.name; tbl }
+
+let overwrite_from ~src dst =
+  if dst.name <> src.name then invalid_arg "Index.overwrite_from: name";
+  Hashtbl.reset dst.tbl;
+  List.iter
+    (fun sk ->
+      let e = Hashtbl.find src.tbl sk in
+      Hashtbl.replace dst.tbl sk
+        { keys = Vec.of_array (Vec.to_array e.keys); head = e.head })
+    (sorted_skeys src)

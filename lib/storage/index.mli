@@ -21,3 +21,10 @@ val pop_min : t -> int -> int option
     TPC-C delivery transaction's new-order dequeue. *)
 
 val size : t -> int
+
+val clone : t -> t
+(** Deep copy (entry vectors and FIFO cursors); deterministic regardless
+    of hash-bucket layout. *)
+
+val overwrite_from : src:t -> t -> unit
+(** Make [dst]'s entries identical to [src]'s (post-failover sync). *)

@@ -92,5 +92,67 @@ let remove t key =
   Hashtbl.remove t.dyn_home key
 
 let inserted_count t = Hashtbl.length t.dyn
+
+let sorted_dyn_keys t =
+  (* lint: order-insensitive — bindings are collected then sorted *)
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.dyn [] in
+  List.sort compare keys
+
+let iter_inserted f t =
+  List.iter (fun k -> f (Hashtbl.find t.dyn k)) (sorted_dyn_keys t)
+
+let clone t =
+  let copy_row (r : Row.t) =
+    let r' = Row.make ~key:r.Row.key ~nfields:t.nfields in
+    Array.blit r.Row.data 0 r'.Row.data 0 t.nfields;
+    Array.blit r.Row.committed 0 r'.Row.committed 0 t.nfields;
+    r'.Row.dirty <- r.Row.dirty;
+    r'
+  in
+  let dyn = Hashtbl.create (max 64 (Hashtbl.length t.dyn)) in
+  List.iter
+    (fun k -> Hashtbl.replace dyn k (copy_row (Hashtbl.find t.dyn k)))
+    (sorted_dyn_keys t);
+  {
+    name = t.name;
+    nfields = t.nfields;
+    nparts = t.nparts;
+    rows = Array.map copy_row t.rows;
+    part_size = t.part_size;
+    home_fn = t.home_fn;
+    dyn;
+    dyn_home = Hashtbl.copy t.dyn_home;
+  }
+
+let overwrite_from ~src dst =
+  if dst.name <> src.name || dst.nfields <> src.nfields
+     || Array.length dst.rows <> Array.length src.rows
+  then invalid_arg "Table.overwrite_from: shape mismatch";
+  Array.iteri
+    (fun i (r : Row.t) ->
+      let d = dst.rows.(i) in
+      Array.blit r.Row.data 0 d.Row.data 0 dst.nfields;
+      Array.blit r.Row.committed 0 d.Row.committed 0 dst.nfields;
+      d.Row.dirty <- r.Row.dirty)
+    src.rows;
+  (* Dynamic region: drop rows absent in [src], then install fresh
+     copies of every [src] row (insert-time state may differ). *)
+  List.iter
+    (fun k -> if not (Hashtbl.mem src.dyn k) then Hashtbl.remove dst.dyn k)
+    (sorted_dyn_keys dst);
+  List.iter
+    (fun k ->
+      let r = Hashtbl.find src.dyn k in
+      let r' = Row.make ~key:k ~nfields:dst.nfields in
+      Array.blit r.Row.data 0 r'.Row.data 0 dst.nfields;
+      Array.blit r.Row.committed 0 r'.Row.committed 0 dst.nfields;
+      r'.Row.dirty <- r.Row.dirty;
+      Hashtbl.replace dst.dyn k r')
+    (sorted_dyn_keys src);
+  Hashtbl.reset dst.dyn_home;
+  List.iter
+    (fun k -> Hashtbl.replace dst.dyn_home k (Hashtbl.find src.dyn_home k))
+    (sorted_dyn_keys src)
+
 let iter_dense f t = Array.iter f t.rows
 let row_bytes t = t.nfields * 8

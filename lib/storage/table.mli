@@ -50,5 +50,22 @@ val set_probe_hook :
 
 val inserted_count : t -> int
 val iter_dense : (Row.t -> unit) -> t -> unit
+
+val iter_inserted : (Row.t -> unit) -> t -> unit
+(** Iterate the dynamic region in ascending key order (deterministic,
+    unlike raw hashtable order). *)
+
+val clone : t -> t
+(** Deep-copy the table: fresh rows with copied live/committed payloads
+    and dirty bits (protocol CC metadata — locks, timestamps, versions —
+    starts fresh), a copied dynamic region, shared [home_fn].  Used to
+    stand up replica databases for HA. *)
+
+val overwrite_from : src:t -> t -> unit
+(** [overwrite_from ~src dst] makes [dst]'s payloads (live + committed +
+    dirty bits, dense and dynamic regions) identical to [src]'s.  Raises
+    [Invalid_argument] when the shapes differ.  Used after a failover to
+    sync the surviving replica's state back into the harness database. *)
+
 val row_bytes : t -> int
 (** Approximate payload size of one row in bytes (fields x 8). *)

@@ -54,6 +54,22 @@ type t = {
   mutable split_subqueues : int; (* chain segments created *)
   mutable repart_moves : int;    (* virtual partitions remapped between batches *)
   mutable batch_resizes : int;   (* auto-tuner batch-size adjustments *)
+  (* Replication / failover counters (HA runs); stay 0 when replicas=0.
+     [rep_lag_max] is the widest batch gap a backup ever observed between
+     the newest fully-received batch and the newest committed one —
+     bounded by the configured speculation lag.  [spec_wasted] counts
+     speculatively executed transactions undone because their batch never
+     committed before a failover. *)
+  mutable replicas : int;
+  mutable spec_executed : int;
+  mutable spec_wasted : int;
+  mutable rep_lag_max : int;
+  mutable failovers : int;
+  mutable failover_time : int;   (* virtual ns: crash detect -> resume *)
+  (* Network-traffic totals (distributed engines): payload bytes sent and
+     duplicate copies injected by the fault plan. *)
+  mutable msg_bytes : int;
+  mutable msg_dups_sent : int;
   (* Open-loop client / admission counters; stay 0 on closed-loop runs. *)
   mutable offered : int;
   mutable shed : int;
@@ -102,6 +118,14 @@ let create () =
     split_subqueues = 0;
     repart_moves = 0;
     batch_resizes = 0;
+    replicas = 0;
+    spec_executed = 0;
+    spec_wasted = 0;
+    rep_lag_max = 0;
+    failovers = 0;
+    failover_time = 0;
+    msg_bytes = 0;
+    msg_dups_sent = 0;
     offered = 0;
     shed = 0;
     deadline_miss = 0;
@@ -189,6 +213,15 @@ let pp_adaptive fmt t =
   Format.fprintf fmt
     "split_keys=%d split_subqueues=%d repart_moves=%d batch_resizes=%d"
     t.split_keys t.split_subqueues t.repart_moves t.batch_resizes
+
+let replicated t = t.replicas > 0
+
+let pp_replication fmt t =
+  Format.fprintf fmt
+    "replicas=%d spec_exec=%d spec_wasted=%d lag_max=%d failovers=%d \
+     failover_time=%dns bytes=%d dups_sent=%d"
+    t.replicas t.spec_executed t.spec_wasted t.rep_lag_max t.failovers
+    t.failover_time t.msg_bytes t.msg_dups_sent
 
 let clients_active t = t.offered > 0
 

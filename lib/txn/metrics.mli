@@ -50,6 +50,20 @@ type t = {
   mutable split_subqueues : int;(** sub-queue chain segments created *)
   mutable repart_moves : int;   (** virtual partitions remapped between batches *)
   mutable batch_resizes : int;  (** auto-tuner batch-size adjustments *)
+  mutable replicas : int;       (** backup nodes receiving the queue stream *)
+  mutable spec_executed : int;
+      (** transactions a backup speculatively executed ahead of the
+          leader's commit marker *)
+  mutable spec_wasted : int;
+      (** speculatively executed transactions undone at failover because
+          their batch never fully committed *)
+  mutable rep_lag_max : int;
+      (** widest received-vs-committed batch gap any backup observed;
+          bounded by the configured speculation lag *)
+  mutable failovers : int;      (** leader failovers performed *)
+  mutable failover_time : int;  (** virtual ns from crash detection to resume *)
+  mutable msg_bytes : int;      (** payload bytes sent (distributed engines) *)
+  mutable msg_dups_sent : int;  (** duplicate copies injected by the fault plan *)
   mutable offered : int;        (** transactions offered by open-loop clients *)
   mutable shed : int;           (** admissions dropped by the overload policy *)
   mutable deadline_miss : int;  (** transactions dropped past their deadline *)
@@ -110,6 +124,12 @@ val pp_pipeline : Format.formatter -> t -> unit
 
 val pp_adaptive : Format.formatter -> t -> unit
 (** One-line split / repartition / batch-resize summary. *)
+
+val replicated : t -> bool
+(** True when the run streamed queues to backup replicas. *)
+
+val pp_replication : Format.formatter -> t -> unit
+(** One-line replication / speculation / failover summary. *)
 
 val clients_active : t -> bool
 (** True when the run was driven by open-loop clients (offered > 0). *)

@@ -361,7 +361,8 @@ let test_sweep_dist () =
         let m =
           Dq.run ?recorder
             { Dq.nodes = 2; planners = 2; executors = 2; batch_size = 128;
-              costs = Quill_sim.Costs.default; pipeline }
+              costs = Quill_sim.Costs.default; pipeline; replicas = 0;
+              spec_lag = 1 }
             wl ~batches:3
         in
         (Db.checksum wl.Workload.db, m)

@@ -432,6 +432,8 @@ let test_dist_same_seed_identical () =
           batch_size = 128;
           costs = Quill_sim.Costs.default;
           pipeline = false;
+          replicas = 0;
+          spec_lag = 1;
         }
         wl ~batches:0
     in

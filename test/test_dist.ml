@@ -9,9 +9,9 @@ module Dq = Quill_dist.Dist_quecc
 module Dc = Quill_dist.Dist_calvin
 
 let dq_cfg ?(nodes = 2) ?(planners = 2) ?(executors = 2) ?(batch_size = 128)
-    ?(pipeline = false) () =
+    ?(pipeline = false) ?(replicas = 0) ?(spec_lag = 1) () =
   { Dq.nodes; planners; executors; batch_size;
-    costs = Quill_sim.Costs.default; pipeline }
+    costs = Quill_sim.Costs.default; pipeline; replicas; spec_lag }
 
 let dc_cfg ?(nodes = 2) ?(workers = 2) ?(batch_size = 128)
     ?(pipeline = false) () =

@@ -83,6 +83,31 @@ let test_parse_errors () =
       (* by only valid on delay *)
     ]
 
+let test_parse_crash_validation () =
+  (* Exact one-liner diagnostics for the crash@ sanity checks: a crash
+     at t<=0 can never fire, down<=0 is a no-op, and a second crash@ for
+     the same node would silently shadow the first. *)
+  List.iter
+    (fun (s, want) ->
+      match Faults.parse s with
+      | Ok _ -> Alcotest.failf "expected %S to be rejected" s
+      | Error e -> Alcotest.(check string) s want e)
+    [
+      ("crash@t=0", "crash@ wants a positive virtual time, got t=0ns");
+      ("crash@t=-1ms", "bad time \"-1ms\" (want NUM[ns|us|ms|s])");
+      ( "crash@t=5ms:down=0",
+        "crash@ wants a positive down time, got down=0ns" );
+      ( "crash@t=1ms:node=2,crash@t=2ms:node=2:down=1us",
+        "duplicate crash@ spec for node 2 (one crash per node)" );
+    ];
+  (* ... while crashes on distinct nodes parse and round-trip. *)
+  let sp =
+    parse_ok "crash@t=1ms:node=0:down=10us,crash@t=2ms:node=1:down=10us"
+  in
+  Tutil.check_int "two crashes kept" 2 (List.length sp.Faults.crashes);
+  let sp2 = parse_ok (Faults.to_string sp) in
+  Tutil.check_bool "distinct-node crashes round-trip" true (sp = sp2)
+
 let test_active () =
   Tutil.check_bool "none inactive" false (Faults.active Faults.none);
   Tutil.check_bool "seed-only inactive" false
@@ -227,13 +252,14 @@ let test_net_drop_is_delay_not_loss () =
 
 (* ------------------- determinism under faults ------------------- *)
 
-let dq_cfg ?(nodes = 2) ?(batch_size = 128) () =
-  { Dq.nodes; planners = 2; executors = 2; batch_size; pipeline = false;
-    costs = Quill_sim.Costs.default }
+let dq_cfg ?(nodes = 2) ?(batch_size = 128) ?(pipeline = false)
+    ?(replicas = 0) ?(spec_lag = 1) () =
+  { Dq.nodes; planners = 2; executors = 2; batch_size; pipeline;
+    costs = Quill_sim.Costs.default; replicas; spec_lag }
 
-let dc_cfg ?(nodes = 2) ?(batch_size = 128) () =
+let dc_cfg ?(nodes = 2) ?(batch_size = 128) ?(pipeline = false) () =
   { Dc.nodes; workers = 2; batch_size; costs = Quill_sim.Costs.default;
-    pipeline = false }
+    pipeline }
 
 let ycsb_for ?(seed = 11) () =
   Tutil.small_ycsb ~table_size:4_000 ~nparts:4 ~theta:0.6 ~mp_ratio:0.3 ~seed
@@ -342,6 +368,87 @@ let test_dc_crash_recovers_to_oracle () =
   Tutil.check_bool "state matches fault-free oracle" true
     (Db.checksum wl.Workload.db = Db.checksum wl2.Workload.db)
 
+(* Crash recovery composed with the pipelined planner (PR 5): a node
+   crash mid-run with planning/execution overlap must still converge to
+   the exact fault-free Serial-oracle state, on both dist engines. *)
+let prop_crash_pipeline_oracle =
+  QCheck.Test.make ~name:"crash x pipeline -> oracle state (both engines)"
+    ~count:4
+    QCheck.(pair (int_range 2 5) bool)
+    (fun (denom, calvin) ->
+      let cfg = ycsb_for ~seed:(denom + if calvin then 50 else 0) () in
+      let run_dist ?faults wl =
+        if calvin then Dc.run ?faults (dc_cfg ~pipeline:true ()) wl ~batches:3
+        else Dq.run ?faults (dq_cfg ~pipeline:true ()) wl ~batches:3
+      in
+      let probe = run_dist (Ycsb.make cfg) in
+      let plan =
+        {
+          Faults.none with
+          Faults.seed = denom;
+          crashes =
+            [
+              {
+                Faults.node = 1;
+                at = probe.Metrics.elapsed / denom;
+                down = 20_000;
+              };
+            ];
+        }
+      in
+      let wl = Ycsb.make cfg in
+      let wl_rec, logs = Tutil.record wl in
+      let m = run_dist ~faults:plan wl_rec in
+      let wl2 = Ycsb.make cfg in
+      let streams = if calvin then 2 else 4 in
+      let txns = Tutil.epoch_order logs ~streams ~batch_size:128 ~batches:3 in
+      let m2 = Quill_protocols.Serial.run_txns wl2 txns in
+      m.Metrics.crashes = 1
+      && m.Metrics.committed = m2.Metrics.committed
+      && Db.checksum wl.Workload.db = Db.checksum wl2.Workload.db)
+
+(* Crash recovery composed with the hot-key split flag (PR 7) through
+   the harness: the full --pipeline --split cfg surface must survive a
+   mid-run crash with the fault-free committed state, on both dist
+   engines. *)
+let test_crash_with_split_flag () =
+  List.iter
+    (fun engine ->
+      let run faults =
+        let held = ref None in
+        let e =
+          Quill_harness.Experiment.make ~threads:4 ~txns:384 ~batch_size:128
+            ~faults ~pipeline:true ~split:8 engine
+            (Quill_harness.Experiment.Ycsb (ycsb_for ()))
+        in
+        let m =
+          Quill_harness.Experiment.run
+            ~on_workload:(fun wl -> held := Some wl)
+            e
+        in
+        ((Option.get !held).Workload.db |> Db.checksum, m)
+      in
+      let chk0, m0 = run Faults.none in
+      let plan =
+        {
+          Faults.none with
+          Faults.seed = 9;
+          crashes =
+            [ { Faults.node = 1; at = m0.Metrics.elapsed / 2; down = 20_000 } ];
+        }
+      in
+      let chk, m = run plan in
+      let name = Quill_harness.Experiment.engine_name engine in
+      Tutil.check_int (name ^ ": crash fired") 1 m.Metrics.crashes;
+      Tutil.check_int
+        (name ^ ": commits match fault-free")
+        m0.Metrics.committed m.Metrics.committed;
+      Tutil.check_bool (name ^ ": state matches fault-free") true (chk0 = chk))
+    [
+      Quill_harness.Experiment.Dist_quecc 2;
+      Quill_harness.Experiment.Dist_calvin 2;
+    ]
+
 let test_no_double_commit_under_duplication () =
   (* Aggressive duplication + drops: sequence numbers must suppress the
      copies, so every transaction still commits or aborts exactly once
@@ -365,6 +472,155 @@ let test_no_double_commit_under_duplication () =
     (m.Metrics.committed + m.Metrics.logic_aborted);
   Tutil.check_bool "state unchanged by dup/drop noise" true (chk0 = chk)
 
+(* ------------------- HA replication / failover ------------------- *)
+
+(* nodes = 1 (the HA leader) with 2 executors wants a 2-part database. *)
+let ycsb_ha ?(seed = 11) () =
+  Tutil.small_ycsb ~table_size:4_000 ~nparts:2 ~theta:0.6 ~mp_ratio:0.3 ~seed
+    ()
+
+let ha_cfg ?(pipeline = false) ?(replicas = 2) ?(spec_lag = 1) () =
+  dq_cfg ~nodes:1 ~pipeline ~replicas ~spec_lag ()
+
+let test_ha_fault_free_matches_unreplicated () =
+  (* Streaming queues to backups and gating commits on their acks slows
+     the clock but must not change any outcome: same commits, same
+     committed state as the unreplicated run. *)
+  let cfg = ycsb_ha () in
+  let run replicas =
+    let wl = Ycsb.make cfg in
+    let m = Dq.run (ha_cfg ~replicas ()) wl ~batches:3 in
+    (Db.checksum wl.Workload.db, m)
+  in
+  let chk0, m0 = run 0 in
+  let chk, m = run 2 in
+  Tutil.check_bool "same committed state" true (chk0 = chk);
+  Tutil.check_int "same commits" m0.Metrics.committed m.Metrics.committed;
+  Tutil.check_int "replicas surfaced" 2 m.Metrics.replicas;
+  Tutil.check_bool "backups speculatively executed every txn" true
+    (m.Metrics.spec_executed = 2 * 3 * 128);
+  Tutil.check_int "no failover" 0 m.Metrics.failovers;
+  Tutil.check_int "nothing wasted" 0 m.Metrics.spec_wasted;
+  Tutil.check_bool "replication bytes on the wire" true
+    (m.Metrics.msg_bytes > 0)
+
+let test_ha_failover_matches_fault_free () =
+  (* Kill the leader mid-run: the elected backup must finish the run
+     with the exact fault-free committed state — zero lost and zero
+     double commits — and goodput must recover within an epoch. *)
+  let cfg = ycsb_ha () in
+  let run faults =
+    let wl = Ycsb.make cfg in
+    let m = Dq.run ~faults (ha_cfg ()) wl ~batches:3 in
+    (Db.checksum wl.Workload.db, m)
+  in
+  let chk0, m0 = run Faults.none in
+  let epoch = m0.Metrics.elapsed / 3 in
+  let plan =
+    {
+      Faults.none with
+      Faults.seed = 3;
+      crashes = [ { Faults.node = 0; at = m0.Metrics.elapsed / 3; down = 1 } ];
+    }
+  in
+  let chk, m = run plan in
+  Tutil.check_int "crash fired" 1 m.Metrics.crashes;
+  Tutil.check_int "one failover" 1 m.Metrics.failovers;
+  Tutil.check_bool "zero lost, zero double commits" true
+    (m.Metrics.committed = m0.Metrics.committed);
+  Tutil.check_bool "committed state bit-identical to fault-free" true
+    (chk0 = chk);
+  Tutil.check_bool "speculation did real work" true
+    (m.Metrics.spec_executed > 0);
+  Tutil.check_bool
+    (Printf.sprintf "failover %dns within one epoch %dns"
+       m.Metrics.failover_time epoch)
+    true
+    (m.Metrics.failover_time > 0 && m.Metrics.failover_time < epoch)
+
+let test_ha_failover_deterministic () =
+  let cfg = ycsb_ha () in
+  let probe = Dq.run (ha_cfg ()) (Ycsb.make cfg) ~batches:3 in
+  let plan =
+    {
+      Faults.none with
+      Faults.seed = 5;
+      crashes =
+        [ { Faults.node = 0; at = probe.Metrics.elapsed / 2; down = 1 } ];
+    }
+  in
+  let run () =
+    let wl = Ycsb.make cfg in
+    let m = Dq.run ~faults:plan (ha_cfg ()) wl ~batches:3 in
+    ( fingerprint wl m,
+      m.Metrics.failovers,
+      m.Metrics.failover_time,
+      m.Metrics.spec_executed,
+      m.Metrics.spec_wasted )
+  in
+  Tutil.check_bool "same seed => identical failover run" true (run () = run ())
+
+let test_ha_spec_lag_bound () =
+  (* The observed replication lag never exceeds the configured bound,
+     and a wider bound is actually usable under pipelining. *)
+  List.iter
+    (fun (pipeline, spec_lag) ->
+      let wl = Ycsb.make (ycsb_ha ()) in
+      let m = Dq.run (ha_cfg ~pipeline ~spec_lag ()) wl ~batches:4 in
+      Tutil.check_bool
+        (Printf.sprintf "lag_max %d <= spec_lag %d (pipeline=%b)"
+           m.Metrics.rep_lag_max spec_lag pipeline)
+        true
+        (m.Metrics.rep_lag_max >= 1 && m.Metrics.rep_lag_max <= spec_lag))
+    [ (false, 1); (false, 2); (true, 1); (true, 2); (true, 4) ]
+
+let test_ha_pipeline_failover () =
+  (* Leader crash mid-run with the lag-1 pipeline on: still the exact
+     fault-free state. *)
+  let cfg = ycsb_ha ~seed:17 () in
+  let run faults =
+    let wl = Ycsb.make cfg in
+    let m = Dq.run ~faults (ha_cfg ~pipeline:true ~spec_lag:2 ()) wl ~batches:4 in
+    (Db.checksum wl.Workload.db, m)
+  in
+  let chk0, m0 = run Faults.none in
+  let plan =
+    {
+      Faults.none with
+      Faults.seed = 7;
+      crashes = [ { Faults.node = 0; at = m0.Metrics.elapsed / 2; down = 1 } ];
+    }
+  in
+  let chk, m = run plan in
+  Tutil.check_int "one failover" 1 m.Metrics.failovers;
+  Tutil.check_bool "commits preserved" true
+    (m.Metrics.committed = m0.Metrics.committed);
+  Tutil.check_bool "state preserved" true (chk0 = chk)
+
+let test_ha_validation () =
+  let wl () = Ycsb.make (ycsb_for ()) in
+  Alcotest.check_raises "replication wants a single-node leader"
+    (Invalid_argument "Dist_quecc.run: --replicas wants a single-node leader")
+    (fun () ->
+      ignore (Dq.run (dq_cfg ~nodes:2 ~replicas:1 ()) (wl ()) ~batches:1));
+  Alcotest.check_raises "spec_lag must be positive"
+    (Invalid_argument "Dist_quecc.run: spec_lag must be >= 1")
+    (fun () ->
+      ignore
+        (Dq.run
+           (dq_cfg ~nodes:1 ~replicas:1 ~spec_lag:0 ())
+           (Ycsb.make (ycsb_ha ()))
+           ~batches:1));
+  let e =
+    Quill_harness.Experiment.make ~threads:4 ~txns:256 ~batch_size:128
+      ~replicas:2 Quill_harness.Experiment.Silo
+      (Quill_harness.Experiment.Ycsb (ycsb_for ()))
+  in
+  Alcotest.check_raises "replicas rejected off dist-quecc"
+    (Invalid_argument
+       "Experiment.run: --replicas needs the dist-quecc engine, not silo")
+    (fun () -> ignore (Quill_harness.Experiment.run e))
+
 let test_faults_rejected_on_centralized () =
   let e =
     Quill_harness.Experiment.make ~threads:2 ~txns:256 ~batch_size:128
@@ -387,6 +643,8 @@ let () =
           Alcotest.test_case "full grammar" `Quick test_parse_full;
           Alcotest.test_case "round-trip" `Quick test_parse_round_trip;
           Alcotest.test_case "diagnostics" `Quick test_parse_errors;
+          Alcotest.test_case "crash validation" `Quick
+            test_parse_crash_validation;
           Alcotest.test_case "active" `Quick test_active;
           Alcotest.test_case "node validation" `Quick test_check_nodes;
         ] );
@@ -420,9 +678,25 @@ let () =
             test_dq_crash_recovers_to_oracle;
           Alcotest.test_case "dist-calvin crash -> oracle state" `Quick
             test_dc_crash_recovers_to_oracle;
+          qc prop_crash_pipeline_oracle;
+          Alcotest.test_case "crash x split flag (both engines)" `Quick
+            test_crash_with_split_flag;
           Alcotest.test_case "no double commits under duplication" `Quick
             test_no_double_commit_under_duplication;
           Alcotest.test_case "centralized engines reject plans" `Quick
             test_faults_rejected_on_centralized;
+        ] );
+      ( "ha",
+        [
+          Alcotest.test_case "fault-free == unreplicated" `Quick
+            test_ha_fault_free_matches_unreplicated;
+          Alcotest.test_case "leader crash -> fault-free state" `Quick
+            test_ha_failover_matches_fault_free;
+          Alcotest.test_case "failover deterministic" `Quick
+            test_ha_failover_deterministic;
+          Alcotest.test_case "spec-lag bound" `Quick test_ha_spec_lag_bound;
+          Alcotest.test_case "pipelined failover" `Quick
+            test_ha_pipeline_failover;
+          Alcotest.test_case "cfg validation" `Quick test_ha_validation;
         ] );
     ]
