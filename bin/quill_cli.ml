@@ -61,8 +61,8 @@ let clients_cfg ~seed arrival admission deadline retries =
 
 let run_cmd engine workload threads txns batch theta mp abort_ratio warehouses
     table_size seed faults_spec arrival admission deadline retries pipeline
-    steal split_spec adapt_spec replicas spec_lag global_zipf check_conflicts
-    trace_file phase_table =
+    steal split_spec adapt_spec replicas spec_lag wal snapshot_every
+    global_zipf check_conflicts trace_file phase_table =
   if replicas < 0 then begin
     Printf.eprintf
       "quill_cli: bad --replicas %d (want a non-negative backup count)\n"
@@ -74,6 +74,13 @@ let run_cmd engine workload threads txns batch theta mp abort_ratio warehouses
       "quill_cli: bad --spec-lag %d (want a speculation window of at least 1 \
        batch)\n"
       spec_lag;
+    exit 2
+  end;
+  if snapshot_every < 1 then begin
+    Printf.eprintf
+      "quill_cli: bad --snapshot-every %d (want a period of at least 1 \
+       batch)\n"
+      snapshot_every;
     exit 2
   end;
   (* --split N: hot-key split threshold, a positive integer. *)
@@ -120,7 +127,14 @@ let run_cmd engine workload threads txns batch theta mp abort_ratio warehouses
       if faults_spec <> None && not M.supports_faults then begin
         Printf.eprintf
           "quill_cli: --faults requires an engine with fault support \
-           (a dist-* engine), not %s\n"
+           (a dist-* engine, or a WAL-capable engine with --wal), not %s\n"
+          M.name;
+        exit 2
+      end;
+      if wal && not M.supports_wal then begin
+        Printf.eprintf
+          "quill_cli: --wal requires a WAL-capable engine (serial or the \
+           quecc family), not %s\n"
           M.name;
         exit 2
       end;
@@ -158,7 +172,8 @@ let run_cmd engine workload threads txns batch theta mp abort_ratio warehouses
       in
       let exp =
         E.make ~threads ~txns ~batch_size:batch ~faults ?clients ~pipeline
-          ~steal ?split ~adapt_repart ~adapt_batch ~replicas ~spec_lag e spec
+          ~steal ?split ~adapt_repart ~adapt_batch ~replicas ~spec_lag ~wal
+          ~snapshot_every e spec
       in
       let tracer =
         match trace_file with
@@ -176,6 +191,8 @@ let run_cmd engine workload threads txns batch theta mp abort_ratio warehouses
         Format.printf "  %a@." Quill_txn.Metrics.pp_clients m;
       if Quill_txn.Metrics.replicated m then
         Format.printf "  %a@." Quill_txn.Metrics.pp_replication m;
+      if Quill_txn.Metrics.walled m then
+        Format.printf "  %a@." Quill_txn.Metrics.pp_wal m;
       Quill_harness.Report.print_table ~title:"result"
         [ { Quill_harness.Report.label = engine; metrics = m } ];
       if phase_table then
@@ -217,6 +234,7 @@ let experiments_cmd only scale check_conflicts =
   | Some "skew" -> X.skew ~scale ()
   | Some "fault-tolerance" -> X.fault_tolerance ~scale ()
   | Some "failover" -> X.failover ~scale ()
+  | Some "durability" -> X.durability ~scale ()
   | Some "overload" -> X.overload ~scale ()
   | Some other ->
       Printf.eprintf "unknown experiment %s\n" other;
@@ -377,6 +395,28 @@ let spec_lag_t =
            Larger windows hide replication latency at the cost of more \
            rollback work on failover.")
 
+let wal_t =
+  Arg.(
+    value & flag
+    & info [ "wal" ]
+        ~doc:
+          "Durable group-commit write-ahead log (serial and the quecc \
+           family): every committed batch's row images are logged and \
+           hardened with one modeled fsync at the batch commit point.  \
+           Enables crash (--faults crash@...) and disk-fault (torn@, \
+           fsync-fail@, corrupt@) recovery on centralized engines: the \
+           run rebuilds from the newest snapshot plus the log, \
+           bit-identical at the last durable batch.")
+
+let snapshot_every_t =
+  Arg.(
+    value & opt int 8
+    & info [ "snapshot-every" ] ~docv:"N"
+        ~doc:
+          "WAL snapshot period in durable batches (>= 1): after every \
+           N-th durable batch the database is snapshotted and the log \
+           truncated, bounding replay length and log size.")
+
 let global_zipf_t =
   Arg.(
     value & flag
@@ -415,7 +455,8 @@ let run_term =
     $ theta_t $ mp_t $ abort_t $ warehouses_t $ table_size_t $ seed_t
     $ faults_t $ arrival_t $ admission_t $ deadline_t $ retries_t
     $ pipeline_t $ steal_t $ split_t $ adapt_t $ replicas_t $ spec_lag_t
-    $ global_zipf_t $ check_conflicts_t $ trace_t $ phase_table_t)
+    $ wal_t $ snapshot_every_t $ global_zipf_t $ check_conflicts_t $ trace_t
+    $ phase_table_t)
 
 let only_t =
   Arg.(

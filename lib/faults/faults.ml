@@ -13,6 +13,9 @@ type spec = {
   partitions : partition list;
   max_retries : int;
   rto : int;
+  torn_rec : int option;
+  fsync_fail_at : int option;
+  corrupt_off : int option;
 }
 
 let none =
@@ -26,12 +29,18 @@ let none =
     partitions = [];
     max_retries = 8;
     rto = 50_000;
+    torn_rec = None;
+    fsync_fail_at = None;
+    corrupt_off = None;
   }
 
-let active s =
-  s.drop > 0.0 || s.dup > 0.0 || s.delay_p > 0.0
-  || s.crashes <> []
-  || s.partitions <> []
+let disk_active s =
+  s.torn_rec <> None || s.fsync_fail_at <> None || s.corrupt_off <> None
+
+let net_active s =
+  s.drop > 0.0 || s.dup > 0.0 || s.delay_p > 0.0 || s.partitions <> []
+
+let active s = net_active s || s.crashes <> [] || disk_active s
 
 (* ------------------------------------------------------------------ *)
 (* Spec string parsing                                                 *)
@@ -96,9 +105,16 @@ let parse s =
     | Some i -> (
         let head = String.sub a 0 i in
         let k, v = kv (String.sub a (i + 1) (String.length a - i - 1)) in
-        if k <> "t" then failf "%s@ wants t=TIME, got %S" head a;
+        let want_t () =
+          if k <> "t" then failf "%s@ wants t=TIME, got %S" head a
+        in
+        let once what = function
+          | Some _ -> failf "duplicate %s@ clause (at most one per plan)" what
+          | None -> ()
+        in
         match head with
         | "crash" ->
+            want_t ();
             sp :=
               {
                 !sp with
@@ -107,6 +123,7 @@ let parse s =
               };
             ctx := `Crash
         | "part" ->
+            want_t ();
             sp :=
               {
                 !sp with
@@ -115,6 +132,21 @@ let parse s =
                   :: !sp.partitions;
               };
             ctx := `Part
+        | "torn" ->
+            if k <> "rec" then failf "torn@ wants rec=N, got %S" a;
+            once "torn" !sp.torn_rec;
+            sp := { !sp with torn_rec = Some (nat "torn@rec" v) };
+            ctx := `Top
+        | "fsync-fail" ->
+            want_t ();
+            once "fsync-fail" !sp.fsync_fail_at;
+            sp := { !sp with fsync_fail_at = Some (parse_time v) };
+            ctx := `Top
+        | "corrupt" ->
+            if k <> "off" then failf "corrupt@ wants off=N, got %S" a;
+            once "corrupt" !sp.corrupt_off;
+            sp := { !sp with corrupt_off = Some (nat "corrupt@off" v) };
+            ctx := `Top
         | _ -> failf "unknown fault clause %S" a)
     | None -> (
         let k, v = kv a in
@@ -176,6 +208,11 @@ let parse s =
           check_dup_crash rest
     in
     check_dup_crash !sp.crashes;
+    (match !sp.fsync_fail_at with
+    | Some at when at <= 0 ->
+        failf "fsync-fail@ wants a positive virtual time, got t=%s"
+          (time_str at)
+    | _ -> ());
     Ok
       {
         !sp with
@@ -202,6 +239,11 @@ let to_string s =
       add "part@t=%s:a=%d:b=%d:until=%s" (time_str p.from_t) p.a p.b
         (time_str p.until_t))
     s.partitions;
+  (match s.torn_rec with Some r -> add "torn@rec=%d" r | None -> ());
+  (match s.fsync_fail_at with
+  | Some t -> add "fsync-fail@t=%s" (time_str t)
+  | None -> ());
+  (match s.corrupt_off with Some o -> add "corrupt@off=%d" o | None -> ());
   if s.drop > 0.0 then add "drop=%g" s.drop;
   if s.dup > 0.0 then add "dup=%g" s.dup;
   if s.delay_p > 0.0 then add "delay=%g:by=%s" s.delay_p (time_str s.delay_by);

@@ -19,6 +19,14 @@
       drop=P                              per-message drop probability
       dup=P                               per-message duplicate probability
       delay=P[:by=TIME]                   extra-delay probability / amount
+      torn@rec=K                          the K-th WAL record ever appended
+                                          persists only half its bytes and
+                                          the disk wedges (later flushes
+                                          are lost)
+      fsync-fail@t=TIME                   every fsync at/after virtual TIME
+                                          fails, discarding its buffer
+      corrupt@off=N                       flip one bit of WAL byte N
+                                          (applied at recovery scan)
       seed=N                              RNG seed for the drop/dup/delay draws
       retries=N                           retransmit cap (default 8)
       rto=TIME                            initial retransmit timeout (50us)
@@ -43,6 +51,16 @@ type spec = {
   partitions : partition list;
   max_retries : int;  (** retransmit cap per message *)
   rto : int;  (** initial retransmit timeout, ns; doubles per retry *)
+  torn_rec : int option;
+      (** WAL disk fault: the [K]-th record ever appended is torn — only
+          half its bytes reach the platter and the disk wedges (every
+          later flush is silently lost) *)
+  fsync_fail_at : int option;
+      (** WAL disk fault: every fsync issued at/after this virtual time
+          fails, discarding the records it would have made durable *)
+  corrupt_off : int option;
+      (** WAL disk fault: one bit of the byte at this absolute log
+          offset is flipped before the recovery scan reads it *)
 }
 
 val none : spec
@@ -50,8 +68,16 @@ val none : spec
 
 val active : spec -> bool
 (** [active s] is [true] when [s] can affect a run (any nonzero
-    probability, crash, or partition).  Engines treat inactive specs
-    exactly like no spec at all. *)
+    probability, crash, partition, or disk fault).  Engines treat
+    inactive specs exactly like no spec at all. *)
+
+val net_active : spec -> bool
+(** True when the plan carries message-level faults (drop / dup / delay /
+    partition) — these only apply to engines with a network. *)
+
+val disk_active : spec -> bool
+(** True when the plan carries a WAL disk fault (torn record, failing
+    fsync, or corrupted byte) — these only apply to runs with a WAL. *)
 
 val parse : string -> (spec, string) result
 (** Parse the spec grammar above.  The error string is a one-line

@@ -41,6 +41,11 @@ module type S = sig
   val supports_clients : bool
   val supports_dist : bool
 
+  val supports_wal : bool
+  (* Whether the engine can thread a durable group-commit WAL (--wal)
+     through its batch commit points; implies crash + disk-fault
+     recovery support for centralized engines. *)
+
   val nodes : int
   (* Cluster size (1 for centralized engines); sizes the client layer's
      per-node admission queues. *)
@@ -53,6 +58,7 @@ module type S = sig
     ?sim:Quill_sim.Sim.t ->
     ?clients:Quill_clients.Clients.t ->
     ?faults:Quill_faults.Faults.spec ->
+    ?wal:Quill_wal.Wal.t ->
     cfg:run_cfg ->
     Quill_txn.Workload.t ->
     Quill_txn.Metrics.t

@@ -51,6 +51,11 @@ module type S = sig
   val supports_dist : bool
   (** A multi-node engine ([nodes] > 1 possible). *)
 
+  val supports_wal : bool
+  (** Can thread a durable group-commit WAL ([?wal]) through its batch
+      commit points; implies crash + disk-fault recovery support for
+      centralized engines. *)
+
   val nodes : int
   (** Cluster size (1 for centralized engines); sizes the client
       layer's per-node admission queues. *)
@@ -63,11 +68,12 @@ module type S = sig
     ?sim:Quill_sim.Sim.t ->
     ?clients:Quill_clients.Clients.t ->
     ?faults:Quill_faults.Faults.spec ->
+    ?wal:Quill_wal.Wal.t ->
     cfg:run_cfg ->
     Quill_txn.Workload.t ->
     Quill_txn.Metrics.t
   (** Callers must check the capability flags first: an engine ignores
-      [?clients] / [?faults] it does not support. *)
+      [?clients] / [?faults] / [?wal] it does not support. *)
 end
 
 type t = (module S)

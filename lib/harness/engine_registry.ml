@@ -6,6 +6,16 @@
 
 module Qe = Quill_quecc.Engine
 module I = Engine_intf
+module F = Quill_faults.Faults
+
+(* Centralized engines consume a fault plan as a single node-0 crash
+   time; the WAL turns it into a recoverable mid-batch kill. *)
+let crash_at_of = function
+  | None -> None
+  | Some f -> (
+      match F.crashes_for f ~node:0 with
+      | [||] -> None
+      | cs -> Some cs.(0).F.at)
 
 type engine =
   | Serial
@@ -62,15 +72,17 @@ let () =
             Some
               (module struct
                 let name = "serial"
-                let supports_faults = false
+                let supports_faults = true
                 let supports_clients = false
                 let supports_dist = false
+                let supports_wal = true
                 let nodes = 1
                 let nparts _ = None
 
-                let run ?sim ?clients:_ ?faults:_ ~cfg wl =
-                  Quill_protocols.Serial.run ?sim ~costs:cfg.I.costs wl
-                    ~txns:cfg.I.txns
+                let run ?sim ?clients:_ ?faults ?wal ~cfg wl =
+                  Quill_protocols.Serial.run ?sim ~costs:cfg.I.costs ?wal
+                    ?crash_at:(crash_at_of faults)
+                    ~batch_size:cfg.I.batch_size wl ~txns:cfg.I.txns
               end : Engine_intf.S)
         | _ -> None);
       centralized = [];
@@ -79,14 +91,16 @@ let () =
 let quecc_module name mode isolation : Engine_intf.t =
   (module struct
     let name = name
-    let supports_faults = false
+    let supports_faults = true
     let supports_clients = true
     let supports_dist = false
+    let supports_wal = true
     let nodes = 1
     let nparts _ = None
 
-    let run ?sim ?clients ?faults:_ ~cfg wl =
-      Qe.run ?sim ?clients ?recorder:cfg.I.recorder
+    let run ?sim ?clients ?faults ?wal ~cfg wl =
+      Qe.run ?sim ?clients ?recorder:cfg.I.recorder ?wal
+        ?crash_at:(crash_at_of faults)
         {
           Qe.planners = cfg.I.threads;
           executors = cfg.I.threads;
@@ -155,10 +169,11 @@ let nd_module name (cc : (module Quill_protocols.Nd_driver.CC)) :
     let supports_faults = false
     let supports_clients = true
     let supports_dist = false
+    let supports_wal = false
     let nodes = 1
     let nparts _ = None
 
-    let run ?sim ?clients ?faults:_ ~cfg wl =
+    let run ?sim ?clients ?faults:_ ?wal:_ ~cfg wl =
       Quill_protocols.Nd_driver.run ?sim ?clients cc
         {
           Quill_protocols.Nd_driver.default_cfg with
@@ -215,10 +230,11 @@ let () =
                 let supports_faults = false
                 let supports_clients = true
                 let supports_dist = false
+                let supports_wal = false
                 let nodes = 1
                 let nparts _ = None
 
-                let run ?sim ?clients ?faults:_ ~cfg wl =
+                let run ?sim ?clients ?faults:_ ?wal:_ ~cfg wl =
                   Quill_protocols.Hstore.run ?sim ?clients
                     {
                       Quill_protocols.Hstore.workers = cfg.I.threads;
@@ -245,10 +261,11 @@ let () =
                 let supports_faults = false
                 let supports_clients = true
                 let supports_dist = false
+                let supports_wal = false
                 let nodes = 1
                 let nparts _ = None
 
-                let run ?sim ?clients ?faults:_ ~cfg wl =
+                let run ?sim ?clients ?faults:_ ?wal:_ ~cfg wl =
                   Quill_protocols.Calvin.run ?sim ?clients
                     {
                       Quill_protocols.Calvin.workers =
@@ -276,10 +293,11 @@ let dist_quecc_module n : Engine_intf.t =
     let supports_faults = true
     let supports_clients = true
     let supports_dist = true
+    let supports_wal = false
     let nodes = n
     let nparts cfg = Some (n * max 1 (cfg.I.threads / 2))
 
-    let run ?sim ?clients ?faults ~cfg wl =
+    let run ?sim ?clients ?faults ?wal:_ ~cfg wl =
       let per_role = max 1 (cfg.I.threads / 2) in
       Quill_dist.Dist_quecc.run ?sim ?faults ?clients
         ?recorder:cfg.I.recorder
@@ -302,10 +320,11 @@ let dist_calvin_module n : Engine_intf.t =
     let supports_faults = true
     let supports_clients = true
     let supports_dist = true
+    let supports_wal = false
     let nodes = n
     let nparts _ = Some (n * 4)
 
-    let run ?sim ?clients ?faults ~cfg wl =
+    let run ?sim ?clients ?faults ?wal:_ ~cfg wl =
       Quill_dist.Dist_calvin.run ?sim ?faults ?clients
         {
           Quill_dist.Dist_calvin.nodes = n;

@@ -43,12 +43,15 @@ type t = {
   adapt_batch : bool;
   replicas : int;
   spec_lag : int;
+  wal : bool;
+  snapshot_every : int;
 }
 
 let make ?name ?(threads = 8) ?(txns = 20_000) ?(batch_size = 1024)
     ?(costs = Costs.default) ?(faults = Faults.none) ?clients
     ?(pipeline = false) ?(steal = false) ?split ?(adapt_repart = false)
-    ?(adapt_batch = false) ?(replicas = 0) ?(spec_lag = 1) engine workload =
+    ?(adapt_batch = false) ?(replicas = 0) ?(spec_lag = 1) ?(wal = false)
+    ?(snapshot_every = 8) engine workload =
   let name =
     match name with Some n -> n | None -> engine_name engine
   in
@@ -69,6 +72,8 @@ let make ?name ?(threads = 8) ?(txns = 20_000) ?(batch_size = 1024)
     adapt_batch;
     replicas;
     spec_lag;
+    wal;
+    snapshot_every;
   }
 
 let build_workload = function
@@ -99,9 +104,46 @@ let run ?(tracer = Trace.null) ?recorder ?on_workload t =
   if Faults.active t.faults && not M.supports_faults then
     invalid_arg
       (Printf.sprintf
-         "Experiment.run: fault plans only apply to the distributed \
-          engines, not %s"
+         "Experiment.run: fault plans need an engine with fault support \
+          (the distributed engines, or a WAL-capable centralized engine \
+          with --wal), not %s"
          M.name);
+  if t.wal && not M.supports_wal then
+    invalid_arg
+      (Printf.sprintf
+         "Experiment.run: --wal needs a WAL-capable engine (serial or \
+          the quecc family), not %s"
+         M.name);
+  if t.snapshot_every < 1 then
+    invalid_arg "Experiment.run: --snapshot-every must be >= 1";
+  (* Network faults address cluster nodes; a centralized engine has no
+     links to drop.  Crash and disk faults on a centralized engine are
+     only survivable through the WAL. *)
+  if Faults.net_active t.faults && not M.supports_dist then
+    invalid_arg
+      (Printf.sprintf
+         "Experiment.run: network faults (drop/dup/delay/partition) need \
+          a distributed engine, not %s"
+         M.name);
+  if
+    (Faults.disk_active t.faults || t.faults.Faults.crashes <> [])
+    && (not M.supports_dist)
+    && not t.wal
+  then
+    invalid_arg
+      (Printf.sprintf
+         "Experiment.run: crash/disk faults on %s need --wal (nothing \
+          durable to recover from otherwise)"
+         M.name);
+  if Faults.active t.faults then
+    Faults.check_nodes t.faults ~nodes:M.nodes ~name:M.name;
+  if t.faults.Faults.crashes <> [] && (not M.supports_dist)
+     && t.clients <> None
+  then
+    invalid_arg
+      "Experiment.run: crash faults and open-loop clients cannot be \
+       combined on a centralized engine (a crashed node strands the \
+       admission queue)";
   if t.clients <> None && not M.supports_clients then
     invalid_arg
       (Printf.sprintf
@@ -156,7 +198,24 @@ let run ?(tracer = Trace.null) ?recorder ?on_workload t =
           { ccfg with Clients.total = txns })
       t.clients
   in
-  let m = M.run ~sim ?clients ~faults:t.faults ~cfg:rcfg wl in
+  (* The WAL is built over the same workload database the engine runs
+     on; disk faults from the plan are armed here so both the engine's
+     flushes and the recovery scan see them. *)
+  let wal =
+    if not t.wal then None
+    else
+      Some
+        (Quill_wal.Wal.create
+           ~disk:
+             {
+               Quill_wal.Wal.torn_rec = t.faults.Faults.torn_rec;
+               fsync_fail_at = t.faults.Faults.fsync_fail_at;
+               corrupt_off = t.faults.Faults.corrupt_off;
+             }
+           ~sim ~costs:t.costs ~snapshot_every:t.snapshot_every
+           wl.Quill_txn.Workload.db)
+  in
+  let m = M.run ~sim ?clients ~faults:t.faults ?wal ~cfg:rcfg wl in
   Option.iter (fun c -> Clients.record c m) clients;
   m.Metrics.effective_txns <- txns;
   m

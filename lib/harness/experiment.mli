@@ -74,6 +74,17 @@ type t = {
   spec_lag : int;
       (** dist-quecc HA: how many batches past the newest commit marker
           a backup may speculatively execute (>= 1, default 1). *)
+  wal : bool;
+      (** durable group-commit write-ahead log: every committed batch's
+          row images are logged and flushed with one modeled fsync at
+          the batch commit point.  Only WAL-capable engines (serial and
+          the quecc family, [supports_wal]) accept it — {!run} raises
+          [Invalid_argument] otherwise.  Required for crash or disk
+          faults on a centralized engine. *)
+  snapshot_every : int;
+      (** WAL snapshot period in durable batches (>= 1, default 8):
+          after every [snapshot_every]-th durable batch the database is
+          snapshotted and the log truncated. *)
 }
 
 val make :
@@ -91,6 +102,8 @@ val make :
   ?adapt_batch:bool ->
   ?replicas:int ->
   ?spec_lag:int ->
+  ?wal:bool ->
+  ?snapshot_every:int ->
   engine ->
   workload_spec ->
   t

@@ -638,6 +638,141 @@ let failover ?(scale = 1.0) ?json ?plan () =
       close_out oc;
       Printf.printf "failover: wrote %s\n" path
 
+(* Durability (ISSUE 9 headline): QueCC's planned queues already fix the
+   commit order, so durability is one group-commit fsync per batch — the
+   WAL logs each batch's row images and hardens them at the batch commit
+   point.  Four rows: the no-WAL baseline (what durability costs), the
+   WAL run (the overhead must stay small at theta 0), the serial engine
+   with the same group-commit log, and the WAL run killed mid-run.  The
+   crashed run recovers from the newest snapshot plus the log and must
+   land bit-identical to a fault-free run truncated to the same durable
+   boundary — that oracle run is re-executed here and the checksums
+   compared.  [json] dumps per-row counters plus the oracle comparison
+   for the CI durability-smoke job.
+
+   Rows run through [E.run] directly: the WAL's commit-point index
+   probes happen outside planned-queue attribution, so the suite-wide
+   --check-conflicts recorder must not attach here (same reason as
+   [failover]). *)
+let durability ?(scale = 1.0) ?json () =
+  let module M = Quill_txn.Metrics in
+  let module F = Quill_faults.Faults in
+  let txns = scaled scale 8_192 ~min_v:2048 in
+  let size = scaled scale 64_000 ~min_v:8_000 in
+  let ycfg =
+    { Ycsb.default with Ycsb.table_size = size; nparts = 8; theta = 0.0 }
+  in
+  let spec = E.Ycsb ycfg in
+  let threads = 8 and batch_size = 512 in
+  let results = ref [] in
+  let run_one label engine ~txns ~wal ~faults =
+    let e =
+      E.make ~name:label ~threads ~txns ~batch_size ~faults ~wal
+        ~snapshot_every:8 engine spec
+    in
+    let wl_ref = ref None in
+    let m = E.run ~tracer:!tracer ~on_workload:(fun wl -> wl_ref := Some wl) e in
+    let chk =
+      match !wl_ref with
+      | Some wl -> Quill_storage.Db.checksum wl.Quill_txn.Workload.db
+      | None -> 0
+    in
+    (m, chk)
+  in
+  let row label engine ~txns ~wal ~faults =
+    let m, chk = run_one label engine ~txns ~wal ~faults in
+    results := !results @ [ (label, wal, chk, m) ];
+    ({ Report.label; metrics = m }, m, chk)
+  in
+  let quecc = E.Quecc (Qe.Speculative, Qe.Serializable) in
+  let base, mbase, _ =
+    (* lint: engine-name-ok — report row label, not dispatch *)
+    row "quecc" quecc ~txns ~wal:false ~faults:F.none
+  in
+  let walled, mwal, _ = row "quecc --wal" quecc ~txns ~wal:true ~faults:F.none in
+  let serial_r, _, _ =
+    row "serial --wal" E.Serial ~txns ~wal:true ~faults:F.none
+  in
+  (* kill the WAL run in the middle; recovery happens inside the run *)
+  let plan =
+    {
+      F.none with
+      F.seed = 9;
+      crashes = [ { F.node = 0; at = mwal.M.elapsed / 2; down = 1 } ];
+    }
+  in
+  let crash_r, mcrash, crash_chk =
+    row "quecc --wal, crash" quecc ~txns ~wal:true ~faults:plan
+  in
+  (* Oracle: a fault-free run over the same streams, truncated to the
+     crashed run's durable boundary.  Bit-identity at that boundary is
+     the whole durability claim. *)
+  let durable_txns = mcrash.M.durable_batches * batch_size in
+  let oracle_chk, oracle_committed =
+    if durable_txns = 0 then
+      (* nothing durable: recovery must yield the pristine loaded db *)
+      ( Quill_storage.Db.checksum
+          (Ycsb.make ycfg).Quill_txn.Workload.db,
+        0 )
+    else
+      let m, chk =
+        run_one "oracle" quecc ~txns:durable_txns ~wal:false ~faults:F.none
+      in
+      (chk, m.M.committed)
+  in
+  let state_match =
+    crash_chk = oracle_chk && mcrash.M.committed = oracle_committed
+  in
+  let overhead_pct =
+    100.0 *. (1.0 -. (M.throughput mwal /. M.throughput mbase))
+  in
+  Report.print_table
+    ~title:
+      "Durability: batch-aligned group-commit WAL (YCSB theta=0, 8 cores; \
+       snapshot every 8 batches; crashed run recovers to the last durable \
+       batch)"
+    [ base; walled; serial_r; crash_r ];
+  Printf.printf
+    "durability: WAL overhead %.1f%%; crash recovered %d batches \
+     (%d txns), state %s the truncated fault-free run\n"
+    overhead_pct mcrash.M.durable_batches mcrash.M.committed
+    (if state_match then "matches" else "DIVERGES FROM");
+  match json with
+  | None -> ()
+  | Some path ->
+      let n = List.length !results in
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\n\
+        \  \"experiment\": \"durability\",\n\
+        \  \"scale\": %g,\n\
+        \  \"overhead_pct\": %.2f,\n\
+        \  \"crash\": {\"durable_batches\": %d, \"durable_txns\": %d, \
+         \"recovered_committed\": %d, \"oracle_committed\": %d, \
+         \"recovered_checksum\": %d, \"oracle_checksum\": %d, \
+         \"state_match\": %b, \"recovery_ns\": %d},\n\
+        \  \"rows\": [\n"
+        scale overhead_pct mcrash.M.durable_batches durable_txns
+        mcrash.M.committed oracle_committed crash_chk oracle_chk state_match
+        mcrash.M.recovery_time;
+      List.iteri
+        (fun i (label, wal, chk, m) ->
+          Printf.fprintf oc
+            "    {\"label\": %S, \"wal\": %b, \"tput\": %.1f, \
+             \"committed\": %d, \"durable_batches\": %d, \"wal_bytes\": %d, \
+             \"fsyncs\": %d, \"fsync_fails\": %d, \"snapshots\": %d, \
+             \"truncations\": %d, \"torn\": %d, \"crashes\": %d, \
+             \"recovery_ns\": %d, \"db_checksum\": %d}%s\n"
+            label wal (M.throughput m) m.M.committed m.M.durable_batches
+            m.M.wal_bytes m.M.wal_fsyncs m.M.wal_fsync_fails m.M.snapshots
+            m.M.wal_truncations m.M.torn_records m.M.crashes m.M.recovery_time
+            chk
+            (if i = n - 1 then "" else ","))
+        !results;
+      Printf.fprintf oc "  ]\n}\n";
+      close_out oc;
+      Printf.printf "durability: wrote %s\n" path
+
 (* ------------------------------------------------------------------ *)
 
 module C = Quill_clients.Clients
@@ -757,4 +892,5 @@ let all ?(scale = 1.0) () =
   skew ~scale ();
   fault_tolerance ~scale ();
   failover ~scale ();
+  durability ~scale ();
   overload ~scale ()

@@ -94,6 +94,21 @@ val failover :
     and sub-epoch failover).  [plan] overrides the probed mid-run
     leader crash. *)
 
+val durability :
+  ?scale:float -> ?json:string -> unit -> unit
+(** Durability headline: batch-aligned group-commit WAL on the
+    centralized engines.  Four rows at YCSB theta=0 — QueCC without a
+    WAL (baseline), QueCC with the WAL (the overhead, one modeled fsync
+    per batch), serial with the same group-commit log, and the QueCC
+    WAL run killed mid-run.  The crashed run recovers from the newest
+    snapshot plus the log; its recovered state is compared checksum-wise
+    against a fault-free run truncated to the same durable boundary
+    (bit-identity at the last durable batch).  [json] writes per-row
+    WAL counters, the overhead percentage and the oracle comparison
+    (the CI [BENCH_durability.json] artifact; the durability-smoke job
+    asserts nonzero recovery, zero lost/double commits and bounded
+    overhead). *)
+
 val overload :
   ?scale:float ->
   ?arrival:Quill_clients.Clients.arrival ->

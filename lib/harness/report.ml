@@ -179,6 +179,39 @@ let print_rep_table ~title rows =
 let any_replicated rows =
   List.exists (fun r -> Metrics.replicated r.metrics) rows
 
+(* Durability columns: group-commit amortization, snapshot/truncation
+   churn and what recovery cost when a crash or disk fault hit.  Only
+   meaningful (and only printed automatically) when a run had a WAL. *)
+let wal_header =
+  [
+    "engine"; "durable-b"; "group-avg"; "wal-bytes"; "fsyncs"; "fsync-fail";
+    "snaps"; "truncs"; "torn"; "recovery";
+  ]
+
+let wal_cells r =
+  let m = r.metrics in
+  [
+    r.label;
+    string_of_int m.Metrics.durable_batches;
+    Printf.sprintf "%.1f" (Metrics.wal_group_size m);
+    Tablefmt.fmt_si (float_of_int m.Metrics.wal_bytes);
+    string_of_int m.Metrics.wal_fsyncs;
+    string_of_int m.Metrics.wal_fsync_fails;
+    string_of_int m.Metrics.snapshots;
+    string_of_int m.Metrics.wal_truncations;
+    string_of_int m.Metrics.torn_records;
+    (if m.Metrics.recovery_time > 0 then fmt_lat m.Metrics.recovery_time
+     else "-");
+  ]
+
+let print_wal_table ~title rows =
+  Printf.printf "\n== %s: durability ==\n" title;
+  match rows with
+  | [] -> print_endline "(no rows)"
+  | rows -> Tablefmt.print ~header:wal_header (List.map wal_cells rows)
+
+let any_walled rows = List.exists (fun r -> Metrics.walled r.metrics) rows
+
 (* When set, [print_table] and [print_sweep] follow every metrics table
    with the phase breakdown (the CLI/bench --phase-table flag). *)
 let phase_tables = ref false
@@ -198,7 +231,9 @@ let print_table ~title rows =
   if any_clients rows then
     Tablefmt.print ~header:client_header (List.map client_cells rows);
   if any_replicated rows then
-    Tablefmt.print ~header:rep_header (List.map rep_cells rows)
+    Tablefmt.print ~header:rep_header (List.map rep_cells rows);
+  if any_walled rows then
+    Tablefmt.print ~header:wal_header (List.map wal_cells rows)
 
 let print_sweep ~title ~param series =
   Printf.printf "\n== %s ==\n" title;
@@ -218,7 +253,9 @@ let print_sweep ~title ~param series =
           if any_clients rows then
             Tablefmt.print ~header:client_header (List.map client_cells rows);
           if any_replicated rows then
-            Tablefmt.print ~header:rep_header (List.map rep_cells rows))
+            Tablefmt.print ~header:rep_header (List.map rep_cells rows);
+          if any_walled rows then
+            Tablefmt.print ~header:wal_header (List.map wal_cells rows))
     series
 
 let best_throughput rows =

@@ -58,6 +58,16 @@ val print_rep_table : title:string -> row list -> unit
     duplicate injections.  {!print_table}/{!print_sweep} append this
     table automatically whenever any row ran with backups. *)
 
+val wal_header : string list
+val wal_cells : row -> string list
+
+val print_wal_table : title:string -> row list -> unit
+(** Durability columns: durable batch count, average group-commit size,
+    log bytes and fsync traffic, snapshot/truncation churn, torn-record
+    detections and the recovery-scan time when a crash or disk fault
+    hit.  {!print_table}/{!print_sweep} append this table automatically
+    whenever any row ran with a WAL. *)
+
 val phase_tables : bool ref
 (** When true, {!print_table} and {!print_sweep} append the phase
     breakdown after every metrics table (default false). *)

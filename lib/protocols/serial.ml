@@ -2,6 +2,7 @@ open Quill_common
 open Quill_sim
 open Quill_storage
 open Quill_txn
+module Wal = Quill_wal.Wal
 
 let dummy_row = Row.make ~key:(-1) ~nfields:1
 
@@ -10,12 +11,13 @@ type state = {
   costs : Costs.t;
   db : Db.t;
   wl : Workload.t;
+  wal : Wal.t option;
   metrics : Metrics.t;
   mutable cur_row : Row.t;
   mutable cur_found : bool;
   mutable undo : (Row.t * int array) list;
   mutable inserts : (int * int) list;
-  mutable written : Row.t list;
+  mutable written : (int * Row.t) list;
   mutable slots : int array;
 }
 
@@ -25,12 +27,12 @@ let make_ctx st =
     Sim.tick st.sim st.costs.Costs.row_read;
     if st.cur_found then st.cur_row.Row.data.(field) else 0
   in
-  let write _frag field v =
+  let write (frag : Fragment.t) field v =
     Sim.tick st.sim st.costs.Costs.row_write;
     if st.cur_found then begin
       let row = st.cur_row in
       st.undo <- (row, Array.copy row.Row.data) :: st.undo;
-      st.written <- row :: st.written;
+      st.written <- (frag.Fragment.table, row) :: st.written;
       row.Row.data.(field) <- v
     end
   in
@@ -86,7 +88,29 @@ let exec_one st ctx txn =
   (match go 0 with
   | Exec.Ok ->
       txn.Txn.status <- Txn.Committed;
-      List.iter Row.publish st.written;
+      List.iter (fun (_, row) -> Row.publish row) st.written;
+      (* Log the committed images into the WAL group buffer (the flush
+         happens at the group-commit boundary in [run_list]).  Replay
+         applies effects in log order, so per-transaction emission with
+         duplicates is idempotent — the last image of a row wins. *)
+      (match st.wal with
+      | Some w ->
+          List.iter
+            (fun (tid, (row : Row.t)) ->
+              Wal.log_effect w ~table:tid
+                ~home:(Table.home_of_key (Db.table st.db tid) row.Row.key)
+                ~key:row.Row.key row.Row.committed)
+            st.written;
+          List.iter
+            (fun (tid, key) ->
+              let tbl = Db.table st.db tid in
+              match Table.find tbl key with
+              | Some row ->
+                  Wal.log_effect w ~table:tid
+                    ~home:(Table.home_of_key tbl key) ~key row.Row.committed
+              | None -> ())
+            st.inserts
+      | None -> ());
       st.metrics.Metrics.committed <- st.metrics.Metrics.committed + 1
   | Exec.Abort | Exec.Blocked ->
       List.iter
@@ -103,13 +127,14 @@ let exec_one st ctx txn =
   Stats.Hist.add st.metrics.Metrics.lat
     (txn.Txn.finish_time - txn.Txn.submit_time)
 
-let run_list sim costs wl next =
+let run_list ?wal ?crash_at ~batch_size sim costs wl next =
   let st =
     {
       sim;
       costs;
       db = wl.Workload.db;
       wl;
+      wal;
       metrics = Metrics.create ();
       cur_row = dummy_row;
       cur_found = false;
@@ -122,13 +147,57 @@ let run_list sim costs wl next =
   let ctx = make_ctx st in
   Sim.spawn sim (fun () ->
       let tid = Sim.current_tid sim in
+      (* Group commit: [batch_size] transactions share one flush, the
+         serial analogue of QueCC's batch-aligned group commit. *)
+      let bno = ref 0 in
+      let in_group = ref 0 in
+      let group_committed = ref 0 in
+      let group_open = ref false in
+      let close_group w =
+        ignore (Wal.commit_batch w ~batch_no:!bno ~txns:!group_committed);
+        incr bno;
+        in_group := 0;
+        group_committed := 0;
+        group_open := false
+      in
+      let crash w =
+        Pcommon.in_phase sim Sim.Ph_recover tid (fun () ->
+            let m = st.metrics in
+            m.Metrics.crashes <- m.Metrics.crashes + 1;
+            Wal.recover w st.db;
+            m.Metrics.committed <- Wal.durable_txns w)
+      in
       let rec loop () =
-        match next () with
-        | None -> ()
-        | Some txn ->
-            Pcommon.in_phase sim Sim.Ph_execute tid (fun () ->
-                exec_one st ctx txn);
-            loop ()
+        let dead =
+          match crash_at with Some at -> Sim.now sim >= at | None -> false
+        in
+        if dead then
+          (* The crash lands between transactions: the open group was
+             never flushed and is lost with the process. *)
+          match wal with Some w -> crash w | None -> ()
+        else
+          match next () with
+          | None -> (
+              match wal with
+              | Some w when !group_open -> close_group w
+              | _ -> ())
+          | Some txn ->
+              (match wal with
+              | Some w when not !group_open ->
+                  Wal.begin_batch w ~batch_no:!bno;
+                  group_open := true
+              | _ -> ());
+              let c0 = st.metrics.Metrics.committed in
+              Pcommon.in_phase sim Sim.Ph_execute tid (fun () ->
+                  exec_one st ctx txn);
+              (match wal with
+              | Some w ->
+                  if st.metrics.Metrics.committed > c0 then
+                    incr group_committed;
+                  incr in_group;
+                  if !in_group >= batch_size then close_group w
+              | None -> ());
+              loop ()
       in
       loop ());
   let parked = Sim.run sim in
@@ -138,10 +207,12 @@ let run_list sim costs wl next =
   m.Metrics.busy <- Sim.busy_time sim;
   m.Metrics.idle <- Sim.idle_time sim;
   m.Metrics.threads <- 1;
+  (match wal with Some w -> Wal.record w m | None -> ());
   Pcommon.record_sim_breakdown m sim;
   m
 
-let run ?sim ?(costs = Costs.default) wl ~txns =
+let run ?sim ?(costs = Costs.default) ?wal ?crash_at ?(batch_size = 1024) wl
+    ~txns =
   let sim =
     match sim with
     | Some s -> s
@@ -156,9 +227,10 @@ let run ?sim ?(costs = Costs.default) wl ~txns =
       Some (stream ())
     end
   in
-  run_list sim costs wl next
+  run_list ?wal ?crash_at ~batch_size sim costs wl next
 
-let run_txns ?sim ?(costs = Costs.default) wl txns =
+let run_txns ?sim ?(costs = Costs.default) ?wal ?crash_at ?(batch_size = 1024)
+    wl txns =
   let sim =
     match sim with
     | Some s -> s
@@ -172,4 +244,4 @@ let run_txns ?sim ?(costs = Costs.default) wl txns =
         remaining := rest;
         Some t
   in
-  run_list sim costs wl next
+  run_list ?wal ?crash_at ~batch_size sim costs wl next

@@ -10,16 +10,31 @@
 val run :
   ?sim:Quill_sim.Sim.t ->
   ?costs:Quill_sim.Costs.t ->
+  ?wal:Quill_wal.Wal.t ->
+  ?crash_at:int ->
+  ?batch_size:int ->
   Quill_txn.Workload.t ->
   txns:int ->
   Quill_txn.Metrics.t
-(** Generate [txns] transactions from stream 0 and run them serially. *)
+(** Generate [txns] transactions from stream 0 and run them serially.
+
+    [?wal] logs every committed transaction's row images and flushes
+    once per [batch_size] transactions (default 1024) — the serial
+    analogue of QueCC's batch-aligned group commit.  [?crash_at] stops
+    the run at the first transaction boundary at/after that virtual
+    time, losing the unflushed group, rebuilds the database from the
+    newest snapshot plus the log, and reconciles the committed count to
+    the durable boundary. *)
 
 val run_txns :
   ?sim:Quill_sim.Sim.t ->
   ?costs:Quill_sim.Costs.t ->
+  ?wal:Quill_wal.Wal.t ->
+  ?crash_at:int ->
+  ?batch_size:int ->
   Quill_txn.Workload.t ->
   Quill_txn.Txn.t list ->
   Quill_txn.Metrics.t
 (** Run a pre-generated transaction list serially in list order (used by
-    the determinism tests to replay the exact batch another engine ran). *)
+    the determinism tests to replay the exact batch another engine ran).
+    [?wal] / [?crash_at] / [?batch_size] behave as in {!run}. *)

@@ -5,6 +5,7 @@ open Quill_txn
 module Trace = Quill_trace.Trace
 module Clients = Quill_clients.Clients
 module Alog = Quill_analysis.Access_log
+module Wal = Quill_wal.Wal
 
 type exec_mode = Speculative | Conservative
 type isolation = Serializable | Read_committed
@@ -132,7 +133,9 @@ type shared = {
   queues : qentry Vec.t array array array;
       (* [parity].[planner].[executor] *)
   rts : rt option array array;         (* [parity].[slot] -> runtime *)
-  touched : Row.t Vec.t array;         (* per executor + one recovery slot *)
+  touched : (int * Row.t) Vec.t array;
+      (* (table, row) per executor + one recovery slot; the rows dirtied
+         by the in-flight batch — publish set and WAL write set *)
   qstate : int array array array;      (* [parity].[planner].[executor] *)
   qsig : (int, unit) Hashtbl.t array array array;
       (* [parity].[planner].[executor] *)
@@ -158,6 +161,11 @@ type shared = {
       (* conflict-detector access log (--check-conflicts); None on the
          hot path *)
   abs : autobs option;
+  wal : Wal.t option;  (* durable group-commit log (--wal) *)
+  crash_at : int option;
+      (* virtual time at/after which the node dies at its next batch
+         commit point, losing the in-flight batch *)
+  mutable crashed : bool;
   mutable batch_no : int;
 }
 
@@ -253,10 +261,10 @@ let dummy_rt =
     entry = None;
   }
 
-let mark_touched sh slot row =
+let mark_touched sh slot table row =
   if not row.Row.dirty then begin
     row.Row.dirty <- true;
-    Vec.push sh.touched.(slot) row
+    Vec.push sh.touched.(slot) (table, row)
   end
 
 (* Field-level speculation state: edges are recorded per (row, field) so
@@ -317,7 +325,7 @@ let make_exec_ctx sh st =
           row.Row.data.(field)
     end
   in
-  let write (_frag : Fragment.t) field v =
+  let write (frag : Fragment.t) field v =
     Sim.tick sh.sim costs.Costs.row_write;
     if st.cur_found then begin
       let row = st.cur_row in
@@ -327,11 +335,11 @@ let make_exec_ctx sh st =
         row.Row.undo <-
           (rt.bidx, field, Row.Uset row.Row.data.(field)) :: row.Row.undo
       end;
-      mark_touched sh st.eid row;
+      mark_touched sh st.eid frag.Fragment.table row;
       row.Row.data.(field) <- v
     end
   in
-  let add (_frag : Fragment.t) field d =
+  let add (frag : Fragment.t) field d =
     Sim.tick sh.sim costs.Costs.row_write;
     if st.cur_found then begin
       let row = st.cur_row in
@@ -340,7 +348,7 @@ let make_exec_ctx sh st =
         record_add rt row field;
         row.Row.undo <- (rt.bidx, field, Row.Uadd d) :: row.Row.undo
       end;
-      mark_touched sh st.eid row;
+      mark_touched sh st.eid frag.Fragment.table row;
       row.Row.data.(field) <- row.Row.data.(field) + d
     end
   in
@@ -357,7 +365,7 @@ let make_exec_ctx sh st =
     end;
     if not row.Row.dirty then begin
       row.Row.dirty <- true;
-      Vec.push sh.touched.(st.eid) row
+      Vec.push sh.touched.(st.eid) (frag.Fragment.table, row)
     end
   in
   let input fid =
@@ -967,22 +975,21 @@ let serial_ctx sh recovery_slot undo_log insert_log slots cur_row cur_found =
       | Read_committed, Fragment.Read -> (!cur_row).Row.committed.(field)
       | _ -> (!cur_row).Row.data.(field)
   in
-  let write _frag field v =
+  let write (frag : Fragment.t) field v =
     Sim.tick sh.sim costs.Costs.row_write;
     if !cur_found then begin
       let row = !cur_row in
       undo_log := (row, Array.copy row.Row.data) :: !undo_log;
-      mark_touched sh recovery_slot row;
+      mark_touched sh recovery_slot frag.Fragment.table row;
       row.Row.data.(field) <- v
     end
   in
-  let add frag field d =
-    ignore frag;
+  let add (frag : Fragment.t) field d =
     Sim.tick sh.sim costs.Costs.row_write;
     if !cur_found then begin
       let row = !cur_row in
       undo_log := (row, Array.copy row.Row.data) :: !undo_log;
-      mark_touched sh recovery_slot row;
+      mark_touched sh recovery_slot frag.Fragment.table row;
       row.Row.data.(field) <- row.Row.data.(field) + d
     end
   in
@@ -990,7 +997,11 @@ let serial_ctx sh recovery_slot undo_log insert_log slots cur_row cur_found =
     Sim.tick sh.sim costs.Costs.index_insert;
     let tbl = Db.table sh.db frag.Fragment.table in
     let home = Db.home sh.db frag.Fragment.table frag.Fragment.key in
-    ignore (Table.insert tbl ~home ~key payload);
+    let row = Table.insert tbl ~home ~key payload in
+    (* Recovery-pass inserts must land in the touched set too: the WAL
+       write set is emitted from it, and a replay that misses an insert
+       diverges from the fault-free run. *)
+    mark_touched sh recovery_slot frag.Fragment.table row;
     insert_log := (frag.Fragment.table, key) :: !insert_log
   in
   let input fid = slots.(fid) in
@@ -1076,7 +1087,7 @@ let recover sh ~parity =
     Array.iter
       (fun touched ->
         Vec.iter
-          (fun row ->
+          (fun (_, row) ->
             if row.Row.undo <> [] then begin
               let kept =
                 List.filter
@@ -1214,7 +1225,7 @@ let next_batch_size sh abs =
 
 let publish_slot sh slot =
   Vec.iter
-    (fun row ->
+    (fun (_, row) ->
       Row.publish row;
       row.Row.undo <- [];
       row.Row.fstate <- [||];
@@ -1243,6 +1254,80 @@ let account ?clients sh ~parity =
         rts.(b) <- None
   done;
   sh.metrics.Metrics.batches <- sh.metrics.Metrics.batches + 1
+
+(* ------------------------------------------------------------------ *)
+(* Durability: group-commit WAL and crash recovery                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Emit the batch's write set into the WAL group buffer.  Runs in the
+   recover phase, after cascade recovery has settled every row but
+   BEFORE publish clears the touched vectors: a touched row's [data] at
+   this point is exactly the image publish will install as committed, so
+   logging [data] now equals logging [committed] later.  A touched row
+   whose key no longer resolves was a rolled-back insert — skipped.  The
+   flush itself ([wal_flush]) happens after the publish barrier, so a
+   snapshot roll clones the fully published database. *)
+let wal_emit sh ~bno =
+  match sh.wal with
+  | None -> ()
+  | Some w ->
+      Wal.begin_batch w ~batch_no:bno;
+      Array.iter
+        (fun touched ->
+          Vec.iter
+            (fun (tid, (row : Row.t)) ->
+              let tbl = Db.table sh.db tid in
+              match Table.find tbl row.Row.key with
+              | Some r ->
+                  Wal.log_effect w ~table:tid
+                    ~home:(Table.home_of_key tbl r.Row.key)
+                    ~key:r.Row.key r.Row.data
+              | None -> ())
+            touched)
+        sh.touched
+
+(* Group commit: append the commit marker and flush the whole batch with
+   one modeled fsync.  [txns] counts this batch's committed
+   transactions, so the durable-transaction boundary equals the
+   committed count at every durable batch.  Called with the batch
+   published and every other thread parked short of the next batch's row
+   accesses, so the snapshot [Db.clone] inside cannot race a writer. *)
+let wal_flush sh ~txns ~bno =
+  match sh.wal with
+  | None -> ()
+  | Some w -> ignore (Wal.commit_batch w ~batch_no:bno ~txns)
+
+let committed_in sh ~parity =
+  let n = ref 0 in
+  Array.iter
+    (function
+      | Some rt when rt.txn.Txn.status = Txn.Committed -> incr n
+      | Some _ | None -> ())
+    sh.rts.(parity);
+  !n
+
+(* The crash killed the node mid-batch: the in-flight batch was never
+   flushed or accounted, so it is lost.  Model the reboot, rebuild the
+   database from the newest snapshot plus the WAL (checksum-validated,
+   truncating at the first damaged record), and reconcile the committed
+   count to what the log proves durable — any batch acked before its
+   group survived the disk (a failing or wedged fsync) is retracted
+   here, which is exactly the lost-commit window the durability tests
+   measure. *)
+let crash_recover sh =
+  let m = sh.metrics in
+  m.Metrics.crashes <- m.Metrics.crashes + 1;
+  (* the reboot cost is charged inside Wal.recover, with the replay *)
+  match sh.wal with
+  | None -> ()
+  | Some w ->
+      Wal.recover w sh.db;
+      m.Metrics.committed <- Wal.durable_txns w
+
+let crash_due sh =
+  match sh.crash_at with
+  | Some at -> (not sh.crashed) && Sim.now sh.sim >= at
+  | None -> false
 
 (* Copy the simulator's per-phase busy / per-cause idle attribution into
    the run's metrics. *)
@@ -1308,6 +1393,7 @@ let spawn_lockstep sim sh ?clients ~batches ~streams () =
               ~value:!depth
           end
         in
+        let wal_txns = ref 0 in
         let run_batch plan_fn account_fn =
           if t < cfg.planners then in_phase sim Sim.Ph_plan t plan_fn;
           Sim.Barrier.await sim barrier;
@@ -1319,24 +1405,43 @@ let spawn_lockstep sim sh ?clients ~batches ~streams () =
           Sim.Barrier.await sim barrier;
           if t = 0 then
             in_phase sim Sim.Ph_recover t (fun () ->
-                if cfg.mode = Speculative then recover sh ~parity:0
-                else finalize_statuses sh ~parity:0;
-                account_fn ();
-                rebalance sh ~bno:sh.batch_no);
+                (* The crash point: thread 0 reaches the batch commit
+                   point past the crash time — the in-flight batch dies
+                   (never logged, never accounted) and every thread
+                   unwinds after the publish barrier. *)
+                if crash_due sh then sh.crashed <- true
+                else begin
+                  if cfg.mode = Speculative then recover sh ~parity:0
+                  else finalize_statuses sh ~parity:0;
+                  wal_emit sh ~bno:sh.batch_no;
+                  wal_txns := committed_in sh ~parity:0;
+                  account_fn ();
+                  rebalance sh ~bno:sh.batch_no
+                end);
           Sim.Barrier.await sim barrier;
-          if t < cfg.executors || t = 0 then
+          if (not sh.crashed) && (t < cfg.executors || t = 0) then
             in_phase sim Sim.Ph_publish t (fun () ->
                 if t < cfg.executors then publish_slot sh t;
                 if t = 0 then publish_slot sh cfg.executors);
-          Sim.Barrier.await sim barrier
+          Sim.Barrier.await sim barrier;
+          (* Group-commit flush after the publish barrier so a snapshot
+             roll clones fully published state; the next batch's
+             executors are held at the post-plan barrier until thread 0
+             arrives, so the flush cannot race a row access. *)
+          if t = 0 then
+            if sh.crashed then
+              in_phase sim Sim.Ph_recover t (fun () -> crash_recover sh)
+            else wal_flush sh ~txns:!wal_txns ~bno:sh.batch_no
         in
         match clients with
         | None ->
             for b = 0 to batches - 1 do
-              if t = 0 then sh.batch_no <- b;
-              run_batch
-                (fun () -> plan_slice sh ~parity:0 ~bno:b t streams.(t) rr)
-                (fun () -> account sh ~parity:0)
+              if not sh.crashed then begin
+                if t = 0 then sh.batch_no <- b;
+                run_batch
+                  (fun () -> plan_slice sh ~parity:0 ~bno:b t streams.(t) rr)
+                  (fun () -> account sh ~parity:0)
+              end
             done
         | Some c ->
             (* Every thread runs the same barrier sequence per round:
@@ -1508,32 +1613,35 @@ let spawn_pipelined sim sh ?clients ~batches ~streams () =
               ~value:!depth
           end
         in
+        let wal_txns = ref 0 in
         let rec loop b =
           let go =
             if e = 0 then begin
               let go =
-                match (clients, sh.abs) with
-                | None, None ->
-                    b < batches
-                    && begin
-                         let t0 = Sim.now sim in
-                         Sim.Gate.await sim
-                           (gate planned_g ~parties:cfg.planners b);
-                         fill_stall t0;
-                         true
-                       end
-                | None, Some _ ->
-                    let t0 = Sim.now sim in
-                    Sim.Gate.await sim
-                      (gate planned_g ~parties:cfg.planners b);
-                    fill_stall t0;
-                    Sim.Ivar.read sim (ivar size_iv b) > 0
-                | Some _, _ ->
-                    let t0 = Sim.now sim in
-                    Sim.Gate.await sim
-                      (gate planned_g ~parties:cfg.planners b);
-                    fill_stall t0;
-                    Array.length (Sim.Ivar.read sim (ivar pending_iv b)) > 0
+                (not sh.crashed)
+                && (match (clients, sh.abs) with
+                   | None, None ->
+                       b < batches
+                       && begin
+                            let t0 = Sim.now sim in
+                            Sim.Gate.await sim
+                              (gate planned_g ~parties:cfg.planners b);
+                            fill_stall t0;
+                            true
+                          end
+                   | None, Some _ ->
+                       let t0 = Sim.now sim in
+                       Sim.Gate.await sim
+                         (gate planned_g ~parties:cfg.planners b);
+                       fill_stall t0;
+                       Sim.Ivar.read sim (ivar size_iv b) > 0
+                   | Some _, _ ->
+                       let t0 = Sim.now sim in
+                       Sim.Gate.await sim
+                         (gate planned_g ~parties:cfg.planners b);
+                       fill_stall t0;
+                       Array.length (Sim.Ivar.read sim (ivar pending_iv b))
+                       > 0)
               in
               (* batch_no is only read between start(b) and the end of
                  publish(b), so advancing it here cannot race the
@@ -1558,19 +1666,51 @@ let spawn_pipelined sim sh ?clients ~batches ~streams () =
             if e = 0 then begin
               Sim.Gate.await sim (gate exec_done_g ~parties:cfg.executors b);
               in_phase sim Sim.Ph_recover e (fun () ->
-                  if cfg.mode = Speculative then recover sh ~parity
-                  else finalize_statuses sh ~parity;
-                  account ?clients sh ~parity;
-                  rebalance sh ~bno:b);
-              Sim.Ivar.fill sim (ivar recovered_iv b) ()
+                  (* The crash point, pipelined: executor 0 reaches batch
+                     b's commit point past the crash time — b dies
+                     unlogged and unaccounted. *)
+                  if crash_due sh then sh.crashed <- true
+                  else begin
+                    if cfg.mode = Speculative then recover sh ~parity
+                    else finalize_statuses sh ~parity;
+                    wal_emit sh ~bno:b;
+                    wal_txns := committed_in sh ~parity;
+                    account ?clients sh ~parity;
+                    rebalance sh ~bno:b
+                  end);
+              Sim.Ivar.fill sim (ivar recovered_iv b) ();
+              if sh.crashed then begin
+                (* Unblock planners already committed to future batches:
+                   they plan into buffers nobody drains and unwind.  The
+                   horizon covers the deepest batch number any planner
+                   loop can reach. *)
+                let horizon =
+                  match sh.abs with
+                  | Some _ -> (batches * cfg.batch_size) + 2
+                  | None -> batches + 2
+                in
+                for bb = b + 1 to horizon do
+                  let iv = ivar recovered_iv bb in
+                  if not (Sim.Ivar.is_full iv) then Sim.Ivar.fill sim iv ()
+                done
+              end
             end
             else ignore (Sim.Ivar.read sim (ivar recovered_iv b));
-            in_phase sim Sim.Ph_publish e (fun () ->
-                publish_slot sh e;
-                if e = 0 then publish_slot sh cfg.executors);
+            if not sh.crashed then
+              in_phase sim Sim.Ph_publish e (fun () ->
+                  publish_slot sh e;
+                  if e = 0 then publish_slot sh cfg.executors);
             Sim.Gate.arrive sim (gate published_g ~parties:cfg.executors b);
             if e = 0 then begin
               Sim.Gate.await sim (gate published_g ~parties:cfg.executors b);
+              (* Group-commit flush once every slot of b is published (a
+                 snapshot roll clones fully published state); executors
+                 of b+1 are still parked on start(b+1), which is filled
+                 below in [loop], so the flush cannot race a row
+                 access. *)
+              if sh.crashed then
+                in_phase sim Sim.Ph_recover e (fun () -> crash_recover sh)
+              else wal_flush sh ~txns:!wal_txns ~bno:b;
               (* Drop sync state no thread can reach again: everything
                  of batch b except recovered(b), which planners of batch
                  b+2 still await. *)
@@ -1589,8 +1729,14 @@ let spawn_pipelined sim sh ?clients ~batches ~streams () =
   done;
   cfg.planners + cfg.executors
 
-let run ?sim ?clients ?recorder cfg wl ~batches =
+let run ?sim ?clients ?recorder ?wal ?crash_at cfg wl ~batches =
   assert (cfg.planners > 0 && cfg.executors > 0 && cfg.batch_size > 0);
+  (match (crash_at, clients) with
+  | Some _, Some _ ->
+      invalid_arg
+        "Quecc.Engine.run: crash faults and open-loop clients cannot be \
+         combined (a crashed node strands the admission queue)"
+  | _ -> ());
   (match cfg.split with
   | Some sc -> assert (sc.hot_threshold > 0 && sc.max_subqueues >= 2)
   | None -> ());
@@ -1667,6 +1813,9 @@ let run ?sim ?clients ?recorder cfg wl ~batches =
       metrics = Metrics.create ();
       recorder;
       abs;
+      wal;
+      crash_at;
+      crashed = false;
       batch_no = 0;
     }
   in
@@ -1695,5 +1844,6 @@ let run ?sim ?clients ?recorder cfg wl ~batches =
   m.Metrics.busy <- Sim.busy_time sim;
   m.Metrics.idle <- Sim.idle_time sim;
   m.Metrics.threads <- nthreads;
+  (match wal with Some w -> Wal.record w m | None -> ());
   record_sim_breakdown m sim;
   m

@@ -95,6 +95,8 @@ val run :
   ?sim:Quill_sim.Sim.t ->
   ?clients:Quill_clients.Clients.t ->
   ?recorder:Quill_analysis.Access_log.t ->
+  ?wal:Quill_wal.Wal.t ->
+  ?crash_at:int ->
   cfg ->
   Quill_txn.Workload.t ->
   batches:int ->
@@ -103,6 +105,15 @@ val run :
     with queue-slot attribution for {!Quill_analysis.Conflict_check};
     recording never ticks the simulator, so committed state is
     bit-identical with and without it.
+
+    [?wal] makes every batch durable with one group-commit flush at its
+    commit point (effects captured before publish, flushed after — see
+    {!Quill_wal.Wal}).  [?crash_at] kills the node at its first batch
+    commit point at/after that virtual time: the in-flight batch is
+    lost, the database is rebuilt from the newest snapshot plus the log,
+    the committed count is reconciled to the durable boundary, and the
+    run ends.  Crash faults cannot be combined with [?clients] (a dead
+    node strands the admission queue); [Invalid_argument] otherwise.
 
     Closed-loop by default: [batches] fixed-size batches cut from the
     workload stream.  With [?clients], batches are formed from whatever

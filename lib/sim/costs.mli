@@ -33,6 +33,10 @@ type t = {
   wakeup : int;          (** scheduler wakeup after blocking *)
   crash_reboot : int;    (** fixed restart overhead after a simulated
                              node crash, before queue replay begins *)
+  wal_byte : int;        (** WAL serialization / replay-scan cost per log
+                             byte (x1000: milli-ns) *)
+  wal_fsync : int;       (** one durable flush of the WAL tail (the group
+                             commit's single fsync) *)
 }
 
 val default : t

@@ -70,6 +70,21 @@ type t = {
      duplicate copies injected by the fault plan. *)
   mutable msg_bytes : int;
   mutable msg_dups_sent : int;
+  (* WAL / durability counters; stay 0 on runs without --wal.
+     [wal_group_txns] accumulates the transaction count of every durable
+     group commit (so group size = wal_group_txns / wal_fsyncs);
+     [durable_batches] is the number of batches whose commit marker hit
+     the platter; [recovery_time] is the virtual ns the post-crash
+     snapshot-restore + log-replay pass took. *)
+  mutable wal_bytes : int;
+  mutable wal_fsyncs : int;
+  mutable wal_fsync_fails : int;
+  mutable wal_group_txns : int;
+  mutable snapshots : int;
+  mutable wal_truncations : int;
+  mutable torn_records : int;
+  mutable durable_batches : int;
+  mutable recovery_time : int;
   (* Open-loop client / admission counters; stay 0 on closed-loop runs. *)
   mutable offered : int;
   mutable shed : int;
@@ -126,6 +141,15 @@ let create () =
     failover_time = 0;
     msg_bytes = 0;
     msg_dups_sent = 0;
+    wal_bytes = 0;
+    wal_fsyncs = 0;
+    wal_fsync_fails = 0;
+    wal_group_txns = 0;
+    snapshots = 0;
+    wal_truncations = 0;
+    torn_records = 0;
+    durable_batches = 0;
+    recovery_time = 0;
     offered = 0;
     shed = 0;
     deadline_miss = 0;
@@ -222,6 +246,19 @@ let pp_replication fmt t =
      failover_time=%dns bytes=%d dups_sent=%d"
     t.replicas t.spec_executed t.spec_wasted t.rep_lag_max t.failovers
     t.failover_time t.msg_bytes t.msg_dups_sent
+
+let walled t = t.wal_fsyncs > 0 || t.wal_bytes > 0 || t.wal_fsync_fails > 0
+
+let wal_group_size t =
+  if t.wal_fsyncs = 0 then 0.0
+  else float_of_int t.wal_group_txns /. float_of_int t.wal_fsyncs
+
+let pp_wal fmt t =
+  Format.fprintf fmt
+    "wal_bytes=%d fsyncs=%d (fails=%d) group=%.0ftxn snapshots=%d \
+     truncations=%d torn=%d durable_batches=%d recovery=%dns"
+    t.wal_bytes t.wal_fsyncs t.wal_fsync_fails (wal_group_size t) t.snapshots
+    t.wal_truncations t.torn_records t.durable_batches t.recovery_time
 
 let clients_active t = t.offered > 0
 

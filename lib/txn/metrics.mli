@@ -64,6 +64,20 @@ type t = {
   mutable failover_time : int;  (** virtual ns from crash detection to resume *)
   mutable msg_bytes : int;      (** payload bytes sent (distributed engines) *)
   mutable msg_dups_sent : int;  (** duplicate copies injected by the fault plan *)
+  mutable wal_bytes : int;      (** WAL bytes appended (durable or not) *)
+  mutable wal_fsyncs : int;     (** group-commit flushes that succeeded *)
+  mutable wal_fsync_fails : int;(** flushes failed by the disk-fault plan *)
+  mutable wal_group_txns : int;
+      (** transactions covered by successful flushes; group size =
+          [wal_group_txns / wal_fsyncs] *)
+  mutable snapshots : int;      (** periodic [Db.clone] snapshots taken *)
+  mutable wal_truncations : int;(** log truncations behind a snapshot *)
+  mutable torn_records : int;
+      (** invalid records detected (and truncated at) by the recovery
+          scan's checksum / length validation *)
+  mutable durable_batches : int;(** batches whose commit marker is durable *)
+  mutable recovery_time : int;
+      (** virtual ns of snapshot restore + log replay after a crash *)
   mutable offered : int;        (** transactions offered by open-loop clients *)
   mutable shed : int;           (** admissions dropped by the overload policy *)
   mutable deadline_miss : int;  (** transactions dropped past their deadline *)
@@ -130,6 +144,16 @@ val replicated : t -> bool
 
 val pp_replication : Format.formatter -> t -> unit
 (** One-line replication / speculation / failover summary. *)
+
+val walled : t -> bool
+(** True when the run appended to (or tried to flush) a WAL. *)
+
+val wal_group_size : t -> float
+(** Mean transactions per successful group-commit flush. *)
+
+val pp_wal : Format.formatter -> t -> unit
+(** One-line WAL bytes / fsync / snapshot / truncation / recovery
+    summary. *)
 
 val clients_active : t -> bool
 (** True when the run was driven by open-loop clients (offered > 0). *)

@@ -108,6 +108,47 @@ let test_parse_crash_validation () =
   let sp2 = parse_ok (Faults.to_string sp) in
   Tutil.check_bool "distinct-node crashes round-trip" true (sp = sp2)
 
+let test_parse_disk () =
+  let sp = parse_ok "torn@rec=12,fsync-fail@t=2ms,corrupt@off=4096,seed=3" in
+  Tutil.check_bool "torn" true (sp.Faults.torn_rec = Some 12);
+  Tutil.check_bool "fsync-fail" true (sp.Faults.fsync_fail_at = Some 2_000_000);
+  Tutil.check_bool "corrupt" true (sp.Faults.corrupt_off = Some 4096);
+  Tutil.check_bool "disk faults are active" true (Faults.disk_active sp);
+  Tutil.check_bool "but not network faults" false (Faults.net_active sp);
+  (* round-trip through the canonical string *)
+  let sp2 = parse_ok (Faults.to_string sp) in
+  Tutil.check_bool "disk clauses round-trip" true (sp = sp2)
+
+let test_parse_disk_errors () =
+  (* malformed and duplicate disk clauses are rejected with one-line
+     diagnostics (the CLI surfaces these verbatim at exit 2) *)
+  List.iter
+    (fun (s, want) ->
+      match Faults.parse s with
+      | Ok _ -> Alcotest.failf "expected %S to be rejected" s
+      | Error e -> Alcotest.(check string) s want e)
+    [
+      ("torn@t=5", "torn@ wants rec=N, got \"torn@t=5\"");
+      ( "torn@rec=1,torn@rec=2",
+        "duplicate torn@ clause (at most one per plan)" );
+      ( "fsync-fail@t=0",
+        "fsync-fail@ wants a positive virtual time, got t=0ns" );
+      ( "fsync-fail@t=1ms,fsync-fail@t=2ms",
+        "duplicate fsync-fail@ clause (at most one per plan)" );
+      ("corrupt@rec=1", "corrupt@ wants off=N, got \"corrupt@rec=1\"");
+      ( "corrupt@off=1,corrupt@off=2",
+        "duplicate corrupt@ clause (at most one per plan)" );
+    ];
+  (* negative operands never parse *)
+  List.iter
+    (fun s ->
+      match Faults.parse s with
+      | Ok _ -> Alcotest.failf "expected %S to be rejected" s
+      | Error e ->
+          Tutil.check_bool "one-line diagnostic" true
+            (String.length e > 0 && not (String.contains e '\n')))
+    [ "torn@rec=-1"; "corrupt@off=-3"; "fsync-fail@t=-1ms" ]
+
 let test_active () =
   Tutil.check_bool "none inactive" false (Faults.active Faults.none);
   Tutil.check_bool "seed-only inactive" false
@@ -630,8 +671,9 @@ let test_faults_rejected_on_centralized () =
   in
   Alcotest.check_raises "centralized engines reject fault plans"
     (Invalid_argument
-       "Experiment.run: fault plans only apply to the distributed engines, \
-        not silo")
+       "Experiment.run: fault plans need an engine with fault support (the \
+        distributed engines, or a WAL-capable centralized engine with \
+        --wal), not silo")
     (fun () -> ignore (Quill_harness.Experiment.run e))
 
 let () =
@@ -645,6 +687,9 @@ let () =
           Alcotest.test_case "diagnostics" `Quick test_parse_errors;
           Alcotest.test_case "crash validation" `Quick
             test_parse_crash_validation;
+          Alcotest.test_case "disk clauses" `Quick test_parse_disk;
+          Alcotest.test_case "disk diagnostics" `Quick
+            test_parse_disk_errors;
           Alcotest.test_case "active" `Quick test_active;
           Alcotest.test_case "node validation" `Quick test_check_nodes;
         ] );

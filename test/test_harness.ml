@@ -48,9 +48,16 @@ let test_registry_names_resolve () =
   List.iter
     (fun e ->
       let (module M : Quill_harness.Engine_intf.S) = R.resolve e in
+      (* fault support comes from having a network to fault (the dist
+         engines) or a WAL to recover from (serial, the quecc family) *)
       Tutil.check_bool
-        (R.engine_name e ^ " fault support iff distributed")
-        M.supports_dist M.supports_faults)
+        (R.engine_name e ^ " fault support iff distributed or WAL-capable")
+        (M.supports_dist || M.supports_wal)
+        M.supports_faults;
+      Tutil.check_bool
+        (R.engine_name e ^ " WAL support stays centralized")
+        true
+        ((not M.supports_wal) || not M.supports_dist))
     (R.Dist_quecc 4 :: R.Dist_calvin 2 :: R.all_centralized)
 
 let test_dist_suffix_parse () =
