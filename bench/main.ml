@@ -130,11 +130,11 @@ let usage ?hint () =
     "usage: main.exe [table2-row1|table2-row2|table2-row3|fig-contention|\n\
     \                 fig-scalability|fig-modes|fig-latency|fig-batch|\n\
     \                 pipeline|skew|fault-tolerance|failover|durability|\n\
-    \                 overload|micro|all]\n\
+    \                 cdc|overload|micro|all]\n\
     \                [scale] [--trace FILE] [--phase-table] [--faults SPEC]\n\
     \                [--arrival RATE] [--admission POLICY[:DEPTH]]\n\
     \                [--deadline TIME] [--retries N[:BACKOFF]]\n\
-    \                [--json FILE  (pipeline/skew/failover/durability: \
+    \                [--json FILE  (pipeline/skew/failover/durability/cdc: \
      machine-readable results)]\n\
     \                [--check-conflicts  (QueCC runs: verify planned order)]";
   exit 2
@@ -251,6 +251,7 @@ let () =
   | "failover" ->
       H.Experiments.failover ~scale ?json:o.json ?plan:faults ()
   | "durability" -> H.Experiments.durability ~scale ?json:o.json ()
+  | "cdc" -> H.Experiments.cdc ~scale ?json:o.json ()
   | "overload" ->
       H.Experiments.overload ~scale ?arrival:o.arrival ?admission:o.admission
         ?deadline:o.deadline ?retries:o.retries ()

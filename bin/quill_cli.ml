@@ -61,7 +61,7 @@ let clients_cfg ~seed arrival admission deadline retries =
 
 let run_cmd engine workload threads txns batch theta mp abort_ratio warehouses
     table_size seed faults_spec arrival admission deadline retries pipeline
-    steal split_spec adapt_spec replicas spec_lag wal snapshot_every
+    steal split_spec adapt_spec replicas spec_lag wal snapshot_every cdc views
     global_zipf check_conflicts trace_file phase_table =
   if replicas < 0 then begin
     Printf.eprintf
@@ -123,21 +123,8 @@ let run_cmd engine workload threads txns batch theta mp abort_ratio warehouses
         (String.concat ", " (R.names ()));
       exit 2
   | Some e ->
-      let (module M : Quill_harness.Engine_intf.S) = R.resolve e in
-      if faults_spec <> None && not M.supports_faults then begin
-        Printf.eprintf
-          "quill_cli: --faults requires an engine with fault support \
-           (a dist-* engine, or a WAL-capable engine with --wal), not %s\n"
-          M.name;
-        exit 2
-      end;
-      if wal && not M.supports_wal then begin
-        Printf.eprintf
-          "quill_cli: --wal requires a WAL-capable engine (serial or the \
-           quecc family), not %s\n"
-          M.name;
-        exit 2
-      end;
+      (* Capability validation happens in Experiment.run's single
+         chokepoint; Invalid_argument is mapped to exit 2 below. *)
       let clients = clients_cfg ~seed arrival admission deadline retries in
       let spec =
         match workload with
@@ -173,7 +160,7 @@ let run_cmd engine workload threads txns batch theta mp abort_ratio warehouses
       let exp =
         E.make ~threads ~txns ~batch_size:batch ~faults ?clients ~pipeline
           ~steal ?split ~adapt_repart ~adapt_batch ~replicas ~spec_lag ~wal
-          ~snapshot_every e spec
+          ~snapshot_every ~cdc ~views e spec
       in
       let tracer =
         match trace_file with
@@ -193,6 +180,8 @@ let run_cmd engine workload threads txns batch theta mp abort_ratio warehouses
         Format.printf "  %a@." Quill_txn.Metrics.pp_replication m;
       if Quill_txn.Metrics.walled m then
         Format.printf "  %a@." Quill_txn.Metrics.pp_wal m;
+      if Quill_txn.Metrics.cdc_active m then
+        Format.printf "  %a@." Quill_txn.Metrics.pp_cdc m;
       Quill_harness.Report.print_table ~title:"result"
         [ { Quill_harness.Report.label = engine; metrics = m } ];
       if phase_table then
@@ -235,14 +224,50 @@ let experiments_cmd only scale check_conflicts =
   | Some "fault-tolerance" -> X.fault_tolerance ~scale ()
   | Some "failover" -> X.failover ~scale ()
   | Some "durability" -> X.durability ~scale ()
+  | Some "cdc" -> X.cdc ~scale ()
   | Some "overload" -> X.overload ~scale ()
   | Some other ->
       Printf.eprintf "unknown experiment %s\n" other;
       exit 2
 
-let list_engines_cmd () = List.iter print_endline (R.names ())
+(* Each engine name with the capability set its module advertises, so
+   the listing answers "which flags does this engine honor" directly. *)
+let list_engines_cmd () =
+  List.iter
+    (fun name ->
+      let probe =
+        match R.engine_of_string name with
+        | Some _ as e -> e
+        | None -> (
+            (* the dist-*-<n>n placeholder rows parse once <n> is a number *)
+            match String.index_opt name '<' with
+            | Some i when String.length name > i + 2 ->
+                R.engine_of_string
+                  (String.sub name 0 i ^ "2"
+                  ^ String.sub name (i + 3) (String.length name - i - 3))
+            | _ -> None)
+      in
+      match probe with
+      | None -> print_endline name
+      | Some e ->
+          let (module M : Quill_harness.Engine_intf.S) = R.resolve e in
+          Printf.printf "%-16s %s\n" name
+            (Quill_harness.Capability.set_to_string M.caps))
+    (R.names ())
 
 (* -- cmdliner wiring -- *)
+
+(* --help sections, one per engine capability (plus workload shape and
+   observability), so the flag groups mirror the Capability sets the
+   chokepoint validates against. *)
+let s_workload = "WORKLOAD AND SCALE"
+let s_exec = "EXECUTION (quecc family)"
+let s_faults = "FAULT INJECTION (faults capability)"
+let s_clients = "OPEN-LOOP CLIENTS (clients capability)"
+let s_wal = "DURABILITY (wal capability)"
+let s_cdc = "CHANGE DATA CAPTURE (cdc capability)"
+let s_repl = "REPLICATION (replication capability)"
+let s_obs = "OBSERVABILITY"
 
 let engine_t =
   Arg.(
@@ -256,43 +281,43 @@ let engine_t =
 let workload_t =
   Arg.(
     value & opt string "ycsb"
-    & info [ "workload"; "w" ] ~doc:"ycsb | tpcc | tpcc-full.")
+    & info [ "workload"; "w" ] ~docs:s_workload ~doc:"ycsb | tpcc | tpcc-full.")
 
 let threads_t =
-  Arg.(value & opt int 8 & info [ "threads"; "t" ] ~doc:"Virtual cores.")
+  Arg.(value & opt int 8 & info [ "threads"; "t" ] ~docs:s_workload ~doc:"Virtual cores.")
 
 let txns_t =
-  Arg.(value & opt int 20_000 & info [ "txns"; "n" ] ~doc:"Transactions.")
+  Arg.(value & opt int 20_000 & info [ "txns"; "n" ] ~docs:s_workload ~doc:"Transactions.")
 
 let batch_t =
-  Arg.(value & opt int 1024 & info [ "batch" ] ~doc:"Batch size.")
+  Arg.(value & opt int 1024 & info [ "batch" ] ~docs:s_workload ~doc:"Batch size.")
 
 let theta_t =
-  Arg.(value & opt float 0.0 & info [ "theta" ] ~doc:"YCSB zipfian skew.")
+  Arg.(value & opt float 0.0 & info [ "theta" ] ~docs:s_workload ~doc:"YCSB zipfian skew.")
 
 let mp_t =
   Arg.(
     value & opt float 0.0
-    & info [ "mp" ] ~doc:"YCSB multi-partition transaction fraction.")
+    & info [ "mp" ] ~docs:s_workload ~doc:"YCSB multi-partition transaction fraction.")
 
 let abort_t =
   Arg.(
     value & opt float 0.0
-    & info [ "abort-ratio" ] ~doc:"YCSB abortable-fragment fraction.")
+    & info [ "abort-ratio" ] ~docs:s_workload ~doc:"YCSB abortable-fragment fraction.")
 
 let warehouses_t =
-  Arg.(value & opt int 1 & info [ "warehouses" ] ~doc:"TPC-C warehouses.")
+  Arg.(value & opt int 1 & info [ "warehouses" ] ~docs:s_workload ~doc:"TPC-C warehouses.")
 
 let table_size_t =
-  Arg.(value & opt int 100_000 & info [ "table-size" ] ~doc:"YCSB rows.")
+  Arg.(value & opt int 100_000 & info [ "table-size" ] ~docs:s_workload ~doc:"YCSB rows.")
 
-let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~docs:s_workload ~doc:"Random seed.")
 
 let faults_t =
   Arg.(
     value
     & opt (some string) None
-    & info [ "faults" ] ~docv:"SPEC"
+    & info [ "faults" ] ~docs:s_faults ~docv:"SPEC"
         ~doc:
           "Deterministic fault plan for the distributed engines, e.g. \
            'crash@t=5ms:node=1,drop=0.01,seed=7'.  Clauses: \
@@ -304,7 +329,7 @@ let arrival_t =
   Arg.(
     value
     & opt (some string) None
-    & info [ "arrival" ] ~docv:"RATE"
+    & info [ "arrival" ] ~docs:s_clients ~docv:"RATE"
         ~doc:
           "Open-loop client arrivals: a Poisson rate in txn/s (e.g. \
            '250000') or 'burst:RATE:ON:OFF' for an on/off source (ON/OFF \
@@ -315,7 +340,7 @@ let admission_t =
   Arg.(
     value
     & opt (some string) None
-    & info [ "admission" ] ~docv:"POLICY[:DEPTH]"
+    & info [ "admission" ] ~docs:s_clients ~docv:"POLICY[:DEPTH]"
         ~doc:
           "Admission-queue policy when full: 'block' (backpressure), \
            'shed' (drop oldest), 'shed-newest' (drop incoming), \
@@ -326,7 +351,7 @@ let deadline_t =
   Arg.(
     value
     & opt (some string) None
-    & info [ "deadline" ] ~docv:"TIME"
+    & info [ "deadline" ] ~docs:s_clients ~docv:"TIME"
         ~doc:
           "Per-transaction deadline from first offer, NUM[ns|us|ms|s]; \
            expired transactions are dropped and counted as misses.")
@@ -335,7 +360,7 @@ let retries_t =
   Arg.(
     value
     & opt (some string) None
-    & info [ "retries" ] ~docv:"N[:BACKOFF]"
+    & info [ "retries" ] ~docs:s_clients ~docv:"N[:BACKOFF]"
         ~doc:
           "Abort-retry budget per transaction with seeded exponential \
            backoff starting at BACKOFF (NUM[ns|us|ms|s], default 2us).")
@@ -343,7 +368,7 @@ let retries_t =
 let pipeline_t =
   Arg.(
     value & flag
-    & info [ "pipeline" ]
+    & info [ "pipeline" ] ~docs:s_exec
         ~doc:
           "QueCC engines: overlap planning of batch N+1 with execution of \
            batch N (committed state stays bit-identical per seed).  \
@@ -352,7 +377,7 @@ let pipeline_t =
 let steal_t =
   Arg.(
     value & flag
-    & info [ "steal" ]
+    & info [ "steal" ] ~docs:s_exec
         ~doc:
           "QueCC: let drained executors steal whole queues whose key \
            signatures are disjoint from every unfinished queue of the \
@@ -362,7 +387,7 @@ let split_t =
   Arg.(
     value
     & opt (some string) None
-    & info [ "split" ] ~docv:"N"
+    & info [ "split" ] ~docs:s_exec ~docv:"N"
         ~doc:
           "QueCC: split any key planned N+ times in one batch slice into ordered sub-queues executed chain-serially across executors (committed state stays bit-identical per seed; see DESIGN.md section 12).  N is a positive integer op-count threshold.")
 
@@ -370,14 +395,14 @@ let adapt_t =
   Arg.(
     value
     & opt (some string) None
-    & info [ "adapt" ] ~docv:"repart|batch|all"
+    & info [ "adapt" ] ~docs:s_exec ~docv:"repart|batch|all"
         ~doc:
           "QueCC adaptive planning: 'repart' rebalances key-to-executor routing between batches from queue-depth counters (state-identical); 'batch' auto-tunes the batch size from pipeline stall counters (pipelined closed-loop runs only; alters the schedule); 'all' enables both.")
 
 let replicas_t =
   Arg.(
     value & opt int 0
-    & info [ "replicas" ] ~docv:"R"
+    & info [ "replicas" ] ~docs:s_repl ~docv:"R"
         ~doc:
           "HA replication (single-node dist-quecc only): stream each \
            planned batch and its commit marker to R backup nodes that \
@@ -388,7 +413,7 @@ let replicas_t =
 let spec_lag_t =
   Arg.(
     value & opt int 1
-    & info [ "spec-lag" ] ~docv:"N"
+    & info [ "spec-lag" ] ~docs:s_repl ~docv:"N"
         ~doc:
           "HA replication: how many batches past the newest commit marker \
            a backup may speculatively execute before waiting (>= 1).  \
@@ -398,7 +423,7 @@ let spec_lag_t =
 let wal_t =
   Arg.(
     value & flag
-    & info [ "wal" ]
+    & info [ "wal" ] ~docs:s_wal
         ~doc:
           "Durable group-commit write-ahead log (serial and the quecc \
            family): every committed batch's row images are logged and \
@@ -411,23 +436,49 @@ let wal_t =
 let snapshot_every_t =
   Arg.(
     value & opt int 8
-    & info [ "snapshot-every" ] ~docv:"N"
+    & info [ "snapshot-every" ] ~docs:s_wal ~docv:"N"
         ~doc:
           "WAL snapshot period in durable batches (>= 1): after every \
            N-th durable batch the database is snapshotted and the log \
            truncated, bounding replay length and log size.")
 
+let cdc_t =
+  Arg.(
+    value & flag
+    & info [ "cdc" ] ~docs:s_cdc
+        ~doc:
+          "Ordered change-data-capture (serial and the quecc family): \
+           hook a subscription hub at the batch commit point and stream \
+           each batch's canonical change set — one (before, after) event \
+           per distinct row, in deterministic commit order — to \
+           subscribers.  A bounded-staleness read-replica cache consumes \
+           the feed (at most 4 batches behind) and is checked against \
+           committed state after the run.  The feed is byte-identical \
+           across lockstep, pipelined, stealing and split-queue runs of \
+           the same seed.  Cannot be combined with crash/disk faults.")
+
+let views_t =
+  Arg.(
+    value & flag
+    & info [ "views" ] ~docs:s_cdc
+        ~doc:
+          "Additionally maintain a materialized per-partition aggregate \
+           view (SUM of table 0 field 0; the per-warehouse w_ytd total \
+           for TPC-C) incrementally from the CDC feed, verified against \
+           a full recompute whenever the view catches up.  Implies \
+           --cdc.")
+
 let global_zipf_t =
   Arg.(
     value & flag
-    & info [ "global-zipf" ]
+    & info [ "global-zipf" ] ~docs:s_workload
         ~doc:
           "YCSB: draw keys zipfian over the whole table instead of within a per-transaction partition, so every stream hits the same hottest keys (the adaptive-planning worst case).")
 
 let check_conflicts_t =
   Arg.(
     value & flag
-    & info [ "check-conflicts" ]
+    & info [ "check-conflicts" ] ~docs:s_obs
         ~doc:
           "Record every row access and verify the planned-order \
            invariants after the run (plan does no row access, \
@@ -440,13 +491,13 @@ let trace_t =
   Arg.(
     value
     & opt (some string) None
-    & info [ "trace" ] ~docv:"FILE"
+    & info [ "trace" ] ~docs:s_obs ~docv:"FILE"
         ~doc:"Write a Chrome trace-event JSON file of the run.")
 
 let phase_table_t =
   Arg.(
     value & flag
-    & info [ "phase-table" ]
+    & info [ "phase-table" ] ~docs:s_obs
         ~doc:"Print the per-phase busy / idle-cause breakdown.")
 
 let run_term =
@@ -455,8 +506,8 @@ let run_term =
     $ theta_t $ mp_t $ abort_t $ warehouses_t $ table_size_t $ seed_t
     $ faults_t $ arrival_t $ admission_t $ deadline_t $ retries_t
     $ pipeline_t $ steal_t $ split_t $ adapt_t $ replicas_t $ spec_lag_t
-    $ wal_t $ snapshot_every_t $ global_zipf_t $ check_conflicts_t $ trace_t
-    $ phase_table_t)
+    $ wal_t $ snapshot_every_t $ cdc_t $ views_t $ global_zipf_t
+    $ check_conflicts_t $ trace_t $ phase_table_t)
 
 let only_t =
   Arg.(

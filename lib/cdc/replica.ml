@@ -1,0 +1,56 @@
+module Db = Quill_storage.Db
+module Table = Quill_storage.Table
+module Row = Quill_storage.Row
+
+type t = {
+  db : Db.t;
+  cache : (int * int, int array) Hashtbl.t;  (* (table, key) -> image *)
+  mutable cursor : int;
+  mutable reads : int;
+}
+
+let create db = { db; cache = Hashtbl.create 1024; cursor = -1; reads = 0 }
+
+let consumer t =
+  let on_batch (b : Cdc.batch) =
+    Array.iter
+      (fun (ev : Cdc.event) ->
+        Hashtbl.replace t.cache (ev.Cdc.table, ev.Cdc.key)
+          (Array.copy ev.Cdc.after))
+      b.Cdc.events;
+    t.cursor <- b.Cdc.batch_no
+  in
+  let on_snapshot db ~batch_no =
+    Hashtbl.reset t.cache;
+    for tid = 0 to Db.ntables db - 1 do
+      let tbl = Db.table db tid in
+      let copy (row : Row.t) =
+        Hashtbl.replace t.cache (tid, row.Row.key)
+          (Array.copy row.Row.committed)
+      in
+      Table.iter_dense copy tbl;
+      Table.iter_inserted copy tbl
+    done;
+    t.cursor <- batch_no
+  in
+  let on_caught_up ~batch_no:_ = () in
+  { Cdc.on_batch; on_snapshot; on_caught_up }
+
+let read t ~table ~key =
+  t.reads <- t.reads + 1;
+  Hashtbl.find_opt t.cache (table, key)
+
+let cursor t = t.cursor
+let rows t = Hashtbl.length t.cache
+let reads t = t.reads
+
+let consistent_with t db =
+  (* lint: order-insensitive — conjunction over all cached rows *)
+  Hashtbl.fold
+    (fun (tid, key) img ok ->
+      ok
+      &&
+      match Table.find (Db.table db tid) key with
+      | Some row -> row.Row.committed = img
+      | None -> false)
+    t.cache true

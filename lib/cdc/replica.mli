@@ -1,0 +1,33 @@
+(** Read-replica cache fed by the CDC stream.
+
+    Keeps a copy of every row image the feed delivered and serves reads
+    at the subscription's cursor — a bounded-staleness replica: with
+    [apply_every = k] the cache is never more than [k] batches behind
+    the primary's commit point.  A catch-up snapshot re-seeds the whole
+    cache from committed state (after which it also covers rows the
+    feed alone would not have mentioned). *)
+
+type t
+
+val create : Quill_storage.Db.t -> t
+(** The database is only held for catch-up snapshots; live reads never
+    touch it. *)
+
+val consumer : t -> Cdc.consumer
+(** Plug into {!Cdc.subscribe}. *)
+
+val read : t -> table:int -> key:int -> int array option
+(** The newest row image at the replica's cursor; [None] when the feed
+    has not mentioned the key (and no snapshot seeded it). *)
+
+val cursor : t -> int
+(** Newest batch folded into the cache; -1 before any. *)
+
+val rows : t -> int  (** distinct row images cached *)
+
+val reads : t -> int  (** [read] calls served *)
+
+val consistent_with : t -> Quill_storage.Db.t -> bool
+(** Every cached image equals the database's committed image — the
+    replica-correctness check, meaningful once the cursor has reached
+    the newest published batch (e.g. after {!Cdc.finish}). *)

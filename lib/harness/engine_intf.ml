@@ -1,50 +1,64 @@
 (* First-class-module engine API: every engine family exposes the same
-   [run] shape plus capability flags, so the harness, the CLI and the
+   [run] shape plus a capability set, so the harness, the CLI and the
    bench dispatch generically instead of growing per-engine match arms
    (see Engine_registry). *)
 
-type run_cfg = {
-  threads : int;
-  txns : int;
-  batches : int;
-  batch_size : int;
-  costs : Quill_sim.Costs.t;
-  pipeline : bool;
-  steal : bool;
-  split : int option;
-      (* QueCC hot-key queue splitting: per-planner per-key op count
-         that triggers a split; None = off.  Plain int (not the engine's
-         record) so the harness stays engine-agnostic; engines that
-         don't split ignore it. *)
-  adapt_repart : bool;
-      (* QueCC dynamic repartitioning between batches *)
-  adapt_batch : bool;
-      (* QueCC batch-size auto-tuning (pipelined runs) *)
-  replicas : int;
-      (* HA queue replication: backup nodes receiving the planned-batch
-         stream (dist-quecc only; 0 = off).  Engines without a
-         replication layer reject a positive value rather than silently
-         dropping the redundancy the user asked for. *)
-  spec_lag : int;
-      (* how many batches past the newest commit marker a backup may
-         speculatively execute (>= 1) *)
-  recorder : Quill_analysis.Access_log.t option;
-      (* conflict-detector access recorder (--check-conflicts); engines
-         that support it thread row accesses through the log *)
-}
+module Run_cfg = struct
+  type exec_cfg = { pipeline : bool; steal : bool }
+
+  type adaptive_cfg = {
+    split : int option;
+        (* QueCC hot-key queue splitting: per-planner per-key op count
+           that triggers a split; None = off.  Plain int (not the
+           engine's record) so the harness stays engine-agnostic. *)
+    repart : bool;  (* dynamic repartitioning between batches *)
+    auto_batch : bool;  (* batch-size auto-tuning (pipelined runs) *)
+  }
+
+  type replication_cfg = {
+    replicas : int;  (* backup nodes receiving the planned-batch stream *)
+    spec_lag : int;
+        (* how many batches past the newest commit marker a backup may
+           speculatively execute (>= 1) *)
+  }
+
+  type t = {
+    threads : int;
+    txns : int;
+    batches : int;
+    batch_size : int;
+    costs : Quill_sim.Costs.t;
+    exec : exec_cfg;
+    adaptive : adaptive_cfg;
+    replication : replication_cfg;
+    recorder : Quill_analysis.Access_log.t option;
+        (* conflict-detector access recorder (--check-conflicts) *)
+  }
+
+  let default =
+    {
+      threads = 8;
+      txns = 20_480;
+      batches = 20;
+      batch_size = 1024;
+      costs = Quill_sim.Costs.default;
+      exec = { pipeline = false; steal = false };
+      adaptive = { split = None; repart = false; auto_batch = false };
+      replication = { replicas = 0; spec_lag = 1 };
+      recorder = None;
+    }
+end
+
+type run_cfg = Run_cfg.t
 
 module type S = sig
   val name : string
   (* Canonical registry name ([engine_name] of the resolved engine). *)
 
-  val supports_faults : bool
-  val supports_clients : bool
-  val supports_dist : bool
-
-  val supports_wal : bool
-  (* Whether the engine can thread a durable group-commit WAL (--wal)
-     through its batch commit points; implies crash + disk-fault
-     recovery support for centralized engines. *)
+  val caps : Capability.t list
+  (* The optional features this engine honors.  Experiment.run's
+     chokepoint rejects any requested feature outside this set, so a
+     [run] implementation only ever sees arguments it supports. *)
 
   val nodes : int
   (* Cluster size (1 for centralized engines); sizes the client layer's
@@ -59,6 +73,7 @@ module type S = sig
     ?clients:Quill_clients.Clients.t ->
     ?faults:Quill_faults.Faults.spec ->
     ?wal:Quill_wal.Wal.t ->
+    ?cdc:Quill_cdc.Cdc.t ->
     cfg:run_cfg ->
     Quill_txn.Workload.t ->
     Quill_txn.Metrics.t

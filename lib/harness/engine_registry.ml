@@ -6,6 +6,8 @@
 
 module Qe = Quill_quecc.Engine
 module I = Engine_intf
+module RC = Engine_intf.Run_cfg
+module C = Capability
 module F = Quill_faults.Faults
 
 (* Centralized engines consume a fault plan as a single node-0 crash
@@ -72,17 +74,15 @@ let () =
             Some
               (module struct
                 let name = "serial"
-                let supports_faults = true
-                let supports_clients = false
-                let supports_dist = false
-                let supports_wal = true
+                let caps = [ C.Faults; C.Wal; C.Cdc ]
                 let nodes = 1
                 let nparts _ = None
 
-                let run ?sim ?clients:_ ?faults ?wal ~cfg wl =
-                  Quill_protocols.Serial.run ?sim ~costs:cfg.I.costs ?wal
+                let run ?sim ?clients:_ ?faults ?wal ?cdc ~cfg wl =
+                  Quill_protocols.Serial.run ?sim ~costs:cfg.RC.costs ?wal
+                    ?cdc
                     ?crash_at:(crash_at_of faults)
-                    ~batch_size:cfg.I.batch_size wl ~txns:cfg.I.txns
+                    ~batch_size:cfg.RC.batch_size wl ~txns:cfg.RC.txns
               end : Engine_intf.S)
         | _ -> None);
       centralized = [];
@@ -91,40 +91,38 @@ let () =
 let quecc_module name mode isolation : Engine_intf.t =
   (module struct
     let name = name
-    let supports_faults = true
-    let supports_clients = true
-    let supports_dist = false
-    let supports_wal = true
+    let caps = [ C.Faults; C.Clients; C.Wal; C.Cdc ]
     let nodes = 1
     let nparts _ = None
 
-    let run ?sim ?clients ?faults ?wal ~cfg wl =
-      Qe.run ?sim ?clients ?recorder:cfg.I.recorder ?wal
+    let run ?sim ?clients ?faults ?wal ?cdc ~cfg wl =
+      Qe.run ?sim ?clients ?recorder:cfg.RC.recorder ?wal ?cdc
         ?crash_at:(crash_at_of faults)
         {
-          Qe.planners = cfg.I.threads;
-          executors = cfg.I.threads;
-          batch_size = cfg.I.batch_size;
+          Qe.planners = cfg.RC.threads;
+          executors = cfg.RC.threads;
+          batch_size = cfg.RC.batch_size;
           mode;
           isolation;
-          costs = cfg.I.costs;
-          pipeline = cfg.I.pipeline;
-          steal = cfg.I.steal;
+          costs = cfg.RC.costs;
+          pipeline = cfg.RC.exec.RC.pipeline;
+          steal = cfg.RC.exec.RC.steal;
           split =
-            (match cfg.I.split with
+            (match cfg.RC.adaptive.RC.split with
             | Some t -> Some { Qe.default_split with Qe.hot_threshold = t }
             | None -> None);
           adapt =
-            (if cfg.I.adapt_repart || cfg.I.adapt_batch then
+            (if cfg.RC.adaptive.RC.repart || cfg.RC.adaptive.RC.auto_batch
+             then
                Some
                  {
                    Qe.default_adapt with
-                   Qe.repartition = cfg.I.adapt_repart;
-                   auto_batch = cfg.I.adapt_batch;
+                   Qe.repartition = cfg.RC.adaptive.RC.repart;
+                   auto_batch = cfg.RC.adaptive.RC.auto_batch;
                  }
              else None);
         }
-        wl ~batches:cfg.I.batches
+        wl ~batches:cfg.RC.batches
   end)
 
 let () =
@@ -166,21 +164,18 @@ let nd_module name (cc : (module Quill_protocols.Nd_driver.CC)) :
     Engine_intf.t =
   (module struct
     let name = name
-    let supports_faults = false
-    let supports_clients = true
-    let supports_dist = false
-    let supports_wal = false
+    let caps = [ C.Clients ]
     let nodes = 1
     let nparts _ = None
 
-    let run ?sim ?clients ?faults:_ ?wal:_ ~cfg wl =
+    let run ?sim ?clients ?faults:_ ?wal:_ ?cdc:_ ~cfg wl =
       Quill_protocols.Nd_driver.run ?sim ?clients cc
         {
           Quill_protocols.Nd_driver.default_cfg with
-          Quill_protocols.Nd_driver.workers = cfg.I.threads;
-          costs = cfg.I.costs;
+          Quill_protocols.Nd_driver.workers = cfg.RC.threads;
+          costs = cfg.RC.costs;
         }
-        wl ~txns:cfg.I.txns
+        wl ~txns:cfg.RC.txns
   end)
 
 let () =
@@ -227,20 +222,17 @@ let () =
             Some
               (module struct
                 let name = "hstore"
-                let supports_faults = false
-                let supports_clients = true
-                let supports_dist = false
-                let supports_wal = false
+                let caps = [ C.Clients ]
                 let nodes = 1
                 let nparts _ = None
 
-                let run ?sim ?clients ?faults:_ ?wal:_ ~cfg wl =
+                let run ?sim ?clients ?faults:_ ?wal:_ ?cdc:_ ~cfg wl =
                   Quill_protocols.Hstore.run ?sim ?clients
                     {
-                      Quill_protocols.Hstore.workers = cfg.I.threads;
-                      costs = cfg.I.costs;
+                      Quill_protocols.Hstore.workers = cfg.RC.threads;
+                      costs = cfg.RC.costs;
                     }
-                    wl ~txns:cfg.I.txns
+                    wl ~txns:cfg.RC.txns
               end : Engine_intf.S)
         | _ -> None);
       centralized = [ Hstore ];
@@ -258,22 +250,19 @@ let () =
             Some
               (module struct
                 let name = "calvin"
-                let supports_faults = false
-                let supports_clients = true
-                let supports_dist = false
-                let supports_wal = false
+                let caps = [ C.Clients ]
                 let nodes = 1
                 let nparts _ = None
 
-                let run ?sim ?clients ?faults:_ ?wal:_ ~cfg wl =
+                let run ?sim ?clients ?faults:_ ?wal:_ ?cdc:_ ~cfg wl =
                   Quill_protocols.Calvin.run ?sim ?clients
                     {
                       Quill_protocols.Calvin.workers =
-                        max 1 (cfg.I.threads - 1);
-                      batch_size = cfg.I.batch_size;
-                      costs = cfg.I.costs;
+                        max 1 (cfg.RC.threads - 1);
+                      batch_size = cfg.RC.batch_size;
+                      costs = cfg.RC.costs;
                     }
-                    wl ~txns:cfg.I.txns
+                    wl ~txns:cfg.RC.txns
               end : Engine_intf.S)
         | _ -> None);
       centralized = [ Calvin ];
@@ -290,50 +279,44 @@ let nodes_suffix ~prefix s =
 let dist_quecc_module n : Engine_intf.t =
   (module struct
     let name = Printf.sprintf "dist-quecc-%dn" n
-    let supports_faults = true
-    let supports_clients = true
-    let supports_dist = true
-    let supports_wal = false
+    let caps = [ C.Faults; C.Clients; C.Dist; C.Replication ]
     let nodes = n
-    let nparts cfg = Some (n * max 1 (cfg.I.threads / 2))
+    let nparts cfg = Some (n * max 1 (cfg.RC.threads / 2))
 
-    let run ?sim ?clients ?faults ?wal:_ ~cfg wl =
-      let per_role = max 1 (cfg.I.threads / 2) in
+    let run ?sim ?clients ?faults ?wal:_ ?cdc:_ ~cfg wl =
+      let per_role = max 1 (cfg.RC.threads / 2) in
       Quill_dist.Dist_quecc.run ?sim ?faults ?clients
-        ?recorder:cfg.I.recorder
+        ?recorder:cfg.RC.recorder
         {
           Quill_dist.Dist_quecc.nodes = n;
           planners = per_role;
           executors = per_role;
-          batch_size = cfg.I.batch_size;
-          costs = cfg.I.costs;
-          pipeline = cfg.I.pipeline;
-          replicas = cfg.I.replicas;
-          spec_lag = cfg.I.spec_lag;
+          batch_size = cfg.RC.batch_size;
+          costs = cfg.RC.costs;
+          pipeline = cfg.RC.exec.RC.pipeline;
+          replicas = cfg.RC.replication.RC.replicas;
+          spec_lag = cfg.RC.replication.RC.spec_lag;
         }
-        wl ~batches:cfg.I.batches
+        wl ~batches:cfg.RC.batches
   end)
 
 let dist_calvin_module n : Engine_intf.t =
   (module struct
     let name = Printf.sprintf "dist-calvin-%dn" n
-    let supports_faults = true
-    let supports_clients = true
-    let supports_dist = true
-    let supports_wal = false
+    let caps = [ C.Faults; C.Clients; C.Dist ]
     let nodes = n
     let nparts _ = Some (n * 4)
 
-    let run ?sim ?clients ?faults ?wal:_ ~cfg wl =
+    let run ?sim ?clients ?faults ?wal:_ ?cdc:_ ~cfg wl =
       Quill_dist.Dist_calvin.run ?sim ?faults ?clients
         {
           Quill_dist.Dist_calvin.nodes = n;
-          workers = cfg.I.threads;
-          batch_size = cfg.I.batch_size;
-          costs = cfg.I.costs;
-          pipeline = cfg.I.pipeline;
+          workers = cfg.RC.threads;
+          batch_size = cfg.RC.batch_size;
+          costs = cfg.RC.costs;
+          pipeline = cfg.RC.exec.RC.pipeline;
         }
-        wl ~batches:cfg.I.batches
+        wl ~batches:cfg.RC.batches
   end)
 
 let () =

@@ -4,6 +4,10 @@ module Trace = Quill_trace.Trace
 module Metrics = Quill_txn.Metrics
 module Faults = Quill_faults.Faults
 module Clients = Quill_clients.Clients
+module Cdc = Quill_cdc.Cdc
+module View = Quill_cdc.View
+module Replica = Quill_cdc.Replica
+module RC = Engine_intf.Run_cfg
 
 (* The engine variant and its name maps live in Engine_registry; the
    historical API is re-exported here for callers. *)
@@ -45,13 +49,15 @@ type t = {
   spec_lag : int;
   wal : bool;
   snapshot_every : int;
+  cdc : bool;
+  views : bool;
 }
 
 let make ?name ?(threads = 8) ?(txns = 20_000) ?(batch_size = 1024)
     ?(costs = Costs.default) ?(faults = Faults.none) ?clients
     ?(pipeline = false) ?(steal = false) ?split ?(adapt_repart = false)
     ?(adapt_batch = false) ?(replicas = 0) ?(spec_lag = 1) ?(wal = false)
-    ?(snapshot_every = 8) engine workload =
+    ?(snapshot_every = 8) ?(cdc = false) ?(views = false) engine workload =
   let name =
     match name with Some n -> n | None -> engine_name engine
   in
@@ -74,6 +80,8 @@ let make ?name ?(threads = 8) ?(txns = 20_000) ?(batch_size = 1024)
     spec_lag;
     wal;
     snapshot_every;
+    cdc;
+    views;
   }
 
 let build_workload = function
@@ -96,39 +104,48 @@ let respec_parts spec nparts =
 let batches t = max 1 ((t.txns + (t.batch_size / 2)) / t.batch_size)
 let effective_txns t = batches t * t.batch_size
 
-let run ?(tracer = Trace.null) ?recorder ?on_workload t =
+let run ?(tracer = Trace.null) ?recorder ?on_workload ?on_cdc t =
   Trace.begin_process tracer t.name;
   let batches = batches t in
   let txns = batches * t.batch_size in
   let (module M : Engine_intf.S) = Engine_registry.resolve t.engine in
-  if Faults.active t.faults && not M.supports_faults then
-    invalid_arg
-      (Printf.sprintf
-         "Experiment.run: fault plans need an engine with fault support \
-          (the distributed engines, or a WAL-capable centralized engine \
-          with --wal), not %s"
-         M.name);
-  if t.wal && not M.supports_wal then
-    invalid_arg
-      (Printf.sprintf
-         "Experiment.run: --wal needs a WAL-capable engine (serial or \
-          the quecc family), not %s"
-         M.name);
+  let cdc_on = t.cdc || t.views in
+  (* THE capability chokepoint: every requested optional feature is
+     checked against the engine's capability set here, and nowhere
+     else.  An engine's [run] never receives an argument outside its
+     set, so no feature flag is ever silently ignored; the CLI maps the
+     [Invalid_argument] to exit code 2. *)
+  Capability.require ~engine:M.name ~have:M.caps
+    (List.concat
+       [
+         (if Faults.active t.faults then
+            [ (Capability.Faults, "a fault plan (--faults)") ]
+          else []);
+         (if Faults.net_active t.faults then
+            [
+              ( Capability.Dist,
+                "network faults (drop/dup/delay/partition)" );
+            ]
+          else []);
+         (if t.clients <> None then
+            [ (Capability.Clients, "the open-loop client layer (--arrival)") ]
+          else []);
+         (if t.wal then [ (Capability.Wal, "--wal") ] else []);
+         (if cdc_on then [ (Capability.Cdc, "--cdc/--views") ] else []);
+         (if t.replicas > 0 then
+            [ (Capability.Replication, "--replicas") ]
+          else []);
+       ]);
+  (* Cross-feature constraints (combinations of features the engine
+     individually supports). *)
   if t.snapshot_every < 1 then
     invalid_arg "Experiment.run: --snapshot-every must be >= 1";
-  (* Network faults address cluster nodes; a centralized engine has no
-     links to drop.  Crash and disk faults on a centralized engine are
-     only survivable through the WAL. *)
-  if Faults.net_active t.faults && not M.supports_dist then
-    invalid_arg
-      (Printf.sprintf
-         "Experiment.run: network faults (drop/dup/delay/partition) need \
-          a distributed engine, not %s"
-         M.name);
+  let dist = Capability.mem Capability.Dist M.caps in
+  (* Crash and disk faults on a centralized engine are only survivable
+     through the WAL. *)
   if
     (Faults.disk_active t.faults || t.faults.Faults.crashes <> [])
-    && (not M.supports_dist)
-    && not t.wal
+    && (not dist) && not t.wal
   then
     invalid_arg
       (Printf.sprintf
@@ -137,43 +154,34 @@ let run ?(tracer = Trace.null) ?recorder ?on_workload t =
          M.name);
   if Faults.active t.faults then
     Faults.check_nodes t.faults ~nodes:M.nodes ~name:M.name;
-  if t.faults.Faults.crashes <> [] && (not M.supports_dist)
-     && t.clients <> None
-  then
+  if t.faults.Faults.crashes <> [] && (not dist) && t.clients <> None then
     invalid_arg
       "Experiment.run: crash faults and open-loop clients cannot be \
        combined on a centralized engine (a crashed node strands the \
        admission queue)";
-  if t.clients <> None && not M.supports_clients then
+  if
+    cdc_on
+    && (Faults.disk_active t.faults || t.faults.Faults.crashes <> [])
+  then
     invalid_arg
-      (Printf.sprintf
-         "Experiment.run: the %s baseline does not take an open-loop \
-          client layer"
-         M.name);
-  (* Replication is a dist-quecc capability; every other engine would
-     silently drop the redundancy the user asked for. *)
-  if t.replicas > 0 then (
-    match t.engine with
-    | Dist_quecc _ -> ()
-    | _ ->
-        invalid_arg
-          (Printf.sprintf
-             "Experiment.run: --replicas needs the dist-quecc engine, not %s"
-             M.name));
+      "Experiment.run: --cdc cannot be combined with crash/disk faults \
+       (the feed is a commit stream; a crash-truncated run would feed \
+       subscribers retracted commits)";
   let rcfg =
     {
-      Engine_intf.threads = t.threads;
+      RC.threads = t.threads;
       txns;
       batches;
       batch_size = t.batch_size;
       costs = t.costs;
-      pipeline = t.pipeline;
-      steal = t.steal;
-      split = t.split;
-      adapt_repart = t.adapt_repart;
-      adapt_batch = t.adapt_batch;
-      replicas = t.replicas;
-      spec_lag = t.spec_lag;
+      exec = { RC.pipeline = t.pipeline; steal = t.steal };
+      adaptive =
+        {
+          RC.split = t.split;
+          repart = t.adapt_repart;
+          auto_batch = t.adapt_batch;
+        };
+      replication = { RC.replicas = t.replicas; spec_lag = t.spec_lag };
       recorder;
     }
   in
@@ -215,7 +223,55 @@ let run ?(tracer = Trace.null) ?recorder ?on_workload t =
            ~sim ~costs:t.costs ~snapshot_every:t.snapshot_every
            wl.Quill_txn.Workload.db)
   in
-  let m = M.run ~sim ?clients ~faults:t.faults ?wal ~cfg:rcfg wl in
+  (* The CDC hub hangs off the same commit seam as the WAL.  Two
+     in-repo consumers exercise it end-to-end: a bounded-staleness
+     read-replica cache (always, when CDC is on) and an incrementally
+     maintained per-partition aggregate view (--views), verified
+     against a full recompute at every caught-up point. *)
+  let cdc_hub =
+    if not cdc_on then None
+    else Some (Cdc.create ~sim ~costs:t.costs wl.Quill_txn.Workload.db)
+  in
+  let replica =
+    Option.map
+      (fun hub ->
+        let r = Replica.create wl.Quill_txn.Workload.db in
+        ignore
+          (Cdc.subscribe hub ~name:"replica" ~apply_every:4
+             (Replica.consumer r));
+        r)
+      cdc_hub
+  in
+  let view =
+    if not t.views then None
+    else
+      Option.map
+        (fun hub ->
+          let v =
+            View.create ~verify:true ~table:0 ~field:0
+              wl.Quill_txn.Workload.db
+          in
+          ignore (Cdc.subscribe hub ~name:"view" (View.consumer v));
+          v)
+        cdc_hub
+  in
+  let m = M.run ~sim ?clients ~faults:t.faults ?wal ?cdc:cdc_hub ~cfg:rcfg wl in
   Option.iter (fun c -> Clients.record c m) clients;
+  (match cdc_hub with
+  | Some hub ->
+      Cdc.finish hub;
+      Cdc.record hub m;
+      Option.iter (fun v -> View.record v m) view;
+      Option.iter
+        (fun r ->
+          if not (Replica.consistent_with r wl.Quill_txn.Workload.db) then
+            failwith
+              (Printf.sprintf
+                 "Experiment.run: CDC replica diverged from committed \
+                  state on %s"
+                 M.name))
+        replica;
+      Option.iter (fun f -> f hub) on_cdc
+  | None -> ());
   m.Metrics.effective_txns <- txns;
   m

@@ -37,16 +37,16 @@ type t = {
   costs : Quill_sim.Costs.t;
   faults : Quill_faults.Faults.spec;
       (** deterministic fault plan; {!Quill_faults.Faults.none} (the
-          default) runs fault-free.  Only engines whose registry module
-          has [supports_faults] accept an active plan — {!run} raises
+          default) runs fault-free.  Requires the [Faults] capability
+          (network faults additionally [Dist]) — {!run} raises
           [Invalid_argument] otherwise. *)
   clients : Quill_clients.Clients.cfg option;
       (** open-loop client layer: when set, seeded arrival generators
           feed a bounded admission queue that the engine drains, instead
           of the engine pulling from the workload closed-loop.  The
           cfg's [total] is overridden with the experiment's batch-rounded
-          [txns] so [--txns] means the same thing in both modes.  Every
-          engine with [supports_clients] accepts it — {!run} raises
+          [txns] so [--txns] means the same thing in both modes.
+          Requires the [Clients] capability — {!run} raises
           [Invalid_argument] otherwise (the serial baseline). *)
   pipeline : bool;
       (** QueCC: overlap planning of batch [N+1] with execution of
@@ -67,24 +67,39 @@ type t = {
           (pipelined closed-loop runs only; schedule-altering, so not
           bit-identical with the fixed-size run). *)
   replicas : int;
-      (** dist-quecc HA: backup nodes receiving the planned-batch stream
-          and commit markers (0 = off).  {!run} raises
-          [Invalid_argument] for a positive value on any other engine —
-          the redundancy must not be silently dropped. *)
+      (** HA: backup nodes receiving the planned-batch stream and commit
+          markers (0 = off).  Requires the [Replication] capability
+          (dist-quecc) — {!run} raises [Invalid_argument] for a positive
+          value elsewhere: the redundancy must not be silently
+          dropped. *)
   spec_lag : int;
       (** dist-quecc HA: how many batches past the newest commit marker
           a backup may speculatively execute (>= 1, default 1). *)
   wal : bool;
       (** durable group-commit write-ahead log: every committed batch's
           row images are logged and flushed with one modeled fsync at
-          the batch commit point.  Only WAL-capable engines (serial and
-          the quecc family, [supports_wal]) accept it — {!run} raises
-          [Invalid_argument] otherwise.  Required for crash or disk
-          faults on a centralized engine. *)
+          the batch commit point.  Requires the [Wal] capability (serial
+          and the quecc family) — {!run} raises [Invalid_argument]
+          otherwise.  Required for crash or disk faults on a centralized
+          engine. *)
   snapshot_every : int;
       (** WAL snapshot period in durable batches (>= 1, default 8):
           after every [snapshot_every]-th durable batch the database is
           snapshotted and the log truncated. *)
+  cdc : bool;
+      (** ordered change-data-capture: a {!Quill_cdc.Cdc} hub is hooked
+          at the engine's batch commit point and a bounded-staleness
+          read-replica subscription consumes the feed
+          ([apply_every = 4]); replica consistency is asserted after the
+          run.  Requires the [Cdc] capability (serial and the quecc
+          family) — {!run} raises [Invalid_argument] otherwise, and
+          cannot be combined with crash/disk faults (a truncated run
+          would feed subscribers retracted commits). *)
+  views : bool;
+      (** additionally maintain a materialized per-partition aggregate
+          view (SUM of table 0, field 0 — [w_ytd] for TPC-C) over the
+          feed, verified against a full recompute at every caught-up
+          point.  Implies [cdc]. *)
 }
 
 val make :
@@ -104,6 +119,8 @@ val make :
   ?spec_lag:int ->
   ?wal:bool ->
   ?snapshot_every:int ->
+  ?cdc:bool ->
+  ?views:bool ->
   engine ->
   workload_spec ->
   t
@@ -120,16 +137,26 @@ val run :
   ?tracer:Quill_trace.Trace.t ->
   ?recorder:Quill_analysis.Access_log.t ->
   ?on_workload:(Quill_txn.Workload.t -> unit) ->
+  ?on_cdc:(Quill_cdc.Cdc.t -> unit) ->
   t ->
   Quill_txn.Metrics.t
-(** Builds a fresh database, runs, returns metrics.  [on_workload] is
-    called with the internally built workload just before the engine
-    runs, letting callers hold a reference for post-run inspection
-    (e.g. the committed-state checksum the skew sweep compares across
-    adaptive and baseline runs).  Deterministic:
-    the same [t] always yields the same metrics, with or without a
-    tracer ([tracer] defaults to the disabled {!Quill_trace.Trace.null}
-    and never affects virtual time).  [recorder] likewise never affects
-    virtual time: it threads the conflict-detector access log through
-    engines that support it (the QueCC family) for
-    {!Quill_analysis.Conflict_check}; other engines ignore it. *)
+(** Builds a fresh database, runs, returns metrics.
+
+    Every optional feature the experiment requests is validated against
+    the engine's {!Capability} set in one place, here, before the
+    engine runs; [Invalid_argument] names the engine, the offending
+    feature and the engine's capability set.  An engine never receives
+    a flag outside its set, so no request is ever silently ignored.
+
+    [on_workload] is called with the internally built workload just
+    before the engine runs, letting callers hold a reference for
+    post-run inspection (e.g. the committed-state checksum the skew
+    sweep compares across adaptive and baseline runs).  [on_cdc] is
+    called with the CDC hub after the run completes and the feed is
+    drained (CDC runs only) — the hook the determinism tests use to
+    capture feed digests.  Deterministic: the same [t] always yields
+    the same metrics, with or without a tracer ([tracer] defaults to
+    the disabled {!Quill_trace.Trace.null} and never affects virtual
+    time).  [recorder] likewise never affects virtual time: it threads
+    the conflict-detector access log through engines that support it
+    (the QueCC family) for {!Quill_analysis.Conflict_check}. *)

@@ -773,6 +773,124 @@ let durability ?(scale = 1.0) ?json () =
       close_out oc;
       Printf.printf "durability: wrote %s\n" path
 
+(* CDC (ISSUE 10 headline): QueCC's planning phase fixes the commit
+   order before execution starts, so the change stream is a pure
+   function of the input batches — the CDC feed must come out
+   byte-identical across lockstep, pipelined, stealing and split-queue
+   runs of the same seed, and the subscription hub must cost little at
+   the commit point.  Rows: the no-CDC quecc baseline, quecc --cdc
+   (replica subscription), quecc --cdc --views (replica + verified
+   materialized view), the same three alternate quecc schedules with
+   --cdc, and serial --cdc (group-commit feed; its batch boundaries
+   differ, so its digest is reported but not compared).  The feed digest
+   of every quecc-family row must match, the view must equal a full
+   recompute at every caught-up point (View verifies internally and the
+   run fails on divergence), and the CDC overhead must stay within
+   budget.  [json] dumps digests + counters for the CI cdc-smoke job. *)
+let cdc ?(scale = 1.0) ?json () =
+  let module M = Quill_txn.Metrics in
+  let module Cdc = Quill_cdc.Cdc in
+  let txns = scaled scale 8_192 ~min_v:2048 in
+  let size = scaled scale 64_000 ~min_v:8_000 in
+  let spec =
+    E.Ycsb
+      { Ycsb.default with Ycsb.table_size = size; nparts = 8; theta = 0.6 }
+  in
+  let threads = 8 and batch_size = 512 in
+  let results = ref [] in
+  let row label engine ~cdc ~views ?(pipeline = false) ?(steal = false)
+      ?split () =
+    let e =
+      E.make ~name:label ~threads ~txns ~batch_size ~cdc ~views ~pipeline
+        ~steal ?split engine spec
+    in
+    let feed = ref None in
+    let m =
+      E.run ~tracer:!tracer
+        ~on_cdc:(fun h ->
+          feed := Some (Cdc.digest h, Cdc.feed_bytes h, Cdc.events h))
+        e
+    in
+    results := !results @ [ (label, !feed, m) ];
+    ({ Report.label; metrics = m }, m, !feed)
+  in
+  let quecc = E.Quecc (Qe.Speculative, Qe.Serializable) in
+  let base, mbase, _ =
+    (* lint: engine-name-ok — report row label, not dispatch *)
+    row "quecc" quecc ~cdc:false ~views:false ()
+  in
+  let cdc_r, mcdc, feed0 = row "quecc --cdc" quecc ~cdc:true ~views:false () in
+  let views_r, mviews, feed_v =
+    row "quecc --cdc --views" quecc ~cdc:true ~views:true ()
+  in
+  let pipe_r, _, feed_p =
+    row "pipelined --cdc" quecc ~cdc:true ~views:false ~pipeline:true ()
+  in
+  let steal_r, _, feed_s =
+    row "pipelined+steal --cdc" quecc ~cdc:true ~views:false ~pipeline:true
+      ~steal:true ()
+  in
+  let split_r, _, feed_sp =
+    row "split --cdc" quecc ~cdc:true ~views:false ~split:16 ()
+  in
+  let serial_r, _, _ = row "serial --cdc" E.Serial ~cdc:true ~views:false () in
+  let digest = function Some (d, _, _) -> d | None -> 0 in
+  let deterministic =
+    List.for_all
+      (fun f -> digest f = digest feed0 && digest feed0 <> 0)
+      [ feed_v; feed_p; feed_s; feed_sp ]
+  in
+  let view_ok = mviews.M.view_refreshes > 0 in
+  let overhead_pct =
+    100.0 *. (1.0 -. (M.throughput mcdc /. M.throughput mbase))
+  in
+  Report.print_table
+    ~title:
+      "CDC: ordered commit-stream subscriptions (YCSB theta=0.6, 8 cores; \
+       replica at staleness 4; view verified against recompute)"
+    [ base; cdc_r; views_r; pipe_r; steal_r; split_r; serial_r ];
+  Printf.printf
+    "cdc: feed %s across lockstep/pipelined/steal/split (digest %08x); \
+     view=recompute %s; overhead %.1f%%\n"
+    (if deterministic then "byte-identical" else "DIVERGES")
+    (digest feed0)
+    (if view_ok then "held" else "NOT EXERCISED")
+    overhead_pct;
+  if not deterministic then
+    failwith "cdc: feed digests diverge across quecc schedules";
+  (match json with
+  | None -> ()
+  | Some path ->
+      let n = List.length !results in
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\n\
+        \  \"experiment\": \"cdc\",\n\
+        \  \"scale\": %g,\n\
+        \  \"overhead_pct\": %.2f,\n\
+        \  \"deterministic\": %b,\n\
+        \  \"view_ok\": %b,\n\
+        \  \"rows\": [\n"
+        scale overhead_pct deterministic view_ok;
+      List.iteri
+        (fun i (label, feed, m) ->
+          let d, bytes, events =
+            match feed with Some f -> f | None -> (0, 0, 0)
+          in
+          Printf.fprintf oc
+            "    {\"label\": %S, \"tput\": %.1f, \"committed\": %d, \
+             \"digest\": %d, \"feed_bytes\": %d, \"events\": %d, \
+             \"batches\": %d, \"subs\": %d, \"lag_max\": %d, \
+             \"catchup\": %d, \"view_refreshes\": %d}%s\n"
+            label (M.throughput m) m.M.committed d bytes events
+            m.M.cdc_batches m.M.cdc_subs m.M.cdc_lag_max m.M.cdc_catchup
+            m.M.view_refreshes
+            (if i = n - 1 then "" else ","))
+        !results;
+      Printf.fprintf oc "  ]\n}\n";
+      close_out oc;
+      Printf.printf "cdc: wrote %s\n" path)
+
 (* ------------------------------------------------------------------ *)
 
 module C = Quill_clients.Clients
@@ -893,4 +1011,5 @@ let all ?(scale = 1.0) () =
   fault_tolerance ~scale ();
   failover ~scale ();
   durability ~scale ();
+  cdc ~scale ();
   overload ~scale ()

@@ -109,6 +109,21 @@ val durability :
     asserts nonzero recovery, zero lost/double commits and bounded
     overhead). *)
 
+val cdc : ?scale:float -> ?json:string -> unit -> unit
+(** CDC headline: ordered commit-stream subscriptions.  Seven rows at
+    YCSB theta=0.6 — QueCC without CDC (baseline), QueCC [--cdc]
+    (bounded-staleness replica subscription), QueCC [--cdc --views]
+    (replica plus a materialized per-partition aggregate view verified
+    against a full recompute at every caught-up point), the pipelined /
+    pipelined+stealing / split-queue schedules with [--cdc], and serial
+    [--cdc] (group-commit feed).  The feed digests of every
+    QueCC-family row must be byte-identical — the planning phase fixes
+    the commit order, so the change stream is a pure function of the
+    input — and the run fails otherwise.  [json] writes per-row digests,
+    feed counters and the overhead percentage (the CI [BENCH_cdc.json]
+    artifact; the cdc-smoke job asserts a live feed, digest equality,
+    the view invariant and bounded overhead). *)
+
 val overload :
   ?scale:float ->
   ?arrival:Quill_clients.Clients.arrival ->

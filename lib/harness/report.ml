@@ -212,6 +212,36 @@ let print_wal_table ~title rows =
 
 let any_walled rows = List.exists (fun r -> Metrics.walled r.metrics) rows
 
+(* CDC columns: feed volume, subscription lag and catch-up work, and
+   materialized-view refreshes.  Only meaningful (and only printed
+   automatically) when a run had a CDC hub attached. *)
+let cdc_header =
+  [
+    "engine"; "events"; "feed-bytes"; "cdc-b"; "subs"; "sub-lag-max";
+    "catchup-b"; "view-refr";
+  ]
+
+let cdc_cells r =
+  let m = r.metrics in
+  [
+    r.label;
+    string_of_int m.Metrics.cdc_events;
+    Tablefmt.fmt_si (float_of_int m.Metrics.cdc_bytes);
+    string_of_int m.Metrics.cdc_batches;
+    string_of_int m.Metrics.cdc_subs;
+    string_of_int m.Metrics.cdc_lag_max;
+    string_of_int m.Metrics.cdc_catchup;
+    string_of_int m.Metrics.view_refreshes;
+  ]
+
+let print_cdc_table ~title rows =
+  Printf.printf "\n== %s: change data capture ==\n" title;
+  match rows with
+  | [] -> print_endline "(no rows)"
+  | rows -> Tablefmt.print ~header:cdc_header (List.map cdc_cells rows)
+
+let any_cdc rows = List.exists (fun r -> Metrics.cdc_active r.metrics) rows
+
 (* When set, [print_table] and [print_sweep] follow every metrics table
    with the phase breakdown (the CLI/bench --phase-table flag). *)
 let phase_tables = ref false
@@ -233,7 +263,9 @@ let print_table ~title rows =
   if any_replicated rows then
     Tablefmt.print ~header:rep_header (List.map rep_cells rows);
   if any_walled rows then
-    Tablefmt.print ~header:wal_header (List.map wal_cells rows)
+    Tablefmt.print ~header:wal_header (List.map wal_cells rows);
+  if any_cdc rows then
+    Tablefmt.print ~header:cdc_header (List.map cdc_cells rows)
 
 let print_sweep ~title ~param series =
   Printf.printf "\n== %s ==\n" title;
@@ -255,7 +287,9 @@ let print_sweep ~title ~param series =
           if any_replicated rows then
             Tablefmt.print ~header:rep_header (List.map rep_cells rows);
           if any_walled rows then
-            Tablefmt.print ~header:wal_header (List.map wal_cells rows))
+            Tablefmt.print ~header:wal_header (List.map wal_cells rows);
+          if any_cdc rows then
+            Tablefmt.print ~header:cdc_header (List.map cdc_cells rows))
     series
 
 let best_throughput rows =

@@ -68,6 +68,17 @@ val print_wal_table : title:string -> row list -> unit
     hit.  {!print_table}/{!print_sweep} append this table automatically
     whenever any row ran with a WAL. *)
 
+val cdc_header : string list
+val cdc_cells : row -> string list
+
+val print_cdc_table : title:string -> row list -> unit
+(** CDC columns: canonical feed events and serialized bytes, feed
+    entries published, subscription count, the worst observed
+    subscriber lag, batches absorbed through catch-up (late join or
+    overflow re-seed) and materialized-view refreshes.
+    {!print_table}/{!print_sweep} append this table automatically
+    whenever any row ran with a CDC hub. *)
+
 val phase_tables : bool ref
 (** When true, {!print_table} and {!print_sweep} append the phase
     breakdown after every metrics table (default false). *)

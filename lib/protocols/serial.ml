@@ -3,6 +3,7 @@ open Quill_sim
 open Quill_storage
 open Quill_txn
 module Wal = Quill_wal.Wal
+module Cdc = Quill_cdc.Cdc
 
 let dummy_row = Row.make ~key:(-1) ~nfields:1
 
@@ -12,6 +13,7 @@ type state = {
   db : Db.t;
   wl : Workload.t;
   wal : Wal.t option;
+  cdc : Cdc.t option;
   metrics : Metrics.t;
   mutable cur_row : Row.t;
   mutable cur_found : bool;
@@ -88,6 +90,25 @@ let exec_one st ctx txn =
   (match go 0 with
   | Exec.Ok ->
       txn.Txn.status <- Txn.Committed;
+      (* Stage CDC images before publish overwrites [committed]: the
+         hub keeps the first pre-image and the final post-image per
+         key, so per-transaction staging within a commit group
+         collapses to exactly the group's state delta. *)
+      (match st.cdc with
+      | Some c ->
+          List.iter
+            (fun (tid, (row : Row.t)) ->
+              Cdc.stage c ~table:tid ~key:row.Row.key
+                ~before:row.Row.committed ~after:row.Row.data)
+            st.written;
+          List.iter
+            (fun (tid, key) ->
+              match Table.find (Db.table st.db tid) key with
+              | Some row ->
+                  Cdc.stage_insert c ~table:tid ~key ~after:row.Row.data
+              | None -> ())
+            st.inserts
+      | None -> ());
       List.iter (fun (_, row) -> Row.publish row) st.written;
       (* Log the committed images into the WAL group buffer (the flush
          happens at the group-commit boundary in [run_list]).  Replay
@@ -127,7 +148,13 @@ let exec_one st ctx txn =
   Stats.Hist.add st.metrics.Metrics.lat
     (txn.Txn.finish_time - txn.Txn.submit_time)
 
-let run_list ?wal ?crash_at ~batch_size sim costs wl next =
+let run_list ?wal ?cdc ?crash_at ~batch_size sim costs wl next =
+  (match (cdc, crash_at) with
+  | Some _, Some _ ->
+      invalid_arg
+        "Serial.run: --cdc cannot be combined with crash faults (a \
+         crash-truncated run would feed subscribers retracted commits)"
+  | _ -> ());
   let st =
     {
       sim;
@@ -135,6 +162,7 @@ let run_list ?wal ?crash_at ~batch_size sim costs wl next =
       db = wl.Workload.db;
       wl;
       wal;
+      cdc;
       metrics = Metrics.create ();
       cur_row = dummy_row;
       cur_found = false;
@@ -148,13 +176,22 @@ let run_list ?wal ?crash_at ~batch_size sim costs wl next =
   Sim.spawn sim (fun () ->
       let tid = Sim.current_tid sim in
       (* Group commit: [batch_size] transactions share one flush, the
-         serial analogue of QueCC's batch-aligned group commit. *)
+         serial analogue of QueCC's batch-aligned group commit.  The
+         CDC feed is sealed at the same boundary, so serial's feed
+         entries align with its commit groups. *)
+      let track = wal <> None || cdc <> None in
       let bno = ref 0 in
       let in_group = ref 0 in
       let group_committed = ref 0 in
       let group_open = ref false in
-      let close_group w =
-        ignore (Wal.commit_batch w ~batch_no:!bno ~txns:!group_committed);
+      let close_group () =
+        (match wal with
+        | Some w ->
+            ignore (Wal.commit_batch w ~batch_no:!bno ~txns:!group_committed)
+        | None -> ());
+        (match cdc with
+        | Some c -> Cdc.publish c ~batch_no:!bno ~txns:!group_committed
+        | None -> ());
         incr bno;
         in_group := 0;
         group_committed := 0;
@@ -177,26 +214,23 @@ let run_list ?wal ?crash_at ~batch_size sim costs wl next =
           match wal with Some w -> crash w | None -> ()
         else
           match next () with
-          | None -> (
-              match wal with
-              | Some w when !group_open -> close_group w
-              | _ -> ())
+          | None -> if track && !group_open then close_group ()
           | Some txn ->
-              (match wal with
-              | Some w when not !group_open ->
-                  Wal.begin_batch w ~batch_no:!bno;
-                  group_open := true
-              | _ -> ());
+              if track && not !group_open then begin
+                (match wal with
+                | Some w -> Wal.begin_batch w ~batch_no:!bno
+                | None -> ());
+                group_open := true
+              end;
               let c0 = st.metrics.Metrics.committed in
               Pcommon.in_phase sim Sim.Ph_execute tid (fun () ->
                   exec_one st ctx txn);
-              (match wal with
-              | Some w ->
-                  if st.metrics.Metrics.committed > c0 then
-                    incr group_committed;
-                  incr in_group;
-                  if !in_group >= batch_size then close_group w
-              | None -> ());
+              if track then begin
+                if st.metrics.Metrics.committed > c0 then
+                  incr group_committed;
+                incr in_group;
+                if !in_group >= batch_size then close_group ()
+              end;
               loop ()
       in
       loop ());
@@ -211,8 +245,8 @@ let run_list ?wal ?crash_at ~batch_size sim costs wl next =
   Pcommon.record_sim_breakdown m sim;
   m
 
-let run ?sim ?(costs = Costs.default) ?wal ?crash_at ?(batch_size = 1024) wl
-    ~txns =
+let run ?sim ?(costs = Costs.default) ?wal ?cdc ?crash_at
+    ?(batch_size = 1024) wl ~txns =
   let sim =
     match sim with
     | Some s -> s
@@ -227,10 +261,10 @@ let run ?sim ?(costs = Costs.default) ?wal ?crash_at ?(batch_size = 1024) wl
       Some (stream ())
     end
   in
-  run_list ?wal ?crash_at ~batch_size sim costs wl next
+  run_list ?wal ?cdc ?crash_at ~batch_size sim costs wl next
 
-let run_txns ?sim ?(costs = Costs.default) ?wal ?crash_at ?(batch_size = 1024)
-    wl txns =
+let run_txns ?sim ?(costs = Costs.default) ?wal ?cdc ?crash_at
+    ?(batch_size = 1024) wl txns =
   let sim =
     match sim with
     | Some s -> s
@@ -244,4 +278,4 @@ let run_txns ?sim ?(costs = Costs.default) ?wal ?crash_at ?(batch_size = 1024)
         remaining := rest;
         Some t
   in
-  run_list ?wal ?crash_at ~batch_size sim costs wl next
+  run_list ?wal ?cdc ?crash_at ~batch_size sim costs wl next

@@ -11,6 +11,7 @@ val run :
   ?sim:Quill_sim.Sim.t ->
   ?costs:Quill_sim.Costs.t ->
   ?wal:Quill_wal.Wal.t ->
+  ?cdc:Quill_cdc.Cdc.t ->
   ?crash_at:int ->
   ?batch_size:int ->
   Quill_txn.Workload.t ->
@@ -24,12 +25,18 @@ val run :
     the run at the first transaction boundary at/after that virtual
     time, losing the unflushed group, rebuilds the database from the
     newest snapshot plus the log, and reconciles the committed count to
-    the durable boundary. *)
+    the durable boundary.
+
+    [?cdc] stages every committed transaction's images and seals one
+    ordered feed entry per commit group, at the same [batch_size]
+    boundary the WAL flushes on; cannot be combined with [?crash_at]
+    (the feed must never contain commits recovery retracts). *)
 
 val run_txns :
   ?sim:Quill_sim.Sim.t ->
   ?costs:Quill_sim.Costs.t ->
   ?wal:Quill_wal.Wal.t ->
+  ?cdc:Quill_cdc.Cdc.t ->
   ?crash_at:int ->
   ?batch_size:int ->
   Quill_txn.Workload.t ->

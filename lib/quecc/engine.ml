@@ -6,6 +6,7 @@ module Trace = Quill_trace.Trace
 module Clients = Quill_clients.Clients
 module Alog = Quill_analysis.Access_log
 module Wal = Quill_wal.Wal
+module Cdc = Quill_cdc.Cdc
 
 type exec_mode = Speculative | Conservative
 type isolation = Serializable | Read_committed
@@ -162,6 +163,7 @@ type shared = {
          hot path *)
   abs : autobs option;
   wal : Wal.t option;  (* durable group-commit log (--wal) *)
+  cdc : Cdc.t option;  (* ordered change-feed hub (--cdc) *)
   crash_at : int option;
       (* virtual time at/after which the node dies at its next batch
          commit point, losing the in-flight batch *)
@@ -1286,6 +1288,35 @@ let wal_emit sh ~bno =
             touched)
         sh.touched
 
+(* Stage the batch's change set into the CDC hub at the same seam
+   [wal_emit] uses: every status is settled but publish has not yet
+   overwritten the [committed] pre-images, so each touched row yields
+   exactly (pre-batch committed, post-batch data).  A row whose
+   [inserter] is still set was inserted by this batch (publish resets
+   the mark); one whose key no longer resolves was a rolled-back insert
+   — skipped.  The hub dedupes rows touched from several executor
+   slots. *)
+let cdc_emit sh =
+  match sh.cdc with
+  | None -> ()
+  | Some c ->
+      Array.iter
+        (fun touched ->
+          Vec.iter
+            (fun (tid, (row : Row.t)) ->
+              let tbl = Db.table sh.db tid in
+              match Table.find tbl row.Row.key with
+              | Some r ->
+                  if r.Row.inserter >= 0 then
+                    Cdc.stage_insert c ~table:tid ~key:r.Row.key
+                      ~after:r.Row.data
+                  else
+                    Cdc.stage c ~table:tid ~key:r.Row.key
+                      ~before:r.Row.committed ~after:r.Row.data
+              | None -> ())
+            touched)
+        sh.touched
+
 (* Group commit: append the commit marker and flush the whole batch with
    one modeled fsync.  [txns] counts this batch's committed
    transactions, so the durable-transaction boundary equals the
@@ -1296,6 +1327,14 @@ let wal_flush sh ~txns ~bno =
   match sh.wal with
   | None -> ()
   | Some w -> ignore (Wal.commit_batch w ~batch_no:bno ~txns)
+
+(* Seal the batch's feed entry after the publish barrier (and after the
+   WAL flush): the database is fully committed, so subscriber snapshot
+   catch-up sees exactly the state the feed has reached. *)
+let cdc_seal sh ~txns ~bno =
+  match sh.cdc with
+  | None -> ()
+  | Some c -> Cdc.publish c ~batch_no:bno ~txns
 
 let committed_in sh ~parity =
   let n = ref 0 in
@@ -1414,6 +1453,7 @@ let spawn_lockstep sim sh ?clients ~batches ~streams () =
                   if cfg.mode = Speculative then recover sh ~parity:0
                   else finalize_statuses sh ~parity:0;
                   wal_emit sh ~bno:sh.batch_no;
+                  cdc_emit sh;
                   wal_txns := committed_in sh ~parity:0;
                   account_fn ();
                   rebalance sh ~bno:sh.batch_no
@@ -1431,7 +1471,10 @@ let spawn_lockstep sim sh ?clients ~batches ~streams () =
           if t = 0 then
             if sh.crashed then
               in_phase sim Sim.Ph_recover t (fun () -> crash_recover sh)
-            else wal_flush sh ~txns:!wal_txns ~bno:sh.batch_no
+            else begin
+              wal_flush sh ~txns:!wal_txns ~bno:sh.batch_no;
+              cdc_seal sh ~txns:!wal_txns ~bno:sh.batch_no
+            end
         in
         match clients with
         | None ->
@@ -1674,6 +1717,7 @@ let spawn_pipelined sim sh ?clients ~batches ~streams () =
                     if cfg.mode = Speculative then recover sh ~parity
                     else finalize_statuses sh ~parity;
                     wal_emit sh ~bno:b;
+                    cdc_emit sh;
                     wal_txns := committed_in sh ~parity;
                     account ?clients sh ~parity;
                     rebalance sh ~bno:b
@@ -1710,7 +1754,10 @@ let spawn_pipelined sim sh ?clients ~batches ~streams () =
                  access. *)
               if sh.crashed then
                 in_phase sim Sim.Ph_recover e (fun () -> crash_recover sh)
-              else wal_flush sh ~txns:!wal_txns ~bno:b;
+              else begin
+                wal_flush sh ~txns:!wal_txns ~bno:b;
+                cdc_seal sh ~txns:!wal_txns ~bno:b
+              end;
               (* Drop sync state no thread can reach again: everything
                  of batch b except recovered(b), which planners of batch
                  b+2 still await. *)
@@ -1729,13 +1776,19 @@ let spawn_pipelined sim sh ?clients ~batches ~streams () =
   done;
   cfg.planners + cfg.executors
 
-let run ?sim ?clients ?recorder ?wal ?crash_at cfg wl ~batches =
+let run ?sim ?clients ?recorder ?wal ?cdc ?crash_at cfg wl ~batches =
   assert (cfg.planners > 0 && cfg.executors > 0 && cfg.batch_size > 0);
   (match (crash_at, clients) with
   | Some _, Some _ ->
       invalid_arg
         "Quecc.Engine.run: crash faults and open-loop clients cannot be \
          combined (a crashed node strands the admission queue)"
+  | _ -> ());
+  (match (crash_at, cdc) with
+  | Some _, Some _ ->
+      invalid_arg
+        "Quecc.Engine.run: --cdc cannot be combined with crash faults (a \
+         crash-truncated run would feed subscribers retracted commits)"
   | _ -> ());
   (match cfg.split with
   | Some sc -> assert (sc.hot_threshold > 0 && sc.max_subqueues >= 2)
@@ -1814,6 +1867,7 @@ let run ?sim ?clients ?recorder ?wal ?crash_at cfg wl ~batches =
       recorder;
       abs;
       wal;
+      cdc;
       crash_at;
       crashed = false;
       batch_no = 0;

@@ -96,6 +96,7 @@ val run :
   ?clients:Quill_clients.Clients.t ->
   ?recorder:Quill_analysis.Access_log.t ->
   ?wal:Quill_wal.Wal.t ->
+  ?cdc:Quill_cdc.Cdc.t ->
   ?crash_at:int ->
   cfg ->
   Quill_txn.Workload.t ->
@@ -114,6 +115,12 @@ val run :
     the committed count is reconciled to the durable boundary, and the
     run ends.  Crash faults cannot be combined with [?clients] (a dead
     node strands the admission queue); [Invalid_argument] otherwise.
+
+    [?cdc] stages every batch's change set into the ordered feed at the
+    WAL seam and seals it right after the commit point, so subscribers
+    observe the deterministic batch commit order (see {!Quill_cdc.Cdc}).
+    Cannot be combined with [?crash_at]: a crash-truncated run would
+    feed subscribers commits recovery then retracts.
 
     Closed-loop by default: [batches] fixed-size batches cut from the
     workload stream.  With [?clients], batches are formed from whatever

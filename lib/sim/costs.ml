@@ -22,6 +22,8 @@ type t = {
   crash_reboot : int;
   wal_byte : int;
   wal_fsync : int;
+  cdc_event : int;
+  cdc_publish : int;
 }
 
 let default =
@@ -49,6 +51,8 @@ let default =
     crash_reboot = 50_000;
     wal_byte = 60;         (* milli-ns per byte: 0.06 ns/B ~ 16 GB/s buffer copy *)
     wal_fsync = 25_000;
+    cdc_event = 3;         (* serialize/apply one change event (~70B memcpy) *)
+    cdc_publish = 1_000;   (* per-batch feed seal + subscriber queue handoff *)
   }
 
 let zero =
@@ -76,4 +80,6 @@ let zero =
     crash_reboot = 0;
     wal_byte = 0;
     wal_fsync = 0;
+    cdc_event = 0;
+    cdc_publish = 0;
   }

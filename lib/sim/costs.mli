@@ -37,6 +37,10 @@ type t = {
                              byte (x1000: milli-ns) *)
   wal_fsync : int;       (** one durable flush of the WAL tail (the group
                              commit's single fsync) *)
+  cdc_event : int;       (** serialize or apply one change-data-capture
+                             event (a compact before/after image copy) *)
+  cdc_publish : int;     (** seal one batch of the CDC feed and hand it to
+                             the subscriber queues *)
 }
 
 val default : t

@@ -85,6 +85,21 @@ type t = {
   mutable torn_records : int;
   mutable durable_batches : int;
   mutable recovery_time : int;
+  (* Change-data-capture / subscription counters; stay 0 without --cdc.
+     [cdc_events] counts canonical feed events (one per distinct dirty
+     (table, key) per batch); [cdc_lag_max] is the widest batch gap any
+     subscriber's cursor ever trailed the commit point by;
+     [cdc_catchup] counts batches subscribers absorbed through ring
+     replay or snapshot re-seed (late joins + overflow recovery);
+     [view_refreshes] counts incremental materialized-view refresh
+     operations. *)
+  mutable cdc_events : int;
+  mutable cdc_bytes : int;
+  mutable cdc_batches : int;
+  mutable cdc_subs : int;
+  mutable cdc_lag_max : int;
+  mutable cdc_catchup : int;
+  mutable view_refreshes : int;
   (* Open-loop client / admission counters; stay 0 on closed-loop runs. *)
   mutable offered : int;
   mutable shed : int;
@@ -150,6 +165,13 @@ let create () =
     torn_records = 0;
     durable_batches = 0;
     recovery_time = 0;
+    cdc_events = 0;
+    cdc_bytes = 0;
+    cdc_batches = 0;
+    cdc_subs = 0;
+    cdc_lag_max = 0;
+    cdc_catchup = 0;
+    view_refreshes = 0;
     offered = 0;
     shed = 0;
     deadline_miss = 0;
@@ -259,6 +281,15 @@ let pp_wal fmt t =
      truncations=%d torn=%d durable_batches=%d recovery=%dns"
     t.wal_bytes t.wal_fsyncs t.wal_fsync_fails (wal_group_size t) t.snapshots
     t.wal_truncations t.torn_records t.durable_batches t.recovery_time
+
+let cdc_active t = t.cdc_subs > 0 || t.cdc_events > 0 || t.cdc_batches > 0
+
+let pp_cdc fmt t =
+  Format.fprintf fmt
+    "cdc_events=%d bytes=%d batches=%d subs=%d lag_max=%d catchup=%d \
+     view_refreshes=%d"
+    t.cdc_events t.cdc_bytes t.cdc_batches t.cdc_subs t.cdc_lag_max
+    t.cdc_catchup t.view_refreshes
 
 let clients_active t = t.offered > 0
 

@@ -78,6 +78,20 @@ type t = {
   mutable durable_batches : int;(** batches whose commit marker is durable *)
   mutable recovery_time : int;
       (** virtual ns of snapshot restore + log replay after a crash *)
+  mutable cdc_events : int;
+      (** canonical change-feed events published (one per distinct
+          dirty (table, key) per batch) *)
+  mutable cdc_bytes : int;      (** serialized change-feed bytes *)
+  mutable cdc_batches : int;    (** change-feed entries published *)
+  mutable cdc_subs : int;       (** subscriptions registered on the feed *)
+  mutable cdc_lag_max : int;
+      (** widest batch gap any subscriber's cursor ever trailed the
+          commit point by *)
+  mutable cdc_catchup : int;
+      (** batches subscribers absorbed via ring replay or snapshot
+          re-seed (late joins + queue-overflow recovery) *)
+  mutable view_refreshes : int;
+      (** incremental materialized-view refresh operations *)
   mutable offered : int;        (** transactions offered by open-loop clients *)
   mutable shed : int;           (** admissions dropped by the overload policy *)
   mutable deadline_miss : int;  (** transactions dropped past their deadline *)
@@ -154,6 +168,12 @@ val wal_group_size : t -> float
 val pp_wal : Format.formatter -> t -> unit
 (** One-line WAL bytes / fsync / snapshot / truncation / recovery
     summary. *)
+
+val cdc_active : t -> bool
+(** True when the run published a change feed or had subscribers. *)
+
+val pp_cdc : Format.formatter -> t -> unit
+(** One-line feed / subscription-lag / catch-up / view summary. *)
 
 val clients_active : t -> bool
 (** True when the run was driven by open-loop clients (offered > 0). *)

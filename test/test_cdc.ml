@@ -1,0 +1,408 @@
+(* Ordered commit-stream subscriptions (CDC).
+
+   The headline claim: QueCC's planning phase fixes the commit order
+   before execution starts, so the serialized change feed is a pure
+   function of the input batches — lockstep, pipelined, stealing and
+   split-queue runs of the same seed produce byte-identical feeds.
+   Plus the subscription mechanics: bounded queues with overflow
+   recovery, late-joiner catch-up (ring replay vs snapshot), the
+   materialized view's view-equals-recompute invariant and the read
+   replica's bounded staleness. *)
+
+open Quill_sim
+open Quill_txn
+open Quill_workloads
+module Qe = Quill_quecc.Engine
+module Serial = Quill_protocols.Serial
+module Cdc = Quill_cdc.Cdc
+module View = Quill_cdc.View
+module Replica = Quill_cdc.Replica
+module Db = Quill_storage.Db
+module Table = Quill_storage.Table
+module Row = Quill_storage.Row
+module E = Quill_harness.Experiment
+module F = Quill_faults.Faults
+
+type mode = Lockstep | Pipelined | Steal | Split
+
+let mode_name = function
+  | Lockstep -> "lockstep"
+  | Pipelined -> "pipelined"
+  | Steal -> "pipelined+steal"
+  | Split -> "split"
+
+(* One quecc run under [mode] over a fresh same-seed workload, with the
+   full serialized feed retained; returns the hub (drained) and the
+   workload for committed-state checks. *)
+let quecc_feed ?(seed = 42) ?(theta = 0.6) ?(batches = 4) ?(retain = 64)
+    ?(subscribe = fun _ -> ()) mode =
+  let wl = Ycsb.make (Tutil.small_ycsb ~table_size:2_000 ~seed ~theta ()) in
+  let sim = Sim.create ~wake_cost:Costs.default.Costs.wakeup () in
+  let cdc =
+    Cdc.create ~retain ~record_feed:true ~sim ~costs:Costs.default
+      wl.Workload.db
+  in
+  subscribe cdc;
+  let cfg =
+    {
+      Qe.default_cfg with
+      Qe.planners = 2;
+      executors = 2;
+      batch_size = 256;
+      pipeline = (mode = Pipelined || mode = Steal);
+      steal = (mode = Steal);
+      split =
+        (if mode = Split then
+           Some { Qe.hot_threshold = 8; max_subqueues = 4 }
+         else None);
+    }
+  in
+  ignore (Qe.run ~sim ~cdc cfg wl ~batches);
+  Cdc.finish cdc;
+  (cdc, wl)
+
+let test_feed_identical_across_modes () =
+  let base, _ = quecc_feed Lockstep in
+  Tutil.check_bool "feed has events" true (Cdc.events base > 0);
+  Tutil.check_int "all batches published" 4 (Cdc.batches base);
+  List.iter
+    (fun mode ->
+      let c, _ = quecc_feed mode in
+      Alcotest.(check string)
+        (mode_name mode ^ " feed byte-identical to lockstep")
+        (Cdc.feed base) (Cdc.feed c);
+      Tutil.check_int
+        (mode_name mode ^ " digest matches")
+        (Cdc.digest base) (Cdc.digest c))
+    [ Pipelined; Steal; Split ];
+  (* sanity: the digest depends on the input (not trivially constant) *)
+  let other, _ = quecc_feed ~seed:43 Lockstep in
+  Tutil.check_bool "different seed, different feed" true
+    (Cdc.digest base <> Cdc.digest other)
+
+(* qcheck: the byte-identity holds across random seeds, contention
+   levels and schedule variants, not just the hand-picked case. *)
+let qcheck_feed_identity =
+  let gen =
+    QCheck.Gen.(
+      triple (int_range 1 500) (oneofl [ 0.0; 0.6; 0.9 ])
+        (oneofl [ Pipelined; Steal; Split ]))
+  in
+  let arb =
+    QCheck.make gen ~print:(fun (seed, theta, mode) ->
+        Printf.sprintf "seed=%d theta=%.1f mode=%s" seed theta
+          (mode_name mode))
+  in
+  QCheck.Test.make ~name:"cdc feed bit-identity across schedules" ~count:12
+    arb
+    (fun (seed, theta, mode) ->
+      let base, _ = quecc_feed ~seed ~theta ~batches:2 Lockstep in
+      let c, _ = quecc_feed ~seed ~theta ~batches:2 mode in
+      Cdc.feed base = Cdc.feed c && Cdc.events base > 0)
+
+(* The feed reflects exactly the committed state transitions: replaying
+   every event's post-image (inserts included) on top of the pre-run
+   database must land on the engine's final committed state. *)
+let test_feed_replays_to_committed_state () =
+  let shadow : (int * int, int array) Hashtbl.t = Hashtbl.create 1024 in
+  let subscribe hub =
+    ignore
+      (Cdc.subscribe hub ~name:"shadow"
+         {
+           Cdc.on_batch =
+             (fun b ->
+               Array.iter
+                 (fun (ev : Cdc.event) ->
+                   Hashtbl.replace shadow (ev.Cdc.table, ev.Cdc.key)
+                     (Array.copy ev.Cdc.after))
+                 b.Cdc.events);
+           on_snapshot = (fun _ ~batch_no:_ -> Alcotest.fail "no snapshot");
+           on_caught_up = (fun ~batch_no:_ -> ());
+         })
+  in
+  let _, wl = quecc_feed ~subscribe Lockstep in
+  let ok = ref true in
+  Hashtbl.iter
+    (fun (tid, key) img ->
+      match Table.find (Db.table wl.Workload.db tid) key with
+      | Some row -> if row.Row.committed <> img then ok := false
+      | None -> ok := false)
+    shadow;
+  Tutil.check_bool "every event post-image = committed image" true !ok;
+  Tutil.check_bool "shadow saw rows" true (Hashtbl.length shadow > 0)
+
+let test_serial_feed_deterministic () =
+  let run () =
+    let wl = Ycsb.make (Tutil.small_ycsb ~table_size:2_000 ~seed:7 ()) in
+    let sim = Sim.create () in
+    let cdc =
+      Cdc.create ~record_feed:true ~sim ~costs:Costs.default wl.Workload.db
+    in
+    ignore (Serial.run ~sim ~cdc ~batch_size:256 wl ~txns:1024);
+    Cdc.finish cdc;
+    (Cdc.feed cdc, Cdc.batches cdc)
+  in
+  let f1, b1 = run () and f2, b2 = run () in
+  Alcotest.(check string) "serial feed deterministic" f1 f2;
+  Tutil.check_int "group-commit boundaries" b1 b2;
+  Tutil.check_int "1024 txns / 256 = 4 groups" 4 b1
+
+(* -------------------------- consumers -------------------------- *)
+
+let test_view_equals_recompute () =
+  (* direct: serial engine, verify at every batch (View raises on any
+     divergence; check() is the explicit end-of-run comparison) *)
+  let wl = Ycsb.make (Tutil.small_ycsb ~table_size:2_000 ~seed:5 ()) in
+  let sim = Sim.create () in
+  let cdc = Cdc.create ~sim ~costs:Costs.default wl.Workload.db in
+  let v = View.create ~verify:true ~table:0 ~field:0 wl.Workload.db in
+  ignore (Cdc.subscribe cdc ~name:"view" (View.consumer v));
+  ignore (Serial.run ~sim ~cdc ~batch_size:256 wl ~txns:1024);
+  Cdc.finish cdc;
+  Tutil.check_bool "view = recompute after serial run" true (View.check v);
+  Tutil.check_bool "view refreshed" true (View.refreshes v > 0);
+  Tutil.check_bool "view has partitions" true (View.sums v <> [])
+
+let test_view_through_experiment () =
+  (* quecc x ycsb and x tpcc through the harness: the run itself fails
+     if the view ever diverges from recompute *)
+  List.iter
+    (fun (label, spec) ->
+      let e =
+        E.make ~threads:4 ~txns:1024 ~batch_size:256 ~views:true
+          (E.Quecc (Qe.Speculative, Qe.Serializable))
+          spec
+      in
+      let m = E.run e in
+      Tutil.check_bool (label ^ ": view refreshed") true
+        (m.Metrics.view_refreshes > 0);
+      Tutil.check_bool (label ^ ": feed flowed") true
+        (m.Metrics.cdc_events > 0);
+      Tutil.check_int (label ^ ": replica + view subs") 2
+        m.Metrics.cdc_subs)
+    [
+      ("ycsb", E.Ycsb (Tutil.small_ycsb ~table_size:2_000 ()));
+      ( "tpcc",
+        E.Tpcc (Tutil.small_tpcc ~warehouses:2 ~nparts:4 ~payment_only:true ())
+      );
+    ]
+
+let test_replica_bounded_staleness () =
+  let wl = Ycsb.make (Tutil.small_ycsb ~table_size:2_000 ~seed:11 ()) in
+  let sim = Sim.create ~wake_cost:Costs.default.Costs.wakeup () in
+  let cdc = Cdc.create ~sim ~costs:Costs.default wl.Workload.db in
+  let rep = Replica.create wl.Workload.db in
+  let sub =
+    Cdc.subscribe cdc ~name:"replica" ~apply_every:3 (Replica.consumer rep)
+  in
+  let cfg =
+    { Qe.default_cfg with Qe.planners = 2; executors = 2; batch_size = 256 }
+  in
+  ignore (Qe.run ~sim ~cdc cfg wl ~batches:6);
+  (* staleness bound: the cursor never trails by more than apply_every *)
+  Tutil.check_bool "lag bounded by apply period" true (Cdc.lag_max sub <= 3);
+  Cdc.finish cdc;
+  Tutil.check_int "cursor at newest batch" (Cdc.last_batch cdc)
+    (Replica.cursor rep);
+  Tutil.check_bool "replica rows cached" true (Replica.rows rep > 0);
+  Tutil.check_bool "replica = committed state" true
+    (Replica.consistent_with rep wl.Workload.db);
+  Tutil.check_int "no catch-up on a live subscriber" 0
+    (Cdc.catchup_batches sub);
+  (* spot-check a read against the base table *)
+  let served = ref false in
+  (try
+     Table.iter_dense
+       (fun row ->
+         if not !served then begin
+           (match Replica.read rep ~table:0 ~key:row.Row.key with
+           | Some img ->
+               Tutil.check_bool "replica read = committed" true
+                 (img = row.Row.committed);
+               served := true
+           | None -> ())
+         end)
+       (Db.table wl.Workload.db 0)
+   with Exit -> ());
+  Tutil.check_bool "replica reads counted" true (Replica.reads rep > 0)
+
+(* ---------------------- catch-up mechanics ---------------------- *)
+
+let test_late_joiner_ring_replay () =
+  let wl = Ycsb.make (Tutil.small_ycsb ~table_size:2_000 ~seed:13 ()) in
+  let sim = Sim.create ~wake_cost:Costs.default.Costs.wakeup () in
+  (* retain 64 >> 6 batches: the ring covers everything, so the late
+     joiner catches up by replay, never by snapshot *)
+  let cdc = Cdc.create ~retain:64 ~sim ~costs:Costs.default wl.Workload.db in
+  let rep = Replica.create wl.Workload.db in
+  let sub =
+    Cdc.subscribe cdc ~name:"late" ~join_at:2 (Replica.consumer rep)
+  in
+  let cfg =
+    { Qe.default_cfg with Qe.planners = 2; executors = 2; batch_size = 256 }
+  in
+  ignore (Qe.run ~sim ~cdc cfg wl ~batches:6);
+  Cdc.finish cdc;
+  Tutil.check_bool "ring replay counted as catch-up" true
+    (Cdc.catchup_batches sub >= 3);
+  Tutil.check_int "no overflow" 0 (Cdc.overflows sub);
+  Tutil.check_bool "events delivered live after joining" true
+    (Cdc.delivered sub > 0);
+  Tutil.check_bool "late joiner converges to committed state" true
+    (Replica.consistent_with rep wl.Workload.db)
+
+let test_late_joiner_snapshot () =
+  let wl = Ycsb.make (Tutil.small_ycsb ~table_size:2_000 ~seed:17 ()) in
+  let sim = Sim.create ~wake_cost:Costs.default.Costs.wakeup () in
+  (* retain 2 < join_at: by the time the subscriber activates the ring
+     no longer covers batch 0, forcing the snapshot path *)
+  let cdc = Cdc.create ~retain:2 ~sim ~costs:Costs.default wl.Workload.db in
+  let rep = Replica.create wl.Workload.db in
+  let sub =
+    Cdc.subscribe cdc ~name:"very-late" ~join_at:4 (Replica.consumer rep)
+  in
+  let cfg =
+    { Qe.default_cfg with Qe.planners = 2; executors = 2; batch_size = 256 }
+  in
+  ignore (Qe.run ~sim ~cdc cfg wl ~batches:6);
+  Cdc.finish cdc;
+  Tutil.check_bool "snapshot catch-up counted" true
+    (Cdc.catchup_batches sub >= 5);
+  Tutil.check_bool "snapshot seeds the whole cache" true
+    (Replica.rows rep > 0);
+  Tutil.check_bool "snapshot joiner converges" true
+    (Replica.consistent_with rep wl.Workload.db)
+
+let test_overflow_snapshot_recovery () =
+  let wl = Ycsb.make (Tutil.small_ycsb ~table_size:2_000 ~seed:19 ()) in
+  let sim = Sim.create ~wake_cost:Costs.default.Costs.wakeup () in
+  let cdc = Cdc.create ~sim ~costs:Costs.default wl.Workload.db in
+  let rep = Replica.create wl.Workload.db in
+  (* a slow consumer: drains every 100 batches with a 2-deep queue, so
+     the queue overflows and recovery must go through a snapshot *)
+  let sub =
+    Cdc.subscribe cdc ~name:"slow" ~max_queue:2 ~apply_every:100
+      (Replica.consumer rep)
+  in
+  let cfg =
+    { Qe.default_cfg with Qe.planners = 2; executors = 2; batch_size = 256 }
+  in
+  ignore (Qe.run ~sim ~cdc cfg wl ~batches:6);
+  Cdc.finish cdc;
+  Tutil.check_bool "queue overflowed" true (Cdc.overflows sub >= 1);
+  Tutil.check_bool "overflow absorbed as catch-up" true
+    (Cdc.catchup_batches sub > 0);
+  Tutil.check_bool "overflowing subscriber still converges" true
+    (Replica.consistent_with rep wl.Workload.db)
+
+(* ------------------------- validation ------------------------- *)
+
+let test_rejections () =
+  let spec = E.Ycsb (Tutil.small_ycsb ~table_size:1_000 ()) in
+  Alcotest.check_raises "cdc rejected off capability set"
+    (Invalid_argument
+       "Experiment.run: --cdc/--views requires the 'cdc' capability, but \
+        engine silo provides {clients}")
+    (fun () ->
+      ignore
+        (E.run (E.make ~threads:2 ~txns:256 ~batch_size:128 ~cdc:true E.Silo spec)));
+  let crash_plan =
+    { F.none with F.crashes = [ { F.node = 0; at = 1_000; down = 1 } ] }
+  in
+  Alcotest.check_raises "cdc + crash faults rejected"
+    (Invalid_argument
+       "Experiment.run: --cdc cannot be combined with crash/disk faults \
+        (the feed is a commit stream; a crash-truncated run would feed \
+        subscribers retracted commits)")
+    (fun () ->
+      ignore
+        (E.run
+           (E.make ~threads:2 ~txns:256 ~batch_size:128 ~cdc:true ~wal:true
+              ~faults:crash_plan
+              (E.Quecc (Qe.Speculative, Qe.Serializable))
+              spec)));
+  (* the engine-level guard, for callers bypassing the harness *)
+  let wl = Ycsb.make (Tutil.small_ycsb ~table_size:1_000 ()) in
+  let sim = Sim.create () in
+  let cdc = Cdc.create ~sim ~costs:Costs.default wl.Workload.db in
+  Alcotest.check_raises "engine rejects cdc + crash_at"
+    (Invalid_argument
+       "Quecc.Engine.run: --cdc cannot be combined with crash faults (a \
+        crash-truncated run would feed subscribers retracted commits)")
+    (fun () ->
+      ignore
+        (Qe.run ~sim ~cdc ~crash_at:1_000
+           { Qe.default_cfg with Qe.planners = 2; executors = 2 }
+           wl ~batches:1));
+  (* subscribing into the past is a programming error *)
+  let wl2 = Ycsb.make (Tutil.small_ycsb ~table_size:1_000 ()) in
+  let sim2 = Sim.create () in
+  let cdc2 = Cdc.create ~sim:sim2 ~costs:Costs.default wl2.Workload.db in
+  ignore (Serial.run ~sim:sim2 ~cdc:cdc2 ~batch_size:128 wl2 ~txns:256);
+  Alcotest.check_raises "join_at in the past rejected"
+    (Invalid_argument
+       "Cdc.subscribe stale: join_at=0 is already published (last batch 1)")
+    (fun () ->
+      ignore
+        (Cdc.subscribe cdc2 ~name:"stale" ~join_at:0
+           (Replica.consumer (Replica.create wl2.Workload.db))))
+
+let test_experiment_counters () =
+  List.iter
+    (fun engine ->
+      let e =
+        E.make ~threads:4 ~txns:1024 ~batch_size:256 ~cdc:true engine
+          (E.Ycsb (Tutil.small_ycsb ~table_size:2_000 ()))
+      in
+      let m = E.run e in
+      let label = E.engine_name engine in
+      Tutil.check_bool (label ^ ": events flowed") true
+        (m.Metrics.cdc_events > 0);
+      Tutil.check_int (label ^ ": all batches sealed") 4
+        m.Metrics.cdc_batches;
+      Tutil.check_int (label ^ ": one replica sub") 1 m.Metrics.cdc_subs;
+      Tutil.check_bool (label ^ ": lag within replica staleness") true
+        (m.Metrics.cdc_lag_max <= 4);
+      Tutil.check_bool (label ^ ": bytes counted") true
+        (m.Metrics.cdc_bytes > 0))
+    [ E.Quecc (Qe.Speculative, Qe.Serializable); E.Serial ]
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "cdc"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "feed identical across schedules" `Quick
+            test_feed_identical_across_modes;
+          Alcotest.test_case "feed replays to committed state" `Quick
+            test_feed_replays_to_committed_state;
+          Alcotest.test_case "serial group-commit feed" `Quick
+            test_serial_feed_deterministic;
+          qc qcheck_feed_identity;
+        ] );
+      ( "consumers",
+        [
+          Alcotest.test_case "view = recompute" `Quick
+            test_view_equals_recompute;
+          Alcotest.test_case "view through experiment" `Quick
+            test_view_through_experiment;
+          Alcotest.test_case "replica bounded staleness" `Quick
+            test_replica_bounded_staleness;
+        ] );
+      ( "catch-up",
+        [
+          Alcotest.test_case "late joiner ring replay" `Quick
+            test_late_joiner_ring_replay;
+          Alcotest.test_case "late joiner snapshot" `Quick
+            test_late_joiner_snapshot;
+          Alcotest.test_case "overflow snapshot recovery" `Quick
+            test_overflow_snapshot_recovery;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "rejections" `Quick test_rejections;
+          Alcotest.test_case "experiment counters" `Quick
+            test_experiment_counters;
+        ] );
+    ]

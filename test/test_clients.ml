@@ -451,8 +451,9 @@ let test_serial_rejects_clients () =
   in
   Alcotest.check_raises "serial baseline rejects the client layer"
     (Invalid_argument
-       "Experiment.run: the serial baseline does not take an open-loop \
-        client layer")
+       "Experiment.run: the open-loop client layer (--arrival) requires \
+        the 'clients' capability, but engine serial provides {faults, wal, \
+        cdc}")
     (fun () -> ignore (E.run e))
 
 let test_experiment_runs_clients () =

@@ -659,7 +659,8 @@ let test_ha_validation () =
   in
   Alcotest.check_raises "replicas rejected off dist-quecc"
     (Invalid_argument
-       "Experiment.run: --replicas needs the dist-quecc engine, not silo")
+       "Experiment.run: --replicas requires the 'replication' capability, \
+        but engine silo provides {clients}")
     (fun () -> ignore (Quill_harness.Experiment.run e))
 
 let test_faults_rejected_on_centralized () =
@@ -671,9 +672,8 @@ let test_faults_rejected_on_centralized () =
   in
   Alcotest.check_raises "centralized engines reject fault plans"
     (Invalid_argument
-       "Experiment.run: fault plans need an engine with fault support (the \
-        distributed engines, or a WAL-capable centralized engine with \
-        --wal), not silo")
+       "Experiment.run: a fault plan (--faults) requires the 'faults' \
+        capability, but engine silo provides {clients}")
     (fun () -> ignore (Quill_harness.Experiment.run e))
 
 let () =

@@ -45,20 +45,113 @@ let test_registry_names_resolve () =
             | None ->
                 Alcotest.failf "canonical %s of %s does not parse" canonical n))
     advertised;
+  let module Cap = Quill_harness.Capability in
   List.iter
     (fun e ->
       let (module M : Quill_harness.Engine_intf.S) = R.resolve e in
+      let has c = Cap.mem c M.caps in
       (* fault support comes from having a network to fault (the dist
          engines) or a WAL to recover from (serial, the quecc family) *)
       Tutil.check_bool
         (R.engine_name e ^ " fault support iff distributed or WAL-capable")
-        (M.supports_dist || M.supports_wal)
-        M.supports_faults;
+        (has Cap.Dist || has Cap.Wal)
+        (has Cap.Faults);
       Tutil.check_bool
         (R.engine_name e ^ " WAL support stays centralized")
         true
-        ((not M.supports_wal) || not M.supports_dist))
+        ((not (has Cap.Wal)) || not (has Cap.Dist));
+      (* the CDC hub stages at the WAL seam, so the capabilities travel
+         together *)
+      Tutil.check_bool
+        (R.engine_name e ^ " CDC support implies WAL support")
+        true
+        ((not (has Cap.Cdc)) || has Cap.Wal))
     (R.Dist_quecc 4 :: R.Dist_calvin 2 :: R.all_centralized)
+
+(* The capability chokepoint, exhaustively: every engine x every
+   capability either honors the feature with an observable effect in
+   the metrics, or rejects the request with [Invalid_argument] before
+   the engine runs.  No third outcome (the old "silently ignored")
+   exists. *)
+let test_capability_sweep () =
+  let module R = Quill_harness.Engine_registry in
+  let module Cap = Quill_harness.Capability in
+  let module F = Quill_faults.Faults in
+  let module C = Quill_clients.Clients in
+  let mk = E.make ~threads:4 ~txns:512 ~batch_size:128 in
+  List.iter
+    (fun engine ->
+      let (module M : Quill_harness.Engine_intf.S) = R.resolve engine in
+      let name = R.engine_name engine in
+      let exp_for cap =
+        match cap with
+        | Cap.Faults ->
+            (* a crash mid-run; centralized engines recover via the WAL,
+               so the cross-feature rule adds --wal when available *)
+            let wal = Cap.mem Cap.Wal M.caps in
+            let probe = E.run (mk ~name engine tiny_ycsb) in
+            let plan =
+              {
+                F.none with
+                F.crashes =
+                  [
+                    {
+                      F.node = M.nodes - 1;
+                      at = probe.Metrics.elapsed / 2;
+                      down = 1;
+                    };
+                  ];
+              }
+            in
+            mk ~name ~faults:plan ~wal engine tiny_ycsb
+        | Cap.Clients ->
+            mk ~name
+              ~clients:{ C.default with C.arrival = C.Poisson 1e6 }
+              engine tiny_ycsb
+        | Cap.Dist ->
+            mk ~name ~faults:{ F.none with F.drop = 0.2 } engine tiny_ycsb
+        | Cap.Wal -> mk ~name ~wal:true engine tiny_ycsb
+        | Cap.Cdc -> mk ~name ~cdc:true engine tiny_ycsb
+        | Cap.Replication ->
+            (* replication wants a single-node leader (a cross-feature
+               constraint below the capability check), so exercise the
+               capability on the family's 1-node shape *)
+            let engine =
+              match engine with
+              | R.Dist_quecc _ -> R.Dist_quecc 1
+              | e -> e
+            in
+            mk ~name ~replicas:2 engine tiny_ycsb
+      in
+      let effect_of cap (m : Metrics.t) =
+        match cap with
+        | Cap.Faults -> m.Metrics.crashes > 0
+        | Cap.Clients -> m.Metrics.offered > 0
+        | Cap.Dist -> m.Metrics.msg_retries > 0
+        | Cap.Wal -> m.Metrics.wal_fsyncs > 0
+        | Cap.Cdc -> m.Metrics.cdc_events > 0
+        | Cap.Replication -> Metrics.replicated m
+      in
+      List.iter
+        (fun cap ->
+          let supported = Cap.mem cap M.caps in
+          let what = name ^ " x " ^ Cap.to_string cap in
+          match E.run (exp_for cap) with
+          | m ->
+              Tutil.check_bool (what ^ ": accepted iff supported") true
+                supported;
+              Tutil.check_bool (what ^ ": honored with effect") true
+                (effect_of cap m)
+          | exception Invalid_argument msg ->
+              Tutil.check_bool
+                (what ^ ": rejected iff unsupported (" ^ msg ^ ")")
+                false supported;
+              (* the rejection must name the engine so the exit-2
+                 message is actionable *)
+              Tutil.check_bool (what ^ ": rejection names engine") true
+                (Tutil.contains msg M.name))
+        Cap.all)
+    (R.Dist_quecc 2 :: R.Dist_calvin 2 :: R.all_centralized)
 
 let test_dist_suffix_parse () =
   let check_parse s expect =
@@ -209,6 +302,7 @@ let () =
             test_engine_names_roundtrip;
           Alcotest.test_case "registry names resolve" `Quick
             test_registry_names_resolve;
+          Alcotest.test_case "capability sweep" `Quick test_capability_sweep;
           Alcotest.test_case "dist suffix parse" `Quick test_dist_suffix_parse;
           Alcotest.test_case "all engines run ycsb" `Quick
             test_all_engines_run_ycsb;

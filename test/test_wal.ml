@@ -259,8 +259,8 @@ let test_experiment_validation () =
   in
   Alcotest.check_raises "--wal rejected off the WAL engines"
     (Invalid_argument
-       "Experiment.run: --wal needs a WAL-capable engine (serial or the \
-        quecc family), not silo")
+       "Experiment.run: --wal requires the 'wal' capability, but engine \
+        silo provides {clients}")
     (fun () ->
       ignore
         (E.run (E.make ~threads:2 ~txns:256 ~batch_size:128 ~wal:true E.Silo spec)));
@@ -285,8 +285,9 @@ let test_experiment_validation () =
               spec)));
   Alcotest.check_raises "net faults stay distributed-only"
     (Invalid_argument
-       "Experiment.run: network faults (drop/dup/delay/partition) need a \
-        distributed engine, not quecc")
+       "Experiment.run: network faults (drop/dup/delay/partition) requires \
+        the 'dist' capability, but engine quecc provides {faults, clients, \
+        wal, cdc}")
     (fun () ->
       ignore
         (E.run
